@@ -1,0 +1,64 @@
+// Command depotd runs an IBP storage depot: the "router for data" of
+// Logistical Networking. It serves the allocate/store/load/manage/copy
+// protocol and optionally registers itself with an L-Bone directory,
+// heartbeating its capacity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lonviz/internal/ibp"
+	"lonviz/internal/lbone"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6714", "listen address")
+	capacity := flag.Int64("capacity", 1<<30, "storage capacity in bytes")
+	dir := flag.String("dir", "", "back allocations with files in this directory (default: memory)")
+	maxLease := flag.Duration("max-lease", time.Hour, "maximum allocation lease")
+	lboneURL := flag.String("lbone", "", "L-Bone base URL to register with (e.g. http://host:port)")
+	x := flag.Float64("x", 0, "network coordinate X for L-Bone proximity")
+	y := flag.Float64("y", 0, "network coordinate Y for L-Bone proximity")
+	heartbeat := flag.Duration("heartbeat", 10*time.Second, "L-Bone heartbeat interval")
+	flag.Parse()
+
+	depot, err := ibp.NewDepot(ibp.DepotConfig{Capacity: *capacity, MaxLease: *maxLease, Dir: *dir})
+	if err != nil {
+		log.Fatalf("depotd: %v", err)
+	}
+	srv := ibp.NewServer(depot)
+	srv.Logf = log.Printf
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatalf("depotd: listen: %v", err)
+	}
+	fmt.Printf("depotd: serving IBP on %s (capacity %d bytes, max lease %v)\n", bound, *capacity, *maxLease)
+
+	stop := make(chan struct{})
+	if *lboneURL != "" {
+		cl := &lbone.Client{BaseURL: *lboneURL}
+		go cl.Heartbeat(func() lbone.DepotRecord {
+			st := depot.Stat()
+			return lbone.DepotRecord{
+				Addr: bound, X: *x, Y: *y,
+				Capacity: st.Capacity, Free: st.Capacity - st.Used,
+			}
+		}, *heartbeat, stop)
+		fmt.Printf("depotd: heartbeating to %s at (%g, %g)\n", *lboneURL, *x, *y)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	srv.Close()
+	st := depot.Stat()
+	fmt.Printf("depotd: shutting down; %d allocations, %d/%d bytes used, %d expirations, %d revocations\n",
+		st.Allocations, st.Used, st.Capacity, st.Expirations, st.Revocations)
+}

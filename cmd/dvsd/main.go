@@ -1,0 +1,42 @@
+// Command dvsd runs one level of the Dictionary of View Sets hierarchy.
+// Give -parent to chain levels DNS-style; the root level can forward
+// misses to registered server agents for on-demand generation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/dvs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6800", "listen address")
+	parent := flag.String("parent", "", "parent DVS address (empty for the root)")
+	generate := flag.Bool("generate", false, "forward full-hierarchy misses to registered server agents")
+	flag.Parse()
+
+	srv := dvs.NewServer(*parent)
+	if *generate {
+		srv.Generate = agent.GenerateFunc(nil)
+	}
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatalf("dvsd: %v", err)
+	}
+	role := "root"
+	if *parent != "" {
+		role = "child of " + *parent
+	}
+	fmt.Printf("dvsd: serving DVS on %s (%s, on-demand generation %v)\n", bound, role, *generate)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}

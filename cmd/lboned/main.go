@@ -1,0 +1,34 @@
+// Command lboned runs the Logistical Backbone directory: depots register
+// and heartbeat, clients look up the nearest depots with free capacity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lonviz/internal/lbone"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6767", "listen address")
+	ttl := flag.Duration("ttl", 30*time.Second, "registration freshness window")
+	flag.Parse()
+
+	srv := lbone.NewServer()
+	srv.TTL = *ttl
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatalf("lboned: %v", err)
+	}
+	fmt.Printf("lboned: serving directory on http://%s (TTL %v)\n", bound, *ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}

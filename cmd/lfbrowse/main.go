@@ -1,0 +1,133 @@
+// Command lfbrowse is the client side of the streaming model: a client
+// agent (cache + prefetch + optional LAN-depot prestaging) plus a viewer
+// that walks an orchestrated cursor path, requesting view sets and
+// rendering novel views. It prints the per-access latency log and can
+// save rendered frames as PNGs (the paper's Figure 6 screenshots).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/dvs"
+	"lonviz/internal/lightfield"
+	"lonviz/internal/session"
+)
+
+func main() {
+	dvsAddr := flag.String("dvs", "", "DVS address (required)")
+	dataset := flag.String("dataset", "neghip", "dataset name")
+	res := flag.Int("res", 64, "sample view resolution (must match the published database)")
+	step := flag.Float64("step", 10, "lattice step in degrees (must match)")
+	l := flag.Int("l", 3, "view set side length (must match)")
+	lanDepots := flag.String("lan-depots", "", "comma-separated LAN depot addresses for prestaging")
+	accesses := flag.Int("accesses", session.PaperAccessCount, "orchestrated accesses")
+	think := flag.Duration("think", 100*time.Millisecond, "cursor think time")
+	seed := flag.Int64("seed", 1, "cursor script seed")
+	prefetch := flag.Bool("prefetch", true, "enable quadrant prefetching")
+	frames := flag.String("frames", "", "directory to write rendered PNG frames into")
+	display := flag.Int("display", 200, "display resolution for rendered frames")
+	serve := flag.String("serve", "", "also expose the client agent to remote clients on this address")
+	flag.Parse()
+
+	if *dvsAddr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p := lightfield.ScaledParams(*step, *l, *res)
+	if err := p.Validate(); err != nil {
+		log.Fatalf("lfbrowse: %v", err)
+	}
+
+	var lan []string
+	if *lanDepots != "" {
+		lan = strings.Split(*lanDepots, ",")
+	}
+	ca, err := agent.NewClientAgent(agent.ClientAgentConfig{
+		Dataset:   *dataset,
+		Params:    p,
+		DVS:       &dvs.Client{Addr: *dvsAddr},
+		LANDepots: lan,
+		Prefetch:  *prefetch,
+	})
+	if err != nil {
+		log.Fatalf("lfbrowse: %v", err)
+	}
+	defer ca.Close()
+
+	if *serve != "" {
+		srv, err := agent.NewClientAgentServer(ca, *dataset)
+		if err != nil {
+			log.Fatalf("lfbrowse: %v", err)
+		}
+		bound, err := srv.ListenAndServe(*serve)
+		if err != nil {
+			log.Fatalf("lfbrowse: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("lfbrowse: client agent also serving remote clients on %s\n", bound)
+	}
+
+	ctx := context.Background()
+	if len(lan) > 0 {
+		if _, err := ca.StartPrestaging(ctx); err != nil {
+			log.Fatalf("lfbrowse: %v", err)
+		}
+		fmt.Printf("lfbrowse: aggressive prestaging to %d LAN depots started\n", len(lan))
+	}
+
+	viewer, err := agent.NewViewer(p, ca)
+	if err != nil {
+		log.Fatalf("lfbrowse: %v", err)
+	}
+	script, err := session.StandardScript(p, *accesses, *seed)
+	if err != nil {
+		log.Fatalf("lfbrowse: %v", err)
+	}
+	if *frames != "" {
+		if err := os.MkdirAll(*frames, 0o755); err != nil {
+			log.Fatalf("lfbrowse: %v", err)
+		}
+	}
+
+	fmt.Printf("%-7s %-8s %-12s %-10s %-10s %-10s %-9s\n",
+		"access", "viewset", "class", "comm(s)", "unzip(s)", "total(s)", "bytes")
+	records, err := session.Run(ctx, viewer, script, session.RunOptions{
+		ThinkTime: *think,
+		OnAccess: func(i int, rec agent.AccessRecord) {
+			fmt.Printf("%-7d %-8s %-12s %-10.4f %-10.4f %-10.4f %-9d\n",
+				i+1, rec.ID, rec.Class, rec.Comm.Seconds(), rec.Decompress.Seconds(),
+				rec.Total.Seconds(), rec.Bytes)
+			if *frames != "" {
+				im, _, err := viewer.Render(script.Moves[i], p.OuterRadius*1.6, *display)
+				if err != nil {
+					log.Printf("lfbrowse: render frame %d: %v", i, err)
+					return
+				}
+				path := filepath.Join(*frames, fmt.Sprintf("frame%03d.png", i))
+				f, err := os.Create(path)
+				if err != nil {
+					log.Printf("lfbrowse: %v", err)
+					return
+				}
+				if err := im.WritePNG(f); err != nil {
+					log.Printf("lfbrowse: encode %s: %v", path, err)
+				}
+				f.Close()
+			}
+		},
+	})
+	if err != nil {
+		log.Fatalf("lfbrowse: session: %v", err)
+	}
+	counts := session.ClassCounts(records)
+	fmt.Printf("\nlfbrowse: %d accesses, classes %v, initial phase %d, agent stats %+v\n",
+		len(records), counts, session.InitialPhaseLength(records), ca.Stats())
+}

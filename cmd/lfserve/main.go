@@ -1,0 +1,119 @@
+// Command lfserve runs the server side of the streaming model: the server
+// agent with its generator, uploading view sets to IBP depots and
+// registering exNodes with a DVS. With -precompute it publishes the whole
+// database up front (the paper's offline path); it always also serves
+// on-demand render requests (the paper's run-time path for close-up
+// zooms).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/dvs"
+	"lonviz/internal/lightfield"
+	"lonviz/internal/volume"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6900", "server agent listen address")
+	depots := flag.String("depots", "", "comma-separated server depot addresses (required)")
+	dvsAddr := flag.String("dvs", "", "DVS address (required)")
+	dataset := flag.String("dataset", "neghip", "dataset name")
+	res := flag.Int("res", 64, "sample view resolution")
+	step := flag.Float64("step", 10, "lattice step in degrees")
+	l := flag.Int("l", 3, "view set side length")
+	volSize := flag.Int("volume", 64, "synthetic volume dimension")
+	procedural := flag.Bool("procedural", false, "procedural generator instead of ray casting")
+	precompute := flag.Bool("precompute", true, "render and publish the full database at startup")
+	storeDir := flag.String("store", "", "serve/cache view sets from this lfgen-compatible directory")
+	replicas := flag.Int("replicas", 1, "replicas per stripe across depots")
+	seed := flag.Int64("seed", 1, "synthetic data seed")
+	flag.Parse()
+
+	if *depots == "" || *dvsAddr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	depotList := strings.Split(*depots, ",")
+	p := lightfield.ScaledParams(*step, *l, *res)
+	if err := p.Validate(); err != nil {
+		log.Fatalf("lfserve: %v", err)
+	}
+
+	var gen lightfield.Generator
+	if *procedural {
+		g, err := lightfield.NewProceduralGenerator(p, *seed)
+		if err != nil {
+			log.Fatalf("lfserve: %v", err)
+		}
+		gen = g
+	} else {
+		vol, err := volume.NegHip(*volSize)
+		if err != nil {
+			log.Fatalf("lfserve: %v", err)
+		}
+		g, err := lightfield.NewRaycastGenerator(p, vol, volume.DefaultNegHipTF())
+		if err != nil {
+			log.Fatalf("lfserve: %v", err)
+		}
+		gen = g
+	}
+
+	if *storeDir != "" {
+		store, err := lightfield.NewDirStore(*storeDir, p)
+		if err != nil {
+			log.Fatalf("lfserve: %v", err)
+		}
+		gen = &lightfield.FallbackGenerator{Store: store, Live: gen}
+		fmt.Printf("lfserve: serving from store %s with live fallback\n", *storeDir)
+	}
+
+	sa, err := agent.NewServerAgent(agent.ServerAgentConfig{
+		Dataset:  *dataset,
+		Gen:      gen,
+		Depots:   depotList,
+		DVS:      &dvs.Client{Addr: *dvsAddr},
+		Replicas: *replicas,
+	})
+	if err != nil {
+		log.Fatalf("lfserve: %v", err)
+	}
+	defer sa.Close()
+	bound, err := sa.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatalf("lfserve: %v", err)
+	}
+	fmt.Printf("lfserve: server agent for %q on %s, %d depots, DVS %s\n",
+		*dataset, bound, len(depotList), *dvsAddr)
+
+	// Register with the DVS so it can forward misses here.
+	dvsClient := &dvs.Client{Addr: *dvsAddr}
+	if err := dvsClient.RegisterAgent(context.Background(), *dataset, bound); err != nil {
+		log.Printf("lfserve: DVS agent registration failed: %v", err)
+	}
+
+	if *precompute {
+		start := time.Now()
+		out, err := sa.PrecomputeAll(context.Background())
+		if err != nil {
+			log.Fatalf("lfserve: precompute: %v", err)
+		}
+		fmt.Printf("lfserve: published %d view sets in %v\n", len(out), time.Since(start).Round(time.Millisecond))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := sa.Stats()
+	fmt.Printf("lfserve: shutting down; rendered %d, uploaded %d (%d bytes), %d DVS updates\n",
+		st.Rendered, st.Uploaded, st.BytesSent, st.DVSUpdates)
+}

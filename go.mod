@@ -1,0 +1,3 @@
+module lonviz
+
+go 1.22

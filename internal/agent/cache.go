@@ -1,0 +1,161 @@
+// Package agent implements the two runtime brokers of the streaming model
+// (paper Figure 3): the server agent, which renders view sets on demand,
+// uploads them to server depots and registers them with the DVS; and the
+// client agent, which serves clients from an LRU cache, prefetches along
+// the quadrant policy, and aggressively prestages the database to a LAN
+// depot with third-party copies.
+package agent
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// LRU is a byte-budget LRU cache from string keys to byte slices. Entries
+// may be pinned to exempt them from eviction (e.g. the client's current
+// view set). It is safe for concurrent use.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type lruEntry struct {
+	key    string
+	val    []byte
+	pinned bool
+}
+
+// NewLRU creates a cache holding at most capacity bytes of values.
+func NewLRU(capacity int64) (*LRU, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("agent: non-positive cache capacity %d", capacity)
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}, nil
+}
+
+// Get returns the cached value and whether it was present, refreshing
+// recency. The returned slice must not be modified by callers.
+func (c *LRU) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Contains reports presence without affecting recency or stats.
+func (c *LRU) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or replaces a value, evicting least-recently-used unpinned
+// entries as needed. Values larger than the whole capacity are rejected.
+func (c *LRU) Put(key string, val []byte) error {
+	if int64(len(val)) > c.capacity {
+		return fmt.Errorf("agent: value of %d bytes exceeds cache capacity %d", len(val), c.capacity)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.used += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&lruEntry{key: key, val: val})
+		c.items[key] = el
+		c.used += int64(len(val))
+	}
+	c.evictLocked()
+	return nil
+}
+
+// evictLocked removes unpinned LRU entries until within budget.
+func (c *LRU) evictLocked() {
+	el := c.ll.Back()
+	for c.used > c.capacity && el != nil {
+		prev := el.Prev()
+		e := el.Value.(*lruEntry)
+		if !e.pinned {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.used -= int64(len(e.val))
+			c.evictions++
+		}
+		el = prev
+	}
+}
+
+// Pin marks a key as non-evictable. Pinning an absent key is a no-op and
+// returns false.
+func (c *LRU) Pin(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	el.Value.(*lruEntry).pinned = true
+	return true
+}
+
+// Unpin clears the pin and re-applies the budget.
+func (c *LRU) Unpin(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).pinned = false
+		c.evictLocked()
+	}
+}
+
+// Remove deletes a key if present.
+func (c *LRU) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.used -= int64(len(e.val))
+	}
+}
+
+// CacheStats is a point-in-time view of cache accounting.
+type CacheStats struct {
+	Capacity, Used          int64
+	Entries                 int
+	Hits, Misses, Evictions int64
+}
+
+// Stats returns current accounting.
+func (c *LRU) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:  c.capacity,
+		Used:      c.used,
+		Entries:   len(c.items),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,582 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lonviz/internal/dvs"
+	"lonviz/internal/exnode"
+	"lonviz/internal/geom"
+	"lonviz/internal/ibp"
+	"lonviz/internal/lightfield"
+	"lonviz/internal/lors"
+)
+
+// AccessClass classifies where a view set request was satisfied from —
+// the categories of the paper's section 4.3 analysis.
+type AccessClass int
+
+const (
+	// AccessHit: served from the client agent's cache (~1e-4 s in Fig 12).
+	AccessHit AccessClass = iota
+	// AccessLANDepot: fetched from the prestaged LAN depot (~1e-2..1e-1 s).
+	AccessLANDepot
+	// AccessWAN: fetched from the server depots across the WAN (~1 s).
+	AccessWAN
+)
+
+// String implements fmt.Stringer.
+func (c AccessClass) String() string {
+	switch c {
+	case AccessHit:
+		return "hit"
+	case AccessLANDepot:
+		return "lan-depot"
+	case AccessWAN:
+		return "wan"
+	default:
+		return fmt.Sprintf("AccessClass(%d)", int(c))
+	}
+}
+
+// AccessReport describes one satisfied view set request.
+type AccessReport struct {
+	ID    lightfield.ViewSetID
+	Class AccessClass
+	// Comm is the communication latency: time until the compressed frame
+	// was in the agent's hands (Figure 12's quantity).
+	Comm time.Duration
+	// Bytes is the compressed frame size.
+	Bytes int
+}
+
+// StageOrder selects how the prestager walks the database.
+type StageOrder int
+
+const (
+	// StageByProximity stages view sets nearest the cursor first, updating
+	// the order as the cursor moves (the paper's policy, Figure 5).
+	StageByProximity StageOrder = iota
+	// StageSequential stages in row-major ID order (ablation baseline).
+	StageSequential
+)
+
+// ClientAgentConfig wires a client agent to the streaming infrastructure.
+type ClientAgentConfig struct {
+	// Dataset and Params describe the database being browsed.
+	Dataset string
+	Params  lightfield.Params
+	// DVS resolves view set identifiers to exNodes.
+	DVS *dvs.Client
+	// Dialer shapes connections to depots/DVS; nil means plain TCP. Routes
+	// determine which depots look like WAN and which like LAN.
+	Dialer ibp.Dialer
+	// CacheBytes is the view set cache budget (compressed frames).
+	CacheBytes int64
+	// ExNodeCacheBytes is the exNode cache budget.
+	ExNodeCacheBytes int64
+	// LANDepots, when set, enables two-stage aggressive prestaging onto
+	// these depots (staged extents stripe round-robin across them, like
+	// the paper's four LAN depots).
+	LANDepots []string
+	// StageLease is the lease for staged copies (default 10m, volatile).
+	StageLease time.Duration
+	// StageOrderPolicy selects staging order (default proximity).
+	StageOrderPolicy StageOrder
+	// SuppressStageOnMiss pauses the prestager while a client-facing WAN
+	// miss is being served (the mitigation discussed in section 4.3).
+	SuppressStageOnMiss bool
+	// RouteMissesThroughDepot implements the paper's other suggested
+	// mitigation: when a view set misses both cache and staged store, the
+	// agent stages it to the LAN depot first (third-party copy) and then
+	// downloads from there, so the WAN transfer is never redundant — the
+	// staged copy remains for future accesses. Requires LANDepots.
+	RouteMissesThroughDepot bool
+	// Prefetch enables quadrant prefetching on cursor movement.
+	Prefetch bool
+	// PrefetchAllNeighbors prefetches the full 8-neighborhood instead of
+	// the quadrant prediction (ablation baseline for Figure 4's policy:
+	// more coverage, ~2.7x the extraneous transfer).
+	PrefetchAllNeighbors bool
+	// Parallelism bounds concurrent depot streams per download (default 4).
+	Parallelism int
+	// StageParallelism is the number of concurrent staging transfers
+	// (default 4) — the aggressiveness of the prestager, which "exploits
+	// every bit of available network bandwidth" while the network is
+	// otherwise vacant.
+	StageParallelism int
+	// Rand seeds replica choices; nil uses a time-seeded source.
+	Rand *rand.Rand
+}
+
+// ClientAgentStats aggregates per-class access counts, including those
+// made on behalf of prefetching.
+type ClientAgentStats struct {
+	Hits, LANFetches, WANFetches int64
+	Prefetches                   int64
+	Staged                       int64
+	StageErrors                  int64
+}
+
+// ClientAgent is the broker between clients and the LoN fabric: it caches
+// view sets and exNodes, prefetches the quadrant neighborhood on cursor
+// movement, and (when a LAN depot is configured) aggressively prestages
+// the whole database by third-party copy in cursor-proximity order.
+type ClientAgent struct {
+	cfg    ClientAgentConfig
+	cache  *LRU // id.String() -> compressed frame
+	excach *LRU // id.String() -> exNode XML
+
+	mu       sync.Mutex
+	cursor   geom.Spherical
+	haveCur  bool
+	staged   map[lightfield.ViewSetID]*exnode.ExNode
+	staging  map[lightfield.ViewSetID]bool // claimed by a staging worker
+	inflight map[lightfield.ViewSetID]chan struct{}
+	wanBusy  int // outstanding client-facing WAN fetches
+	stats    ClientAgentStats
+
+	stageWake chan struct{}
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	stageDone chan struct{}
+}
+
+// NewClientAgent validates the configuration and builds the agent. Call
+// StartPrestaging to launch the aggressive staging stage.
+func NewClientAgent(cfg ClientAgentConfig) (*ClientAgent, error) {
+	if cfg.Dataset == "" {
+		return nil, errors.New("agent: client agent needs a dataset name")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DVS == nil {
+		return nil, errors.New("agent: client agent needs a DVS client")
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.ExNodeCacheBytes <= 0 {
+		cfg.ExNodeCacheBytes = 8 << 20
+	}
+	if cfg.StageLease == 0 {
+		cfg.StageLease = 10 * time.Minute
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 4
+	}
+	if cfg.StageParallelism <= 0 {
+		cfg.StageParallelism = 4
+	}
+	cache, err := NewLRU(cfg.CacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	excach, err := NewLRU(cfg.ExNodeCacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientAgent{
+		cfg:       cfg,
+		cache:     cache,
+		excach:    excach,
+		staged:    make(map[lightfield.ViewSetID]*exnode.ExNode),
+		staging:   make(map[lightfield.ViewSetID]bool),
+		inflight:  make(map[lightfield.ViewSetID]chan struct{}),
+		stageWake: make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+	}, nil
+}
+
+// Close stops background work.
+func (ca *ClientAgent) Close() {
+	ca.stopOnce.Do(func() { close(ca.stopCh) })
+}
+
+// Stats returns a snapshot of agent counters.
+func (ca *ClientAgent) Stats() ClientAgentStats {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.stats
+}
+
+// CacheStats exposes the view set cache accounting.
+func (ca *ClientAgent) CacheStats() CacheStats { return ca.cache.Stats() }
+
+// resolveExNodes returns the exNode replicas for a view set, consulting
+// the exNode cache before the DVS.
+func (ca *ClientAgent) resolveExNodes(ctx context.Context, id lightfield.ViewSetID) ([]*exnode.ExNode, error) {
+	key := id.String()
+	if xml, ok := ca.excach.Get(key); ok {
+		ex, err := exnode.Unmarshal(xml)
+		if err == nil {
+			return []*exnode.ExNode{ex}, nil
+		}
+		ca.excach.Remove(key) // cached garbage: drop and refetch
+	}
+	docs, err := ca.cfg.DVS.Get(ctx, dvs.Key{Dataset: ca.cfg.Dataset, ViewSet: key})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*exnode.ExNode, 0, len(docs))
+	for _, doc := range docs {
+		ex, err := exnode.Unmarshal(doc)
+		if err != nil {
+			continue
+		}
+		out = append(out, ex)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("agent: no valid exNodes for %v", id)
+	}
+	_ = ca.excach.Put(key, mustMarshal(out[0]))
+	return out, nil
+}
+
+func mustMarshal(ex *exnode.ExNode) []byte {
+	data, err := ex.Marshal()
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// GetViewSet returns the compressed frame of a view set, serving from the
+// cache, the LAN depot (if prestaged), or the WAN, in that order.
+func (ca *ClientAgent) GetViewSet(ctx context.Context, id lightfield.ViewSetID) ([]byte, AccessReport, error) {
+	if !ca.cfg.Params.ValidID(id) {
+		return nil, AccessReport{}, fmt.Errorf("agent: view set %v outside database", id)
+	}
+	start := time.Now()
+	rep := AccessReport{ID: id}
+
+	// Collapse duplicate concurrent fetches (e.g. prefetch racing a user
+	// request) into one transfer.
+	for {
+		if frame, ok := ca.cache.Get(id.String()); ok {
+			rep.Class = AccessHit
+			rep.Comm = time.Since(start)
+			rep.Bytes = len(frame)
+			ca.mu.Lock()
+			ca.stats.Hits++
+			ca.mu.Unlock()
+			return frame, rep, nil
+		}
+		ca.mu.Lock()
+		wait, busy := ca.inflight[id]
+		if !busy {
+			done := make(chan struct{})
+			ca.inflight[id] = done
+			ca.mu.Unlock()
+			frame, class, err := ca.fetch(ctx, id)
+			ca.mu.Lock()
+			delete(ca.inflight, id)
+			close(done)
+			ca.mu.Unlock()
+			if err != nil {
+				return nil, rep, err
+			}
+			rep.Class = class
+			rep.Comm = time.Since(start)
+			rep.Bytes = len(frame)
+			return frame, rep, nil
+		}
+		ca.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, rep, ctx.Err()
+		case <-wait:
+			// Loop: the cache should now hold it.
+		}
+	}
+}
+
+// fetch performs the actual transfer: LAN depot first, then WAN.
+func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]byte, AccessClass, error) {
+	ca.mu.Lock()
+	stagedEx := ca.staged[id]
+	ca.mu.Unlock()
+	dl := lors.DownloadOptions{
+		Dialer:      ca.cfg.Dialer,
+		Parallelism: ca.cfg.Parallelism,
+		Rand:        ca.cfg.Rand,
+	}
+	if stagedEx != nil {
+		frame, _, err := lors.Download(ctx, stagedEx, dl)
+		if err == nil {
+			_ = ca.cache.Put(id.String(), frame)
+			ca.mu.Lock()
+			ca.stats.LANFetches++
+			ca.mu.Unlock()
+			return frame, AccessLANDepot, nil
+		}
+		// Staged copy gone (lease expiry/revocation): forget and fall
+		// through to the WAN path.
+		ca.mu.Lock()
+		delete(ca.staged, id)
+		ca.mu.Unlock()
+	}
+
+	ca.mu.Lock()
+	ca.wanBusy++
+	ca.mu.Unlock()
+	defer func() {
+		ca.mu.Lock()
+		ca.wanBusy--
+		ca.mu.Unlock()
+	}()
+	exs, err := ca.resolveExNodes(ctx, id)
+	if err != nil {
+		return nil, AccessWAN, err
+	}
+
+	if ca.cfg.RouteMissesThroughDepot && len(ca.cfg.LANDepots) > 0 {
+		// Stage first, then read locally: the WAN crossing becomes a
+		// third-party copy whose result stays cached on the depot.
+		staged, err := lors.CopyToStriped(ctx, exs[0], ca.cfg.LANDepots, ca.cfg.StageLease, ibp.Volatile, ca.cfg.Dialer)
+		if err == nil {
+			frame, _, err := lors.Download(ctx, staged, dl)
+			if err == nil {
+				ca.mu.Lock()
+				ca.staged[id] = staged
+				ca.stats.Staged++
+				ca.stats.WANFetches++ // the copy crossed the WAN on our behalf
+				ca.mu.Unlock()
+				_ = ca.cache.Put(id.String(), frame)
+				return frame, AccessWAN, nil
+			}
+		}
+		// Routing failed; fall back to the direct path below.
+	}
+
+	var lastErr error
+	for _, ex := range exs {
+		frame, _, err := lors.Download(ctx, ex, dl)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		_ = ca.cache.Put(id.String(), frame)
+		ca.mu.Lock()
+		ca.stats.WANFetches++
+		ca.mu.Unlock()
+		return frame, AccessWAN, nil
+	}
+	return nil, AccessWAN, fmt.Errorf("agent: all exNode replicas failed for %v: %w", id, lastErr)
+}
+
+// OnUserMove tells the agent where the cursor is. It reorders the staging
+// queue and (if enabled) launches quadrant prefetches. Prefetch transfers
+// run asynchronously; errors are counted, not surfaced.
+func (ca *ClientAgent) OnUserMove(sp geom.Spherical) {
+	ca.mu.Lock()
+	ca.cursor = sp
+	ca.haveCur = true
+	ca.mu.Unlock()
+	select {
+	case ca.stageWake <- struct{}{}:
+	default:
+	}
+	if !ca.cfg.Prefetch {
+		return
+	}
+	targets := ca.cfg.Params.QuadrantPrefetch(sp)
+	if ca.cfg.PrefetchAllNeighbors {
+		i, j := ca.cfg.Params.NearestCamera(sp)
+		targets = ca.cfg.Params.Neighbors(ca.cfg.Params.ViewSetOf(i, j))
+	}
+	for _, id := range targets {
+		if ca.cache.Contains(id.String()) {
+			continue
+		}
+		ca.mu.Lock()
+		_, busy := ca.inflight[id]
+		ca.mu.Unlock()
+		if busy {
+			continue
+		}
+		ca.mu.Lock()
+		ca.stats.Prefetches++
+		ca.mu.Unlock()
+		go func(id lightfield.ViewSetID) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			_, _, _ = ca.GetViewSet(ctx, id)
+		}(id)
+	}
+}
+
+// StartPrestaging launches the aggressive staging stage (paper Figure 5):
+// a background loop that third-party-copies every view set onto the LAN
+// depot, ordered by proximity to the cursor and reordered as it moves,
+// until the whole database is local. The returned channel closes when
+// staging completes or ctx/Close stops it.
+func (ca *ClientAgent) StartPrestaging(ctx context.Context) (<-chan struct{}, error) {
+	if len(ca.cfg.LANDepots) == 0 {
+		return nil, errors.New("agent: prestaging needs at least one LAN depot")
+	}
+	ca.mu.Lock()
+	if ca.stageDone != nil {
+		done := ca.stageDone
+		ca.mu.Unlock()
+		return done, nil // already running
+	}
+	done := make(chan struct{})
+	ca.stageDone = done
+	ca.mu.Unlock()
+	go func() {
+		defer close(done)
+		ca.prestageLoop(ctx)
+	}()
+	return done, nil
+}
+
+// nextToStage picks the unstaged view set to copy next under the
+// configured order policy. claim=true atomically marks it as in-progress
+// so concurrent staging workers never duplicate a transfer.
+func (ca *ClientAgent) nextToStage(claim bool) (lightfield.ViewSetID, bool) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	cursor := ca.cursor
+	if !ca.haveCur {
+		cursor = ca.cfg.Params.SetCenterAngles(lightfield.ViewSetID{})
+	}
+	best := lightfield.ViewSetID{}
+	bestDist := math.Inf(1)
+	found := false
+	for _, id := range ca.cfg.Params.AllViewSets() {
+		if _, ok := ca.staged[id]; ok {
+			continue
+		}
+		if ca.staging[id] {
+			continue
+		}
+		if ca.cfg.StageOrderPolicy == StageSequential {
+			best, found = id, true // AllViewSets is row-major
+			break
+		}
+		d := ca.cfg.Params.AngularDistToSet(cursor, id)
+		if d < bestDist {
+			bestDist = d
+			best = id
+			found = true
+		}
+	}
+	if found && claim {
+		ca.staging[best] = true
+	}
+	return best, found
+}
+
+// prestageLoop runs StageParallelism concurrent staging workers until the
+// database is localized or the agent stops.
+func (ca *ClientAgent) prestageLoop(ctx context.Context) {
+	var wg sync.WaitGroup
+	for w := 0; w < ca.cfg.StageParallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ca.stageWorker(ctx)
+		}()
+	}
+	wg.Wait()
+}
+
+func (ca *ClientAgent) stageWorker(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ca.stopCh:
+			return
+		default:
+		}
+		if ca.cfg.SuppressStageOnMiss {
+			ca.mu.Lock()
+			busy := ca.wanBusy > 0
+			ca.mu.Unlock()
+			if busy {
+				select {
+				case <-time.After(time.Millisecond):
+				case <-ctx.Done():
+					return
+				case <-ca.stopCh:
+					return
+				}
+				continue
+			}
+		}
+		id, ok := ca.nextToStage(true)
+		if !ok {
+			return // entire dataset localized or claimed
+		}
+		err := ca.stageOne(ctx, id)
+		ca.mu.Lock()
+		delete(ca.staging, id)
+		if err != nil {
+			ca.stats.StageErrors++
+			// Record a tombstone so the loop terminates; the fetch path
+			// ignores nil entries.
+			ca.staged[id] = nil
+		}
+		ca.mu.Unlock()
+	}
+}
+
+// stageOne copies one view set to the LAN depot via third-party copy.
+func (ca *ClientAgent) stageOne(ctx context.Context, id lightfield.ViewSetID) error {
+	exs, err := ca.resolveExNodes(ctx, id)
+	if err != nil {
+		return err
+	}
+	staged, err := lors.CopyToStriped(ctx, exs[0], ca.cfg.LANDepots, ca.cfg.StageLease, ibp.Volatile, ca.cfg.Dialer)
+	if err != nil {
+		return err
+	}
+	ca.mu.Lock()
+	ca.staged[id] = staged
+	ca.stats.Staged++
+	ca.mu.Unlock()
+	return nil
+}
+
+// StagedCount reports how many view sets are currently staged on the LAN
+// depot (successful copies only).
+func (ca *ClientAgent) StagedCount() int {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	n := 0
+	for _, ex := range ca.staged {
+		if ex != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// IsStaged reports whether a specific view set has been staged.
+func (ca *ClientAgent) IsStaged(id lightfield.ViewSetID) bool {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.staged[id] != nil
+}
+
+// DropCached removes a view set frame from the agent cache. It exists for
+// benchmarks and tests that need to force a specific access class.
+func (ca *ClientAgent) DropCached(id lightfield.ViewSetID) {
+	ca.cache.Remove(id.String())
+}
+
+// DropStaged forgets the staged copy of a view set, forcing the next miss
+// to the WAN. Benchmark/test hook.
+func (ca *ClientAgent) DropStaged(id lightfield.ViewSetID) {
+	ca.mu.Lock()
+	delete(ca.staged, id)
+	ca.mu.Unlock()
+}

@@ -1,0 +1,419 @@
+package agent
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lonviz/internal/codec"
+	"lonviz/internal/dvs"
+	"lonviz/internal/ibp"
+	"lonviz/internal/lightfield"
+	"lonviz/internal/lors"
+)
+
+// ServerAgentConfig wires a server agent to its generator and
+// infrastructure.
+type ServerAgentConfig struct {
+	// Dataset names the database (the DVS key prefix).
+	Dataset string
+	// Gen renders view sets (ray-casting in production, procedural in
+	// experiments).
+	Gen lightfield.Generator
+	// Depots are the server depots that receive uploaded view sets.
+	Depots []string
+	// DVS registers exNodes for uploaded view sets; optional (nil for a
+	// stand-alone agent whose callers keep the exNodes themselves).
+	DVS *dvs.Client
+	// StripeSize, Replicas, Lease configure uploads (see lors.UploadOptions).
+	StripeSize int64
+	Replicas   int
+	Lease      time.Duration
+	// Level is the codec compression level (codec.DefaultCompression if 0;
+	// the paper compresses every view set with zlib before upload).
+	Level int
+	// Dialer shapes connections to depots and the DVS; nil means plain TCP.
+	Dialer ibp.Dialer
+	// Workers is the generator parallelism for PrecomputeAll (0 =
+	// GOMAXPROCS), standing in for the paper's 32-processor cluster.
+	Workers int
+}
+
+// ServerAgent renders view sets on request, compresses them, uploads them
+// to server depots, and registers the exNodes with the DVS. Its scheduler
+// follows the paper: "Working from the entire collection of requests that
+// have been received but not yet rendered, the scheduler chooses the
+// latest request to assign to the generator" — i.e. LIFO, because the most
+// recent request reflects where the user is now.
+type ServerAgent struct {
+	cfg ServerAgentConfig
+
+	mu      sync.Mutex
+	pending []lightfield.ViewSetID // LIFO stack of unrendered requests
+	waiters map[lightfield.ViewSetID][]chan renderResult
+	queued  map[lightfield.ViewSetID]bool
+	stats   ServerAgentStats
+	lis     net.Listener
+	wake    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+}
+
+// ServerAgentStats counts agent activity.
+type ServerAgentStats struct {
+	Requests   int64
+	Rendered   int64
+	Uploaded   int64
+	BytesSent  int64
+	DVSUpdates int64
+}
+
+type renderResult struct {
+	exnodeXML []byte
+	err       error
+}
+
+// NewServerAgent validates the configuration.
+func NewServerAgent(cfg ServerAgentConfig) (*ServerAgent, error) {
+	if cfg.Dataset == "" {
+		return nil, fmt.Errorf("agent: server agent needs a dataset name")
+	}
+	if cfg.Gen == nil {
+		return nil, fmt.Errorf("agent: server agent needs a generator")
+	}
+	if len(cfg.Depots) == 0 {
+		return nil, fmt.Errorf("agent: server agent needs at least one depot")
+	}
+	if cfg.Level == 0 {
+		cfg.Level = codec.DefaultCompression
+	}
+	if cfg.Lease == 0 {
+		cfg.Lease = 10 * time.Minute
+	}
+	sa := &ServerAgent{
+		cfg:     cfg,
+		waiters: make(map[lightfield.ViewSetID][]chan renderResult),
+		queued:  make(map[lightfield.ViewSetID]bool),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go sa.schedulerLoop()
+	return sa, nil
+}
+
+// Close stops the scheduler and listener.
+func (sa *ServerAgent) Close() error {
+	sa.once.Do(func() { close(sa.done) })
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if sa.lis != nil {
+		return sa.lis.Close()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of agent counters.
+func (sa *ServerAgent) Stats() ServerAgentStats {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.stats
+}
+
+// uploadOpts builds the lors options for this agent.
+func (sa *ServerAgent) uploadOpts() lors.UploadOptions {
+	return lors.UploadOptions{
+		Depots:     sa.cfg.Depots,
+		StripeSize: sa.cfg.StripeSize,
+		Replicas:   sa.cfg.Replicas,
+		Lease:      sa.cfg.Lease,
+		Policy:     ibp.Stable,
+		Dialer:     sa.cfg.Dialer,
+	}
+}
+
+// renderAndPublish does the full pipeline for one view set: generate,
+// compress, upload, register. It returns the exNode XML.
+func (sa *ServerAgent) renderAndPublish(ctx context.Context, id lightfield.ViewSetID) ([]byte, error) {
+	p := sa.cfg.Gen.Params()
+	vs, err := sa.cfg.Gen.GenerateViewSet(ctx, id)
+	if err != nil {
+		return nil, fmt.Errorf("agent: generating %v: %w", id, err)
+	}
+	frame, err := lightfield.EncodeViewSet(vs, p, sa.cfg.Level)
+	if err != nil {
+		return nil, fmt.Errorf("agent: encoding %v: %w", id, err)
+	}
+	ex, err := lors.Upload(ctx, id.String(), frame, sa.uploadOpts())
+	if err != nil {
+		return nil, fmt.Errorf("agent: uploading %v: %w", id, err)
+	}
+	xml, err := ex.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if sa.cfg.DVS != nil {
+		key := dvs.Key{Dataset: sa.cfg.Dataset, ViewSet: id.String()}
+		if err := sa.cfg.DVS.Put(ctx, key, xml); err != nil {
+			return nil, fmt.Errorf("agent: DVS update for %v: %w", id, err)
+		}
+		sa.mu.Lock()
+		sa.stats.DVSUpdates++
+		sa.mu.Unlock()
+	}
+	sa.mu.Lock()
+	sa.stats.Rendered++
+	sa.stats.Uploaded++
+	sa.stats.BytesSent += int64(len(frame))
+	sa.mu.Unlock()
+	return xml, nil
+}
+
+// Request enqueues a render request and blocks until the scheduler
+// completes it (LIFO order among outstanding requests).
+func (sa *ServerAgent) Request(ctx context.Context, id lightfield.ViewSetID) ([]byte, error) {
+	if !sa.cfg.Gen.Params().ValidID(id) {
+		return nil, fmt.Errorf("agent: view set %v outside database", id)
+	}
+	ch := make(chan renderResult, 1)
+	sa.mu.Lock()
+	sa.stats.Requests++
+	sa.waiters[id] = append(sa.waiters[id], ch)
+	if !sa.queued[id] {
+		sa.queued[id] = true
+		sa.pending = append(sa.pending, id) // top of stack = latest
+	}
+	sa.mu.Unlock()
+	select {
+	case sa.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case r := <-ch:
+		return r.exnodeXML, r.err
+	}
+}
+
+// schedulerLoop is the single generator worker, always taking the most
+// recently requested view set first.
+func (sa *ServerAgent) schedulerLoop() {
+	for {
+		select {
+		case <-sa.done:
+			return
+		case <-sa.wake:
+		}
+		for {
+			sa.mu.Lock()
+			if len(sa.pending) == 0 {
+				sa.mu.Unlock()
+				break
+			}
+			id := sa.pending[len(sa.pending)-1] // latest request
+			sa.pending = sa.pending[:len(sa.pending)-1]
+			delete(sa.queued, id)
+			sa.mu.Unlock()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			xml, err := sa.renderAndPublish(ctx, id)
+			cancel()
+
+			sa.mu.Lock()
+			ws := sa.waiters[id]
+			delete(sa.waiters, id)
+			sa.mu.Unlock()
+			for _, ch := range ws {
+				ch <- renderResult{exnodeXML: xml, err: err}
+			}
+		}
+	}
+}
+
+// PrecomputeAll renders, compresses, uploads and registers the entire
+// database — the paper's offline generation path. It returns the exNode
+// XML per view set.
+func (sa *ServerAgent) PrecomputeAll(ctx context.Context) (map[lightfield.ViewSetID][]byte, error) {
+	p := sa.cfg.Gen.Params()
+	out := make(map[lightfield.ViewSetID][]byte, p.NumViewSets())
+	var outMu sync.Mutex
+	ids := p.AllViewSets()
+	workers := sa.cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	errs := make([]error, len(ids))
+	for i, id := range ids {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, id lightfield.ViewSetID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			xml, err := sa.renderAndPublish(ctx, id)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outMu.Lock()
+			out[id] = xml
+			outMu.Unlock()
+		}(i, id)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- server agent wire protocol ---
+//
+//	RENDER <dataset> <viewset> -> OK <len>\n<exnode xml> | ERR <msg>
+
+// ListenAndServe exposes the agent's render service on addr (the paper's
+// "server monitor ... interface for all such run-time queries").
+func (sa *ServerAgent) ListenAndServe(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	sa.mu.Lock()
+	sa.lis = l
+	sa.mu.Unlock()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go sa.handleConn(c)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+func (sa *ServerAgent) handleConn(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil || len(line) > 1024 {
+			return
+		}
+		f := strings.Fields(strings.TrimSpace(line))
+		if len(f) != 3 || f[0] != "RENDER" || f[1] != sa.cfg.Dataset {
+			fmt.Fprintf(bw, "ERR bad request\n")
+			bw.Flush()
+			return
+		}
+		id, err := ParseViewSetKey(f[2])
+		if err != nil {
+			fmt.Fprintf(bw, "ERR %s\n", err)
+			bw.Flush()
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		xml, err := sa.Request(ctx, id)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(bw, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		} else {
+			fmt.Fprintf(bw, "OK %d\n", len(xml))
+			bw.Write(xml)
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// RequestRemote asks a remote server agent (by address) to render a view
+// set, returning the exNode XML. It is also the standard dvs.GenerateFunc
+// implementation.
+func RequestRemote(ctx context.Context, dialer ibp.Dialer, agentAddr, dataset, viewSetKey string) ([]byte, error) {
+	d := dialer
+	if d == nil {
+		d = ibp.NetDialer{}
+	}
+	conn, err := d.Dial(agentAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	} else {
+		_ = conn.SetDeadline(time.Now().Add(5 * time.Minute))
+	}
+	fmt.Fprintf(conn, "RENDER %s %s\n", dataset, viewSetKey)
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("agent: reading render response: %w", err)
+	}
+	f := strings.Fields(strings.TrimSpace(line))
+	if len(f) >= 1 && f[0] == "ERR" {
+		return nil, fmt.Errorf("agent: remote render: %s", strings.Join(f[1:], " "))
+	}
+	if len(f) != 2 || f[0] != "OK" {
+		return nil, fmt.Errorf("agent: bad render response %q", line)
+	}
+	n, err := strconv.Atoi(f[1])
+	if err != nil || n <= 0 || n > 4<<20 {
+		return nil, fmt.Errorf("agent: bad render response length")
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// GenerateFunc adapts RequestRemote to the dvs.GenerateFunc signature.
+func GenerateFunc(dialer ibp.Dialer) dvs.GenerateFunc {
+	return func(ctx context.Context, agentAddr string, key dvs.Key) ([]byte, error) {
+		return RequestRemote(ctx, dialer, agentAddr, key.Dataset, key.ViewSet)
+	}
+}
+
+// ParseViewSetKey parses the "rRRcCC" form produced by ViewSetID.String.
+// Only non-negative decimal digits are accepted and no trailing bytes are
+// allowed.
+func ParseViewSetKey(s string) (lightfield.ViewSetID, error) {
+	bad := func() (lightfield.ViewSetID, error) {
+		return lightfield.ViewSetID{}, fmt.Errorf("agent: bad view set key %q", s)
+	}
+	if len(s) < 4 || s[0] != 'r' {
+		return bad()
+	}
+	ci := strings.IndexByte(s, 'c')
+	if ci < 2 || ci == len(s)-1 {
+		return bad()
+	}
+	r, err := strconv.Atoi(s[1:ci])
+	if err != nil || r < 0 || s[1] == '+' || s[1] == '-' {
+		return bad()
+	}
+	c, err := strconv.Atoi(s[ci+1:])
+	if err != nil || c < 0 || s[ci+1] == '+' || s[ci+1] == '-' {
+		return bad()
+	}
+	return lightfield.ViewSetID{R: r, C: c}, nil
+}

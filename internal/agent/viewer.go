@@ -1,0 +1,170 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"lonviz/internal/geom"
+	"lonviz/internal/lightfield"
+	"lonviz/internal/render"
+)
+
+// ViewSetSource is what a Viewer needs from its client agent: the
+// in-process *ClientAgent implements it, and so does the remote TCP proxy.
+type ViewSetSource interface {
+	GetViewSet(ctx context.Context, id lightfield.ViewSetID) ([]byte, AccessReport, error)
+	OnUserMove(sp geom.Spherical)
+}
+
+// AccessRecord is the client-side view of one view set access — the
+// quantity plotted in Figures 8-12: Comm is the communication latency
+// (Figure 12), Decompress the zlib inflation time (Figure 8), and Total
+// the latency observed at the client (Figures 9-11).
+type AccessRecord struct {
+	ID         lightfield.ViewSetID
+	Class      AccessClass
+	Comm       time.Duration
+	Decompress time.Duration
+	Total      time.Duration
+	Bytes      int
+}
+
+// Viewer is the client process (paper section 3.5): it takes user input,
+// asks the client agent for the view set covering the current view angle,
+// decompresses it, and renders novel views by pure table lookup. It keeps
+// a small decoded-view-set cache — the paper notes low-resolution devices
+// need none, while workstations want "some level of local caching".
+type Viewer struct {
+	P      lightfield.Params
+	Source ViewSetSource
+	// MaxDecoded bounds the decoded view set cache (default 4; 1 models a
+	// PDA holding only the current view set).
+	MaxDecoded int
+
+	mu      sync.Mutex
+	decoded map[lightfield.ViewSetID]*lightfield.ViewSet
+	order   []lightfield.ViewSetID // FIFO for eviction
+	current lightfield.ViewSetID
+	records []AccessRecord
+}
+
+// NewViewer validates params and builds a viewer.
+func NewViewer(p lightfield.Params, src ViewSetSource) (*Viewer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("agent: viewer needs a view set source")
+	}
+	return &Viewer{P: p, Source: src, MaxDecoded: 4, decoded: make(map[lightfield.ViewSetID]*lightfield.ViewSet)}, nil
+}
+
+// MoveTo processes one cursor movement: it informs the agent (driving
+// prefetch and staging order), and if the new view angle leaves the
+// current view set, requests and decompresses the needed one. The returned
+// record reflects what the user experienced; moves within the already
+// decoded view set return a zero-latency record with Class AccessHit.
+func (v *Viewer) MoveTo(ctx context.Context, sp geom.Spherical) (AccessRecord, error) {
+	v.Source.OnUserMove(sp)
+	i, j := v.P.NearestCamera(sp)
+	id := v.P.ViewSetOf(i, j)
+
+	v.mu.Lock()
+	_, have := v.decoded[id]
+	v.mu.Unlock()
+	if have {
+		rec := AccessRecord{ID: id, Class: AccessHit}
+		v.mu.Lock()
+		v.current = id
+		v.records = append(v.records, rec)
+		v.mu.Unlock()
+		return rec, nil
+	}
+
+	start := time.Now()
+	frame, rep, err := v.Source.GetViewSet(ctx, id)
+	if err != nil {
+		return AccessRecord{}, err
+	}
+	dstart := time.Now()
+	vs, err := lightfield.DecodeViewSet(frame, v.P)
+	if err != nil {
+		return AccessRecord{}, fmt.Errorf("agent: decoding view set %v: %w", id, err)
+	}
+	dElapsed := time.Since(dstart)
+	rec := AccessRecord{
+		ID:         id,
+		Class:      rep.Class,
+		Comm:       rep.Comm,
+		Decompress: dElapsed,
+		Total:      time.Since(start),
+		Bytes:      rep.Bytes,
+	}
+	v.mu.Lock()
+	v.insertDecoded(id, vs)
+	v.current = id
+	v.records = append(v.records, rec)
+	v.mu.Unlock()
+	return rec, nil
+}
+
+// insertDecoded adds to the decoded cache with FIFO eviction; caller holds
+// the lock.
+func (v *Viewer) insertDecoded(id lightfield.ViewSetID, vs *lightfield.ViewSet) {
+	maxN := v.MaxDecoded
+	if maxN <= 0 {
+		maxN = 1
+	}
+	if _, ok := v.decoded[id]; !ok {
+		v.order = append(v.order, id)
+	}
+	v.decoded[id] = vs
+	for len(v.order) > maxN {
+		old := v.order[0]
+		v.order = v.order[1:]
+		if old != id {
+			delete(v.decoded, old)
+		}
+	}
+}
+
+// ViewSet implements lightfield.Provider over the decoded cache, so the
+// viewer itself is the renderer's data source.
+func (v *Viewer) ViewSet(id lightfield.ViewSetID) (*lightfield.ViewSet, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vs, ok := v.decoded[id]
+	return vs, ok
+}
+
+// Render reconstructs the novel view from direction sp at the given
+// display resolution using whatever view sets are decoded locally.
+func (v *Viewer) Render(sp geom.Spherical, dist float64, res int) (*render.Image, lightfield.RenderStats, error) {
+	r, err := lightfield.NewRenderer(v.P, v)
+	if err != nil {
+		return nil, lightfield.RenderStats{}, err
+	}
+	cam, err := v.P.ViewerCamera(sp, dist, res)
+	if err != nil {
+		return nil, lightfield.RenderStats{}, err
+	}
+	return r.RenderView(cam)
+}
+
+// Records returns a copy of all access records so far, in order.
+func (v *Viewer) Records() []AccessRecord {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]AccessRecord, len(v.records))
+	copy(out, v.records)
+	return out
+}
+
+// Current returns the view set the viewer considers current.
+func (v *Viewer) Current() lightfield.ViewSetID {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.current
+}

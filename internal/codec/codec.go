@@ -1,0 +1,117 @@
+// Package codec implements the lossless compression framing used for view
+// sets on the wire and in depot storage. The paper compresses each view set
+// with zlib (its reference [1]); we add a small frame around the zlib
+// stream carrying the uncompressed length and a CRC-32 so corruption
+// surfaces as an error rather than garbage pixels.
+//
+// Frame layout: magic "LVZ1", uint8 level, uint32 origLen, uint32 crc32
+// (IEEE, of the uncompressed data), then the raw zlib stream.
+package codec
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+var frameMagic = []byte("LVZ1")
+
+const headerLen = 4 + 1 + 4 + 4
+
+// Compression levels re-exported so callers do not import compress/zlib.
+const (
+	BestSpeed          = zlib.BestSpeed
+	DefaultCompression = zlib.DefaultCompression
+	BestCompression    = zlib.BestCompression
+)
+
+// ErrCorrupt is returned when a frame fails structural or checksum
+// validation.
+var ErrCorrupt = errors.New("codec: corrupt frame")
+
+// Compress frames and zlib-compresses data at the given level (use
+// DefaultCompression when unsure).
+func Compress(data []byte, level int) ([]byte, error) {
+	if level != DefaultCompression && (level < zlib.NoCompression || level > zlib.BestCompression) {
+		return nil, fmt.Errorf("codec: invalid compression level %d", level)
+	}
+	var buf bytes.Buffer
+	buf.Grow(headerLen + len(data)/4)
+	buf.Write(frameMagic)
+	lvl := byte(level & 0xff)
+	buf.WriteByte(lvl)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(data)))
+	buf.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(data))
+	buf.Write(u32[:])
+	zw, err := zlib.NewWriterLevel(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress validates and decodes a frame produced by Compress.
+func Decompress(frame []byte) ([]byte, error) {
+	if len(frame) < headerLen {
+		return nil, fmt.Errorf("%w: frame shorter than header", ErrCorrupt)
+	}
+	if !bytes.Equal(frame[:4], frameMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	origLen := binary.LittleEndian.Uint32(frame[5:9])
+	wantCRC := binary.LittleEndian.Uint32(frame[9:13])
+	zr, err := zlib.NewReader(bytes.NewReader(frame[headerLen:]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	defer zr.Close()
+	out := make([]byte, 0, origLen)
+	outBuf := bytes.NewBuffer(out)
+	// Limit reads to origLen+1 so a lying header cannot balloon memory.
+	n, err := io.Copy(outBuf, io.LimitReader(zr, int64(origLen)+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if n != int64(origLen) {
+		return nil, fmt.Errorf("%w: length %d, header says %d", ErrCorrupt, n, origLen)
+	}
+	data := outBuf.Bytes()
+	if crc32.ChecksumIEEE(data) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return data, nil
+}
+
+// Ratio returns the compression ratio (uncompressed/compressed) of a frame
+// without decompressing it. Returns an error for malformed frames.
+func Ratio(frame []byte) (float64, error) {
+	if len(frame) < headerLen || !bytes.Equal(frame[:4], frameMagic) {
+		return 0, ErrCorrupt
+	}
+	origLen := binary.LittleEndian.Uint32(frame[5:9])
+	if len(frame) == 0 {
+		return 0, ErrCorrupt
+	}
+	return float64(origLen) / float64(len(frame)), nil
+}
+
+// UncompressedLen returns the original payload length recorded in a frame
+// header.
+func UncompressedLen(frame []byte) (int, error) {
+	if len(frame) < headerLen || !bytes.Equal(frame[:4], frameMagic) {
+		return 0, ErrCorrupt
+	}
+	return int(binary.LittleEndian.Uint32(frame[5:9])), nil
+}

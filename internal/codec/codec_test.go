@@ -1,0 +1,142 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	data := []byte("hello hello hello light field view set payload payload")
+	for _, level := range []int{BestSpeed, DefaultCompression, BestCompression} {
+		frame, err := Compress(data, level)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		got, err := Decompress(frame)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("level %d: round trip mismatch", level)
+		}
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	frame, err := Compress(nil, DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d bytes", len(got))
+	}
+}
+
+func TestInvalidLevel(t *testing.T) {
+	if _, err := Compress([]byte("x"), 42); err == nil {
+		t.Error("expected error for invalid level")
+	}
+}
+
+func TestCompressibleDataShrinks(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 4096)
+	frame, err := Compress(data, DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) >= len(data)/4 {
+		t.Errorf("repetitive data compressed to %d of %d", len(frame), len(data))
+	}
+	r, err := Ratio(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 4 {
+		t.Errorf("Ratio = %v", r)
+	}
+	n, err := UncompressedLen(frame)
+	if err != nil || n != len(data) {
+		t.Errorf("UncompressedLen = %d, %v", n, err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	data := make([]byte, 4096)
+	rng := rand.New(rand.NewSource(8))
+	rng.Read(data)
+	frame, err := Compress(data, DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func([]byte) []byte{
+		"truncated header": func(f []byte) []byte { return f[:5] },
+		"bad magic":        func(f []byte) []byte { f[0] = 'X'; return f },
+		"length lie": func(f []byte) []byte {
+			f[5] ^= 0xff
+			return f
+		},
+		"crc flip": func(f []byte) []byte {
+			f[9] ^= 0x01
+			return f
+		},
+		"body corruption": func(f []byte) []byte {
+			f[len(f)/2] ^= 0x40
+			return f
+		},
+		"truncated body": func(f []byte) []byte { return f[:len(f)-10] },
+	}
+	for name, mutate := range cases {
+		cp := append([]byte{}, frame...)
+		if _, err := Decompress(mutate(cp)); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v is not ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestRatioAndLenRejectGarbage(t *testing.T) {
+	if _, err := Ratio([]byte("junk")); err == nil {
+		t.Error("Ratio accepted junk")
+	}
+	if _, err := UncompressedLen([]byte{1, 2}); err == nil {
+		t.Error("UncompressedLen accepted junk")
+	}
+}
+
+// Property: round trip is identity for arbitrary payloads at every level.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(data []byte, pick uint8) bool {
+		levels := []int{BestSpeed, DefaultCompression, BestCompression}
+		level := levels[int(pick)%len(levels)]
+		frame, err := Compress(data, level)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(frame)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decompressing random noise never succeeds silently with wrong
+// content — it either errors or (astronomically unlikely) round-trips.
+func TestDecompressNoiseQuick(t *testing.T) {
+	f := func(noise []byte) bool {
+		_, err := Decompress(noise)
+		return err != nil || len(noise) >= headerLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,428 @@
+// Package dvs implements the Dictionary of View Sets (paper section 3.6):
+// the DNS-like lookup service mapping view set identifiers to the exNodes
+// of their replicas. A DVS server maintains two tables — the exNode table
+// and the server-agent table. Servers form a hierarchy: a query that
+// misses locally is forwarded to the parent recursively, and a hit on any
+// level is cached on the way back down (like DNS resolution). When the
+// whole hierarchy misses, the view set has not been computed yet; the DVS
+// consults its server-agent table and forwards the request to the right
+// server agent for on-demand generation, then records the returned exNode.
+package dvs
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Key identifies a view set within a dataset.
+type Key struct {
+	Dataset string
+	ViewSet string
+}
+
+func (k Key) String() string { return k.Dataset + "/" + k.ViewSet }
+
+// ErrMiss is returned when no exNode is known and no server agent can
+// produce one.
+var ErrMiss = errors.New("dvs: view set not found")
+
+// ErrProto reports a malformed request or response.
+var ErrProto = errors.New("dvs: protocol error")
+
+const (
+	maxLine  = 2048
+	maxEntry = 4 << 20 // one exNode XML document
+)
+
+// Dialer abstracts connection establishment (netsim-compatible).
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+type netDialer struct{}
+
+func (netDialer) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// GenerateFunc asks a server agent to render and upload a view set,
+// returning the exNode XML for the freshly uploaded data. The agent
+// package provides the standard implementation; keeping it a function
+// avoids a dependency cycle.
+type GenerateFunc func(ctx context.Context, agentAddr string, key Key) ([]byte, error)
+
+// Server is one level of the DVS hierarchy.
+type Server struct {
+	// Parent is the next level up (empty for the root).
+	Parent string
+	// Dialer shapes connections to the parent; nil means plain TCP.
+	Dialer Dialer
+	// Generate, when set, lets this server forward misses to a registered
+	// server agent for on-demand generation. Typically only the root level
+	// sets it.
+	Generate GenerateFunc
+	// Timeout bounds upstream queries (default 30s).
+	Timeout time.Duration
+
+	mu      sync.Mutex
+	exnodes map[Key][][]byte  // exNode table: replicas' XML documents
+	agents  map[string]string // server agent table: dataset -> agent addr
+	lis     net.Listener
+	closed  bool
+}
+
+// NewServer creates an empty DVS level.
+func NewServer(parent string) *Server {
+	return &Server{
+		Parent:  parent,
+		exnodes: make(map[Key][][]byte),
+		agents:  make(map[string]string),
+	}
+}
+
+// Put records an exNode replica for key (appending to existing replicas).
+func (s *Server) Put(key Key, exnodeXML []byte) error {
+	if key.Dataset == "" || key.ViewSet == "" {
+		return fmt.Errorf("dvs: empty key %+v", key)
+	}
+	if len(exnodeXML) == 0 || len(exnodeXML) > maxEntry {
+		return fmt.Errorf("dvs: exnode size %d out of range", len(exnodeXML))
+	}
+	cp := append([]byte{}, exnodeXML...)
+	s.mu.Lock()
+	s.exnodes[key] = append(s.exnodes[key], cp)
+	s.mu.Unlock()
+	return nil
+}
+
+// RegisterAgent records the server agent responsible for dataset.
+func (s *Server) RegisterAgent(dataset, agentAddr string) error {
+	if dataset == "" || agentAddr == "" {
+		return fmt.Errorf("dvs: empty agent registration")
+	}
+	s.mu.Lock()
+	s.agents[dataset] = agentAddr
+	s.mu.Unlock()
+	return nil
+}
+
+// AgentFor returns the registered server agent for dataset.
+func (s *Server) AgentFor(dataset string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.agents[dataset]
+	return a, ok
+}
+
+// lookupLocal returns local replicas for key.
+func (s *Server) lookupLocal(key Key) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reps := s.exnodes[key]
+	out := make([][]byte, len(reps))
+	copy(out, reps)
+	return out
+}
+
+// Resolve answers a query at this level: local table first, then the
+// parent hierarchy (caching the answer), then on-demand generation via the
+// server-agent table.
+func (s *Server) Resolve(ctx context.Context, key Key) ([][]byte, error) {
+	if reps := s.lookupLocal(key); len(reps) > 0 {
+		return reps, nil
+	}
+	if s.Parent != "" {
+		cl := &Client{Addr: s.Parent, Dialer: s.Dialer, Timeout: s.Timeout}
+		reps, err := cl.Get(ctx, key)
+		if err == nil && len(reps) > 0 {
+			// Cache on the way down, DNS style.
+			s.mu.Lock()
+			if len(s.exnodes[key]) == 0 {
+				s.exnodes[key] = reps
+			}
+			s.mu.Unlock()
+			return reps, nil
+		}
+		if err != nil && !errors.Is(err, ErrMiss) {
+			return nil, err
+		}
+	}
+	// Whole hierarchy missed: the view set has not been computed.
+	agentAddr, ok := s.AgentFor(key.Dataset)
+	if !ok || s.Generate == nil {
+		return nil, fmt.Errorf("%w: %s", ErrMiss, key)
+	}
+	xml, err := s.Generate(ctx, agentAddr, key)
+	if err != nil {
+		return nil, fmt.Errorf("dvs: on-demand generation of %s: %w", key, err)
+	}
+	if err := s.Put(key, xml); err != nil {
+		return nil, err
+	}
+	return [][]byte{xml}, nil
+}
+
+// --- wire protocol ---
+//
+//	GET <dataset> <viewset>            -> OK <n> then n x (<len>\n<xml>) | MISS
+//	PUT <dataset> <viewset> <len>\n<xml> -> OK
+//	REGAGENT <dataset> <addr>          -> OK
+//	AGENT <dataset>                    -> OK <addr> | MISS
+
+// ListenAndServe starts the DVS on addr and returns the bound address.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.lis = l
+	s.mu.Unlock()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go s.handle(c)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.lis != nil {
+		return s.lis.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 64*1024)
+	bw := bufio.NewWriterSize(c, 64*1024)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil || len(line) > maxLine {
+			return
+		}
+		if !s.dispatch(br, bw, strings.Fields(strings.TrimSpace(line))) {
+			bw.Flush()
+			return
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(br *bufio.Reader, bw *bufio.Writer, f []string) bool {
+	switch {
+	case len(f) == 3 && f[0] == "GET":
+		// Queries may recurse upstream; bound them.
+		timeout := s.Timeout
+		if timeout == 0 {
+			timeout = 30 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		reps, err := s.Resolve(ctx, Key{Dataset: f[1], ViewSet: f[2]})
+		cancel()
+		switch {
+		case errors.Is(err, ErrMiss):
+			fmt.Fprintf(bw, "MISS\n")
+		case err != nil:
+			fmt.Fprintf(bw, "ERR %s\n", oneLine(err.Error()))
+		default:
+			fmt.Fprintf(bw, "OK %d\n", len(reps))
+			for _, r := range reps {
+				fmt.Fprintf(bw, "%d\n", len(r))
+				bw.Write(r)
+			}
+		}
+		return true
+	case len(f) == 4 && f[0] == "PUT":
+		n, err := strconv.Atoi(f[3])
+		if err != nil || n <= 0 || n > maxEntry {
+			fmt.Fprintf(bw, "ERR bad length\n")
+			return false
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return false
+		}
+		if err := s.Put(Key{Dataset: f[1], ViewSet: f[2]}, body); err != nil {
+			fmt.Fprintf(bw, "ERR %s\n", oneLine(err.Error()))
+			return true
+		}
+		fmt.Fprintf(bw, "OK\n")
+		return true
+	case len(f) == 3 && f[0] == "REGAGENT":
+		if err := s.RegisterAgent(f[1], f[2]); err != nil {
+			fmt.Fprintf(bw, "ERR %s\n", oneLine(err.Error()))
+			return true
+		}
+		fmt.Fprintf(bw, "OK\n")
+		return true
+	case len(f) == 2 && f[0] == "AGENT":
+		if addr, ok := s.AgentFor(f[1]); ok {
+			fmt.Fprintf(bw, "OK %s\n", addr)
+		} else {
+			fmt.Fprintf(bw, "MISS\n")
+		}
+		return true
+	default:
+		fmt.Fprintf(bw, "ERR bad request\n")
+		return false
+	}
+}
+
+func oneLine(s string) string { return strings.ReplaceAll(s, "\n", " ") }
+
+// Client queries a DVS server.
+type Client struct {
+	Addr    string
+	Dialer  Dialer
+	Timeout time.Duration
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	d := c.Dialer
+	if d == nil {
+		d = netDialer{}
+	}
+	conn, err := d.Dial(c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	return conn, nil
+}
+
+// Get fetches all known exNode replicas for key. A pure miss returns
+// ErrMiss.
+func (c *Client) Get(ctx context.Context, key Key) ([][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	fmt.Fprintf(conn, "GET %s %s\n", key.Dataset, key.ViewSet)
+	br := bufio.NewReaderSize(conn, 64*1024)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProto, err)
+	}
+	f := strings.Fields(strings.TrimSpace(line))
+	switch {
+	case len(f) >= 1 && f[0] == "MISS":
+		return nil, fmt.Errorf("%w: %s", ErrMiss, key)
+	case len(f) >= 1 && f[0] == "ERR":
+		return nil, fmt.Errorf("dvs: remote: %s", strings.Join(f[1:], " "))
+	case len(f) == 2 && f[0] == "OK":
+		n, err := strconv.Atoi(f[1])
+		if err != nil || n < 0 || n > 1024 {
+			return nil, fmt.Errorf("%w: bad replica count", ErrProto)
+		}
+		out := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			szLine, err := br.ReadString('\n')
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrProto, err)
+			}
+			sz, err := strconv.Atoi(strings.TrimSpace(szLine))
+			if err != nil || sz <= 0 || sz > maxEntry {
+				return nil, fmt.Errorf("%w: bad entry size", ErrProto)
+			}
+			body := make([]byte, sz)
+			if _, err := io.ReadFull(br, body); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrProto, err)
+			}
+			out = append(out, body)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: response %q", ErrProto, line)
+	}
+}
+
+// Put registers an exNode replica for key.
+func (c *Client) Put(ctx context.Context, key Key, exnodeXML []byte) error {
+	conn, err := c.dial()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	fmt.Fprintf(conn, "PUT %s %s %d\n", key.Dataset, key.ViewSet, len(exnodeXML))
+	if _, err := conn.Write(exnodeXML); err != nil {
+		return err
+	}
+	return expectOK(conn)
+}
+
+// RegisterAgent records the server agent for a dataset.
+func (c *Client) RegisterAgent(ctx context.Context, dataset, agentAddr string) error {
+	conn, err := c.dial()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "REGAGENT %s %s\n", dataset, agentAddr)
+	return expectOK(conn)
+}
+
+// AgentFor queries the server-agent table.
+func (c *Client) AgentFor(ctx context.Context, dataset string) (string, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "AGENT %s\n", dataset)
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrProto, err)
+	}
+	f := strings.Fields(strings.TrimSpace(line))
+	if len(f) == 2 && f[0] == "OK" {
+		return f[1], nil
+	}
+	if len(f) >= 1 && f[0] == "MISS" {
+		return "", ErrMiss
+	}
+	return "", fmt.Errorf("%w: response %q", ErrProto, line)
+}
+
+func expectOK(conn net.Conn) error {
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrProto, err)
+	}
+	line = strings.TrimSpace(line)
+	if line != "OK" && !strings.HasPrefix(line, "OK ") {
+		return fmt.Errorf("dvs: remote: %s", line)
+	}
+	return nil
+}

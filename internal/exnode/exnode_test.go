@@ -1,0 +1,186 @@
+package exnode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleExNode() *ExNode {
+	return &ExNode{
+		Name:   "r03c11",
+		Length: 300,
+		Extents: []Extent{
+			{Offset: 0, Length: 100, Replicas: []Replica{
+				{Depot: "ca1:6714", ReadCap: "aaa", ManageCap: "mmm"},
+				{Depot: "ca2:6714", ReadCap: "bbb", AllocOffset: 64},
+			}},
+			{Offset: 100, Length: 100, Replicas: []Replica{
+				{Depot: "ca2:6714", ReadCap: "ccc"},
+			}},
+			{Offset: 200, Length: 100, Replicas: []Replica{
+				{Depot: "ca3:6714", ReadCap: "ddd"},
+			}},
+		},
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	if err := sampleExNode().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := &ExNode{Name: "empty", Length: 0}
+	if err := empty.Validate(); err != nil {
+		t.Errorf("empty exnode: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ExNode)
+	}{
+		{"negative length", func(e *ExNode) { e.Length = -1 }},
+		{"gap", func(e *ExNode) { e.Extents[1].Offset = 150 }},
+		{"overlap", func(e *ExNode) { e.Extents[1].Offset = 50 }},
+		{"short coverage", func(e *ExNode) { e.Length = 400 }},
+		{"zero-length extent", func(e *ExNode) { e.Extents[0].Length = 0; e.Extents[0].Offset = 0 }},
+		{"no replicas", func(e *ExNode) { e.Extents[2].Replicas = nil }},
+		{"missing depot", func(e *ExNode) { e.Extents[0].Replicas[0].Depot = "" }},
+		{"missing read cap", func(e *ExNode) { e.Extents[0].Replicas[1].ReadCap = "" }},
+		{"negative alloc offset", func(e *ExNode) { e.Extents[0].Replicas[0].AllocOffset = -3 }},
+		{"zero length with extents", func(e *ExNode) { e.Length = 0 }},
+	}
+	for _, tc := range cases {
+		e := sampleExNode()
+		tc.mutate(e)
+		if err := e.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestValidateUnsortedExtentsOK(t *testing.T) {
+	e := sampleExNode()
+	e.Extents[0], e.Extents[2] = e.Extents[2], e.Extents[0]
+	if err := e.Validate(); err != nil {
+		t.Errorf("unsorted but tiling extents rejected: %v", err)
+	}
+	sorted := e.SortedExtents()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Offset < sorted[i-1].Offset {
+			t.Fatal("SortedExtents not sorted")
+		}
+	}
+	// Original slice order unchanged.
+	if e.Extents[0].Offset != 200 {
+		t.Error("SortedExtents mutated the exNode")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	e := sampleExNode()
+	e.Checksum = "crc32:deadbeef"
+	data, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("<exnode")) || !bytes.Contains(data, []byte("replica")) {
+		t.Errorf("XML missing expected elements:\n%s", data)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != e.Name || got.Length != e.Length || got.Checksum != e.Checksum {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Extents) != 3 {
+		t.Fatalf("extents = %d", len(got.Extents))
+	}
+	if got.Extents[0].Replicas[1].AllocOffset != 64 {
+		t.Error("alloc offset lost in round trip")
+	}
+	if got.Extents[0].Replicas[0].ManageCap != "mmm" {
+		t.Error("manage cap lost in round trip")
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := Unmarshal([]byte("<not-xml")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Well-formed XML that fails validation.
+	bad := `<exnode name="x" length="10"></exnode>`
+	if _, err := Unmarshal([]byte(bad)); err == nil {
+		t.Error("uncovered exnode accepted")
+	}
+}
+
+func TestReadStream(t *testing.T) {
+	data, _ := sampleExNode().Marshal()
+	got, err := Read(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "r03c11" {
+		t.Errorf("Name = %q", got.Name)
+	}
+}
+
+func TestDepotsAndReplicationFactor(t *testing.T) {
+	e := sampleExNode()
+	depots := e.Depots()
+	want := []string{"ca1:6714", "ca2:6714", "ca3:6714"}
+	if len(depots) != len(want) {
+		t.Fatalf("depots = %v", depots)
+	}
+	for i := range want {
+		if depots[i] != want[i] {
+			t.Errorf("depots[%d] = %q", i, depots[i])
+		}
+	}
+	if rf := e.ReplicationFactor(); rf != 1 {
+		t.Errorf("replication factor = %d, want 1 (min across extents)", rf)
+	}
+	if rf := (&ExNode{}).ReplicationFactor(); rf != 0 {
+		t.Errorf("empty replication factor = %d", rf)
+	}
+}
+
+// Property: any exNode built as a clean striping (contiguous equal stripes,
+// k replicas) validates and round-trips through XML.
+func TestStripedExNodeQuick(t *testing.T) {
+	f := func(stripesRaw, repsRaw, stripeLenRaw uint8) bool {
+		stripes := int(stripesRaw%8) + 1
+		reps := int(repsRaw%3) + 1
+		stripeLen := int64(stripeLenRaw%100) + 1
+		e := &ExNode{Name: "q", Length: int64(stripes) * stripeLen}
+		for s := 0; s < stripes; s++ {
+			x := Extent{Offset: int64(s) * stripeLen, Length: stripeLen}
+			for r := 0; r < reps; r++ {
+				x.Replicas = append(x.Replicas, Replica{
+					Depot:   "d:1",
+					ReadCap: "rc",
+				})
+			}
+			e.Extents = append(e.Extents, x)
+		}
+		if e.Validate() != nil {
+			return false
+		}
+		data, err := e.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return got.Length == e.Length && len(got.Extents) == stripes && got.ReplicationFactor() == reps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/codec"
+	"lonviz/internal/geom"
+	"lonviz/internal/lightfield"
+	"lonviz/internal/session"
+)
+
+// PaperResolutions are the sample-view resolutions of the paper's
+// evaluation.
+var PaperResolutions = []int{200, 300, 400, 500, 600}
+
+// LatencyResolutions are the resolutions of Figures 8-12.
+var LatencyResolutions = []int{200, 300, 500}
+
+// Fig7Row is one bar pair of Figure 7: database size with and without
+// compression at one resolution.
+type Fig7Row struct {
+	// PaperRes is the resolution label from the paper; Res is the scaled
+	// resolution actually measured.
+	PaperRes, Res int
+	// PaperScaleUncompressedGB is the analytic size of the full 144x72
+	// lattice database at PaperRes (4 B/px as the paper reports).
+	PaperScaleUncompressedGB float64
+	// PaperScaleCompressedGB extrapolates the measured ratio to paper scale.
+	PaperScaleCompressedGB float64
+	// MeasuredUncompressedMB / MeasuredCompressedMB are the scaled
+	// database's real sizes.
+	MeasuredUncompressedMB, MeasuredCompressedMB float64
+	// Ratio is the measured lossless compression ratio.
+	Ratio float64
+	// AvgViewSetMB is the mean compressed view set size (paper: 1.2-7.8 MB
+	// across 200..600).
+	AvgViewSetMB float64
+}
+
+// Fig7 regenerates Figure 7 (total LFD size, compressed and uncompressed,
+// across resolutions) plus the in-text compression-ratio and view-set-size
+// numbers. Sizes are measured on the scaled lattice and extrapolated to
+// the paper's lattice analytically.
+func Fig7(ctx context.Context, cfg Config) ([]Fig7Row, error) {
+	rows := make([]Fig7Row, 0, len(PaperResolutions))
+	for _, paperRes := range PaperResolutions {
+		res := ScaleRes(paperRes)
+		p := cfg.ParamsAt(res)
+		gen, err := lightfield.NewProceduralGenerator(p, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var compressed int64
+		for _, id := range p.AllViewSets() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			vs, err := gen.GenerateViewSet(ctx, id)
+			if err != nil {
+				return nil, err
+			}
+			frame, err := lightfield.EncodeViewSet(vs, p, codec.DefaultCompression)
+			if err != nil {
+				return nil, err
+			}
+			compressed += int64(len(frame))
+		}
+		uncompressed := p.UncompressedDBBytes()
+		ratio := float64(uncompressed) / float64(compressed)
+		paperP := lightfield.PaperParams(paperRes)
+		paperUncomp := float64(paperP.PaperDBBytes())
+		rows = append(rows, Fig7Row{
+			PaperRes:                 paperRes,
+			Res:                      res,
+			PaperScaleUncompressedGB: paperUncomp / 1e9,
+			PaperScaleCompressedGB:   paperUncomp / ratio / 1e9,
+			MeasuredUncompressedMB:   float64(uncompressed) / 1e6,
+			MeasuredCompressedMB:     float64(compressed) / 1e6,
+			Ratio:                    ratio,
+			AvgViewSetMB:             float64(paperP.PaperDBBytes()) / ratio / float64(paperP.NumViewSets()) / 1e6,
+		})
+	}
+	return rows, nil
+}
+
+// CaseRun bundles one session's records with its deployment metadata.
+type CaseRun struct {
+	Case    Case
+	Res     int // scaled resolution
+	Records []agent.AccessRecord
+}
+
+// LatencyExperiment runs the three cases at one paper resolution and
+// returns the per-case records — the data behind Figures 9, 10 and 11
+// (client-observed latency) and Figure 12 (communication latency).
+func LatencyExperiment(ctx context.Context, cfg Config, paperRes int) ([]CaseRun, error) {
+	res := ScaleRes(paperRes)
+	out := make([]CaseRun, 0, 3)
+	for _, cs := range []Case{Case1LAN, Case2WAN, Case3Staged} {
+		recs, err := RunCase(ctx, cfg, res, cs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: case %d at %d: %w", cs, paperRes, err)
+		}
+		out = append(out, CaseRun{Case: cs, Res: res, Records: recs})
+	}
+	return out, nil
+}
+
+// Fig8 regenerates Figure 8: the per-access decompression time during the
+// orchestrated session, per resolution. The paper measures it on the
+// client during the case-2 style streaming run; decompression cost depends
+// only on the frames, so one case-2 run per resolution suffices.
+func Fig8(ctx context.Context, cfg Config) (map[int][]float64, error) {
+	out := make(map[int][]float64, len(LatencyResolutions))
+	for _, paperRes := range LatencyResolutions {
+		recs, err := RunCase(ctx, cfg, ScaleRes(paperRes), Case2WAN)
+		if err != nil {
+			return nil, err
+		}
+		out[paperRes] = session.DecompressSeconds(recs)
+	}
+	return out, nil
+}
+
+// RatesResult reproduces the section 4.3 analysis at 500x500: the WAN
+// access rate during the initial phase (paper: 28% with the LAN depot vs
+// 69% without) and the cache hit rate (paper: 33% vs 28%).
+type RatesResult struct {
+	InitialPhase2, InitialPhase3 int
+	WANRate2, WANRate3           float64
+	HitRate2, HitRate3           float64
+}
+
+// Rates computes the rate analysis from the two WAN cases at one paper
+// resolution (the paper uses 500).
+func Rates(ctx context.Context, cfg Config, paperRes int) (RatesResult, error) {
+	res := ScaleRes(paperRes)
+	recs2, err := RunCase(ctx, cfg, res, Case2WAN)
+	if err != nil {
+		return RatesResult{}, err
+	}
+	recs3, err := RunCase(ctx, cfg, res, Case3Staged)
+	if err != nil {
+		return RatesResult{}, err
+	}
+	r := RatesResult{
+		InitialPhase2: session.InitialPhaseLength(recs2),
+		InitialPhase3: session.InitialPhaseLength(recs3),
+	}
+	// The paper compares both cases over the same early window ("During
+	// the initial phase ... 28% in case 3, compared to 69% in Case 2").
+	// Use the first half of the session as that window.
+	window := len(recs2) / 2
+	r.WANRate2 = session.WANRate(recs2, window)
+	r.WANRate3 = session.WANRate(recs3, window)
+	r.HitRate2 = session.HitRate(recs2, len(recs2))
+	r.HitRate3 = session.HitRate(recs3, len(recs3))
+	return r, nil
+}
+
+// FPSResult is the client-side rendering rate at one display resolution.
+type FPSResult struct {
+	DisplayRes int
+	// FPS is the paper-mode rate: nearest-sample table lookup.
+	FPS float64
+	// BlendFPS is the quadrilinear (4-camera blend) rate.
+	BlendFPS float64
+}
+
+// ClientFPS measures the pure light field rendering rate on the client —
+// the paper reports above 30 frames per second even at 500x500 because
+// rendering is table lookup. The measurement uses a fully local decoded
+// database (no network), matching the paper's claim about the rendering
+// stage alone.
+func ClientFPS(ctx context.Context, cfg Config, displayResolutions []int) ([]FPSResult, error) {
+	p := cfg.ParamsAt(64)
+	gen, err := lightfield.NewProceduralGenerator(p, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	db, err := lightfield.BuildDatabase(ctx, gen, 0)
+	if err != nil {
+		return nil, err
+	}
+	r, err := lightfield.NewRenderer(p, lightfield.MapProvider(db.Sets))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FPSResult, 0, len(displayResolutions))
+	measure := func(res int, blend bool) (float64, error) {
+		r.Blend = blend
+		sp := geom.Spherical{Theta: 1.3, Phi: 0.7}
+		const frames = 8
+		start := time.Now()
+		for f := 0; f < frames; f++ {
+			// Vary the view slightly, as interaction would.
+			sp.Phi += 0.002
+			cam, err := p.ViewerCamera(sp, p.OuterRadius*1.6, res)
+			if err != nil {
+				return 0, err
+			}
+			if _, _, err := r.RenderView(cam); err != nil {
+				return 0, err
+			}
+		}
+		return frames / time.Since(start).Seconds(), nil
+	}
+	for _, res := range displayResolutions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		nearest, err := measure(res, false)
+		if err != nil {
+			return nil, err
+		}
+		blend, err := measure(res, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FPSResult{DisplayRes: res, FPS: nearest, BlendFPS: blend})
+	}
+	return out, nil
+}

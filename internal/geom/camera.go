@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// Camera is a pinhole camera generating primary rays for a square image of
+// Res x Res pixels with vertical field of view FovY.
+type Camera struct {
+	Eye     Vec3
+	forward Vec3
+	right   Vec3
+	up      Vec3
+	FovY    float64 // radians
+	Res     int
+	halfH   float64
+}
+
+// ErrDegenerateCamera is returned when eye and target coincide or the up
+// vector is parallel to the view direction.
+var ErrDegenerateCamera = errors.New("geom: degenerate camera configuration")
+
+// LookAt builds a camera at eye looking toward target with the given
+// approximate up vector, field of view (radians) and square resolution.
+func LookAt(eye, target, up Vec3, fovY float64, res int) (*Camera, error) {
+	if res <= 0 {
+		return nil, errors.New("geom: camera resolution must be positive")
+	}
+	fwd := target.Sub(eye)
+	if fwd.Len() == 0 {
+		return nil, ErrDegenerateCamera
+	}
+	fwd = fwd.Norm()
+	right := fwd.Cross(up)
+	if right.Len() < 1e-12 {
+		// Up is parallel to the view direction; pick any perpendicular.
+		alt := V(1, 0, 0)
+		if math.Abs(fwd.X) > 0.9 {
+			alt = V(0, 1, 0)
+		}
+		right = fwd.Cross(alt)
+		if right.Len() < 1e-12 {
+			return nil, ErrDegenerateCamera
+		}
+	}
+	right = right.Norm()
+	trueUp := right.Cross(fwd).Norm()
+	return &Camera{
+		Eye:     eye,
+		forward: fwd,
+		right:   right,
+		up:      trueUp,
+		FovY:    fovY,
+		Res:     res,
+		halfH:   math.Tan(fovY / 2),
+	}, nil
+}
+
+// Forward returns the unit view direction.
+func (c *Camera) Forward() Vec3 { return c.forward }
+
+// Right returns the unit right vector.
+func (c *Camera) Right() Vec3 { return c.right }
+
+// Up returns the unit up vector (orthogonal to Forward and Right).
+func (c *Camera) Up() Vec3 { return c.up }
+
+// PrimaryRay returns the eye ray through the center of pixel (px, py), with
+// (0,0) the top-left pixel.
+func (c *Camera) PrimaryRay(px, py int) Ray {
+	// NDC in [-1, 1], y down in pixel space -> y up in camera space.
+	u := (2*(float64(px)+0.5)/float64(c.Res) - 1) * c.halfH
+	v := (1 - 2*(float64(py)+0.5)/float64(c.Res)) * c.halfH
+	dir := c.forward.Add(c.right.Scale(u)).Add(c.up.Scale(v))
+	return NewRay(c.Eye, dir)
+}
+
+// OrbitCamera places a camera on a sphere of radius around center at the
+// given angular position, looking at the center. This is the camera-lattice
+// configuration used when sampling a spherical light field.
+func OrbitCamera(center Vec3, radius float64, sp Spherical, fovY float64, res int) (*Camera, error) {
+	eye := Sphere{Center: center, Radius: radius}.PointOn(sp)
+	// Near the poles +Z becomes parallel to the view direction; LookAt
+	// handles that by picking an alternate up vector.
+	return LookAt(eye, center, V(0, 0, 1), fovY, res)
+}
+
+// Project maps a world point into continuous pixel coordinates of the
+// camera image. ok is false when the point is behind the camera. The result
+// inverts PrimaryRay: projecting any point along a primary ray returns that
+// ray's pixel coordinates.
+func (c *Camera) Project(p Vec3) (px, py float64, ok bool) {
+	d := p.Sub(c.Eye)
+	t := d.Dot(c.forward)
+	if t <= 1e-12 {
+		return 0, 0, false
+	}
+	u := d.Dot(c.right) / t / c.halfH
+	v := d.Dot(c.up) / t / c.halfH
+	px = (u+1)/2*float64(c.Res) - 0.5
+	py = (1-v)/2*float64(c.Res) - 0.5
+	return px, py, true
+}
+
+// PrimaryRayRaw is PrimaryRay without direction normalization — for hot
+// paths that intersect with the general (non-unit) quadratic and never
+// interpret t as distance.
+func (c *Camera) PrimaryRayRaw(px, py int) Ray {
+	u := (2*(float64(px)+0.5)/float64(c.Res) - 1) * c.halfH
+	v := (1 - 2*(float64(py)+0.5)/float64(c.Res)) * c.halfH
+	dir := c.forward.Add(c.right.Scale(u)).Add(c.up.Scale(v))
+	return Ray{Origin: c.Eye, Dir: dir}
+}

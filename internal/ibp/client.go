@@ -1,0 +1,213 @@
+package ibp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+)
+
+// Client performs IBP operations against one depot address. Each operation
+// opens its own connection, so independent operations parallelize across
+// sockets (the LoRS download algorithms rely on this). The zero value is
+// not usable; set Addr.
+type Client struct {
+	// Addr is the depot's host:port.
+	Addr string
+	// Dialer establishes connections; nil means plain TCP.
+	Dialer Dialer
+	// Timeout bounds one whole operation (default 30s).
+	Timeout time.Duration
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	d := c.Dialer
+	if d == nil {
+		d = NetDialer{}
+	}
+	conn, err := d.Dial(c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	return conn, nil
+}
+
+// roundTrip sends one request (line + optional payload) and parses the
+// response status line. If wantBody, the returned reader is positioned at
+// the body and the caller must read exactly bodyLen bytes before close is
+// called; otherwise the connection is closed before returning.
+func (c *Client) roundTrip(req string, payload []byte) (fields []string, body []byte, err error) {
+	conn, err := c.dial()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 64*1024)
+	if _, err := bw.WriteString(req); err != nil {
+		return nil, nil, err
+	}
+	if len(payload) > 0 {
+		if _, err := bw.Write(payload); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(conn, 64*1024)
+	line, err := readLine(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: reading response: %v", ErrProto, err)
+	}
+	f := parseFields(line)
+	if len(f) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty response", ErrProto)
+	}
+	switch f[0] {
+	case "OK":
+		// Responses with a body declare its length as the first OK field
+		// only for LOAD; the caller decides whether to read a body.
+		if err := c.maybeReadBody(br, req, f[1:], &body); err != nil {
+			return nil, nil, err
+		}
+		return f[1:], body, nil
+	case "ERR":
+		if len(f) < 2 {
+			return nil, nil, fmt.Errorf("%w: malformed error", ErrProto)
+		}
+		msg := ""
+		if len(f) > 2 {
+			for i := 2; i < len(f); i++ {
+				if i > 2 {
+					msg += " "
+				}
+				msg += f[i]
+			}
+		}
+		return nil, nil, errOf(f[1], msg)
+	default:
+		return nil, nil, fmt.Errorf("%w: unexpected response %q", ErrProto, f[0])
+	}
+}
+
+// maybeReadBody reads the binary body for verbs that have one (LOAD).
+func (c *Client) maybeReadBody(br *bufio.Reader, req string, okFields []string, out *[]byte) error {
+	if len(req) < 4 || req[:4] != "LOAD" {
+		return nil
+	}
+	if len(okFields) < 1 {
+		return fmt.Errorf("%w: LOAD response missing length", ErrProto)
+	}
+	n, err := strconv.ParseInt(okFields[0], 10, 64)
+	if err != nil || n < 0 || n > maxTransfer {
+		return fmt.Errorf("%w: bad LOAD length", ErrProto)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return fmt.Errorf("%w: reading LOAD body: %v", ErrProto, err)
+	}
+	*out = buf
+	return nil
+}
+
+// Allocate requests an allocation on the depot.
+func (c *Client) Allocate(size int64, lease time.Duration, policy Policy) (Capabilities, error) {
+	f, _, err := c.roundTrip(fmt.Sprintf("ALLOCATE %d %d %s\n", size, lease.Milliseconds(), policy), nil)
+	if err != nil {
+		return Capabilities{}, err
+	}
+	if len(f) != 3 {
+		return Capabilities{}, fmt.Errorf("%w: ALLOCATE response fields", ErrProto)
+	}
+	return Capabilities{Read: f[0], Write: f[1], Manage: f[2]}, nil
+}
+
+// Store writes data at offset through a write capability.
+func (c *Client) Store(writeCap string, offset int64, data []byte) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("STORE %s %d %d\n", writeCap, offset, len(data)), data)
+	return err
+}
+
+// Load reads length bytes at offset through a read capability.
+func (c *Client) Load(readCap string, offset, length int64) ([]byte, error) {
+	_, body, err := c.roundTrip(fmt.Sprintf("LOAD %s %d %d\n", readCap, offset, length), nil)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) != length {
+		return nil, fmt.Errorf("%w: LOAD returned %d of %d bytes", ErrProto, len(body), length)
+	}
+	return body, nil
+}
+
+// Probe returns allocation metadata through a manage capability.
+func (c *Client) Probe(manageCap string) (AllocInfo, error) {
+	f, _, err := c.roundTrip(fmt.Sprintf("PROBE %s\n", manageCap), nil)
+	if err != nil {
+		return AllocInfo{}, err
+	}
+	if len(f) != 3 {
+		return AllocInfo{}, fmt.Errorf("%w: PROBE response fields", ErrProto)
+	}
+	size, err1 := strconv.ParseInt(f[0], 10, 64)
+	expMs, err2 := strconv.ParseInt(f[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return AllocInfo{}, fmt.Errorf("%w: PROBE response numbers", ErrProto)
+	}
+	return AllocInfo{Size: size, Expires: time.UnixMilli(expMs), Policy: Policy(f[2])}, nil
+}
+
+// Extend renews the allocation lease.
+func (c *Client) Extend(manageCap string, lease time.Duration) (time.Time, error) {
+	f, _, err := c.roundTrip(fmt.Sprintf("EXTEND %s %d\n", manageCap, lease.Milliseconds()), nil)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if len(f) != 1 {
+		return time.Time{}, fmt.Errorf("%w: EXTEND response fields", ErrProto)
+	}
+	ms, err := strconv.ParseInt(f[0], 10, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%w: EXTEND response number", ErrProto)
+	}
+	return time.UnixMilli(ms), nil
+}
+
+// Free releases the allocation immediately.
+func (c *Client) Free(manageCap string) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("FREE %s\n", manageCap), nil)
+	return err
+}
+
+// Copy asks this depot to transfer an extent directly to a write
+// capability on another depot (third-party copy).
+func (c *Client) Copy(readCap string, offset, length int64, targetAddr, targetWriteCap string, targetOffset int64) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("COPY %s %d %d %s %s %d\n",
+		readCap, offset, length, targetAddr, targetWriteCap, targetOffset), nil)
+	return err
+}
+
+// Status returns the depot's capacity accounting.
+func (c *Client) Status() (capacity, used int64, allocations int, err error) {
+	f, _, err := c.roundTrip("STATUS\n", nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(f) != 3 {
+		return 0, 0, 0, fmt.Errorf("%w: STATUS response fields", ErrProto)
+	}
+	capacity, err1 := strconv.ParseInt(f[0], 10, 64)
+	used, err2 := strconv.ParseInt(f[1], 10, 64)
+	allocs, err3 := strconv.Atoi(f[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, 0, 0, fmt.Errorf("%w: STATUS response numbers", ErrProto)
+	}
+	return capacity, used, allocs, nil
+}

@@ -1,0 +1,332 @@
+// Package ibp implements the Internet Backplane Protocol substrate of
+// Logistical Networking: storage depots that expose time-limited,
+// best-effort byte-array allocations to the network, with the standard
+// operations — allocate, store, load, manage, and third-party copy — over
+// a TCP line protocol (Plank et al., "Managing Data Storage in the
+// Network", IEEE Internet Computing 2001; paper section 2.2).
+//
+// Semantics follow the paper's description of IBP's weak guarantees:
+// allocations carry leases and expire; a depot may refuse an allocation
+// for capacity or duration ("admission decisions"); volatile ("soft")
+// allocations may be revoked at any time to make room for new ones.
+package ibp
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Policy selects the allocation durability class.
+type Policy string
+
+const (
+	// Stable allocations survive until their lease expires or they are
+	// explicitly freed.
+	Stable Policy = "stable"
+	// Volatile allocations are "soft" storage: the depot may revoke them
+	// whenever it needs space for new allocations.
+	Volatile Policy = "volatile"
+)
+
+// Error codes surfaced over the wire and as typed errors in-process.
+var (
+	ErrNoCap    = errors.New("ibp: unknown or wrong-type capability")
+	ErrExpired  = errors.New("ibp: allocation lease expired")
+	ErrRevoked  = errors.New("ibp: volatile allocation revoked")
+	ErrNoSpace  = errors.New("ibp: allocation refused: insufficient capacity")
+	ErrDuration = errors.New("ibp: allocation refused: lease too long")
+	ErrBadParam = errors.New("ibp: bad parameter")
+	ErrRange    = errors.New("ibp: extent outside allocation")
+)
+
+// Capabilities are the three unforgeable keys to one allocation.
+type Capabilities struct {
+	Read, Write, Manage string
+}
+
+// AllocInfo is the manage/probe view of an allocation.
+type AllocInfo struct {
+	Size    int64
+	Expires time.Time
+	Policy  Policy
+}
+
+// DepotConfig bounds a depot's resources.
+type DepotConfig struct {
+	// Capacity is the total byte budget across allocations.
+	Capacity int64
+	// MaxLease bounds allocation duration; requests beyond it are refused
+	// (an IBP "admission decision" on duration). Zero means one hour.
+	MaxLease time.Duration
+	// Clock supplies time (for tests); nil means time.Now.
+	Clock func() time.Time
+	// Dir, when non-empty, backs allocations with sparse files in this
+	// directory instead of memory — how a production depot serves
+	// multi-gigabyte databases. The directory is created if missing.
+	Dir string
+}
+
+// Depot is the storage engine. It is safe for concurrent use.
+type Depot struct {
+	cfg DepotConfig
+
+	mu     sync.Mutex
+	used   int64
+	byRead map[string]*allocation
+	byWr   map[string]*allocation
+	byMg   map[string]*allocation
+	// revoked remembers volatile allocations that were reclaimed so their
+	// users get ErrRevoked rather than ErrNoCap.
+	revoked map[string]bool
+	// order tracks volatile allocations oldest-first for revocation.
+	volOrder []*allocation
+
+	// Stats counters (monotone, under mu).
+	statAllocs, statRevocations, statExpirations int64
+}
+
+type allocation struct {
+	caps    Capabilities
+	store   blockStore
+	size    int64
+	expires time.Time
+	policy  Policy
+}
+
+// NewDepot creates a depot with the given configuration.
+func NewDepot(cfg DepotConfig) (*Depot, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("%w: capacity %d", ErrBadParam, cfg.Capacity)
+	}
+	if cfg.MaxLease == 0 {
+		cfg.MaxLease = time.Hour
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("ibp: creating depot dir: %w", err)
+		}
+	}
+	return &Depot{
+		cfg:     cfg,
+		byRead:  make(map[string]*allocation),
+		byWr:    make(map[string]*allocation),
+		byMg:    make(map[string]*allocation),
+		revoked: make(map[string]bool),
+	}, nil
+}
+
+func newCap() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("ibp: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Allocate reserves size bytes for the given lease duration. It may refuse
+// on capacity (after revoking volatile allocations if the new allocation
+// is itself needed) or on duration.
+func (d *Depot) Allocate(size int64, lease time.Duration, policy Policy) (Capabilities, error) {
+	if size <= 0 {
+		return Capabilities{}, fmt.Errorf("%w: size %d", ErrBadParam, size)
+	}
+	if policy != Stable && policy != Volatile {
+		return Capabilities{}, fmt.Errorf("%w: policy %q", ErrBadParam, policy)
+	}
+	if lease <= 0 || lease > d.cfg.MaxLease {
+		return Capabilities{}, fmt.Errorf("%w: %v > max %v", ErrDuration, lease, d.cfg.MaxLease)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gcLocked()
+	if d.used+size > d.cfg.Capacity {
+		d.revokeVolatileLocked(d.used + size - d.cfg.Capacity)
+	}
+	if d.used+size > d.cfg.Capacity {
+		return Capabilities{}, fmt.Errorf("%w: need %d, free %d", ErrNoSpace, size, d.cfg.Capacity-d.used)
+	}
+	store, err := d.newStore(size)
+	if err != nil {
+		return Capabilities{}, err
+	}
+	a := &allocation{
+		caps: Capabilities{
+			Read:   newCap(),
+			Write:  newCap(),
+			Manage: newCap(),
+		},
+		store:   store,
+		size:    size,
+		expires: d.cfg.Clock().Add(lease),
+		policy:  policy,
+	}
+	d.byRead[a.caps.Read] = a
+	d.byWr[a.caps.Write] = a
+	d.byMg[a.caps.Manage] = a
+	d.used += size
+	d.statAllocs++
+	if policy == Volatile {
+		d.volOrder = append(d.volOrder, a)
+	}
+	return a.caps, nil
+}
+
+// revokeVolatileLocked frees oldest volatile allocations until `need` bytes
+// are recovered or none remain.
+func (d *Depot) revokeVolatileLocked(need int64) {
+	for need > 0 && len(d.volOrder) > 0 {
+		a := d.volOrder[0]
+		d.volOrder = d.volOrder[1:]
+		if _, live := d.byRead[a.caps.Read]; !live {
+			continue // already freed or expired
+		}
+		need -= a.size
+		d.removeLocked(a, true)
+		d.statRevocations++
+	}
+}
+
+// removeLocked deletes an allocation; markRevoked records the caps so later
+// access reports ErrRevoked.
+func (d *Depot) removeLocked(a *allocation, markRevoked bool) {
+	delete(d.byRead, a.caps.Read)
+	delete(d.byWr, a.caps.Write)
+	delete(d.byMg, a.caps.Manage)
+	d.used -= a.size
+	_ = a.store.destroy()
+	if markRevoked {
+		d.revoked[a.caps.Read] = true
+		d.revoked[a.caps.Write] = true
+		d.revoked[a.caps.Manage] = true
+	}
+}
+
+// gcLocked expires allocations whose lease has passed.
+func (d *Depot) gcLocked() {
+	now := d.cfg.Clock()
+	for _, a := range d.byMg {
+		if now.After(a.expires) {
+			d.removeLocked(a, false)
+			d.statExpirations++
+		}
+	}
+}
+
+// lookup resolves a capability of a specific kind, applying lease expiry.
+func (d *Depot) lookup(m map[string]*allocation, capability string) (*allocation, error) {
+	a, ok := m[capability]
+	if !ok {
+		if d.revoked[capability] {
+			return nil, ErrRevoked
+		}
+		return nil, ErrNoCap
+	}
+	if d.cfg.Clock().After(a.expires) {
+		d.removeLocked(a, false)
+		d.statExpirations++
+		return nil, ErrExpired
+	}
+	return a, nil
+}
+
+// Store writes data at offset using a write capability.
+func (d *Depot) Store(writeCap string, offset int64, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, err := d.lookup(d.byWr, writeCap)
+	if err != nil {
+		return err
+	}
+	if offset < 0 || offset+int64(len(data)) > a.size {
+		return fmt.Errorf("%w: store [%d,%d) in %d", ErrRange, offset, offset+int64(len(data)), a.size)
+	}
+	return a.store.writeAt(data, offset)
+}
+
+// Load reads length bytes at offset using a read capability.
+func (d *Depot) Load(readCap string, offset, length int64) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, err := d.lookup(d.byRead, readCap)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || length < 0 || offset+length > a.size {
+		return nil, fmt.Errorf("%w: load [%d,%d) in %d", ErrRange, offset, offset+length, a.size)
+	}
+	out := make([]byte, length)
+	if err := a.store.readAt(out, offset); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Probe returns allocation metadata using a manage capability.
+func (d *Depot) Probe(manageCap string) (AllocInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, err := d.lookup(d.byMg, manageCap)
+	if err != nil {
+		return AllocInfo{}, err
+	}
+	return AllocInfo{Size: a.size, Expires: a.expires, Policy: a.policy}, nil
+}
+
+// Extend renews the lease to now+lease (subject to MaxLease).
+func (d *Depot) Extend(manageCap string, lease time.Duration) (time.Time, error) {
+	if lease <= 0 || lease > d.cfg.MaxLease {
+		return time.Time{}, fmt.Errorf("%w: %v > max %v", ErrDuration, lease, d.cfg.MaxLease)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, err := d.lookup(d.byMg, manageCap)
+	if err != nil {
+		return time.Time{}, err
+	}
+	a.expires = d.cfg.Clock().Add(lease)
+	return a.expires, nil
+}
+
+// Free releases the allocation immediately.
+func (d *Depot) Free(manageCap string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, err := d.lookup(d.byMg, manageCap)
+	if err != nil {
+		return err
+	}
+	d.removeLocked(a, false)
+	return nil
+}
+
+// Status reports capacity accounting.
+type Status struct {
+	Capacity, Used int64
+	Allocations    int
+	TotalAllocs    int64
+	Revocations    int64
+	Expirations    int64
+}
+
+// Stat returns a consistent snapshot of depot status.
+func (d *Depot) Stat() Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gcLocked()
+	return Status{
+		Capacity:    d.cfg.Capacity,
+		Used:        d.used,
+		Allocations: len(d.byMg),
+		TotalAllocs: d.statAllocs,
+		Revocations: d.statRevocations,
+		Expirations: d.statExpirations,
+	}
+}

@@ -1,0 +1,350 @@
+package ibp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeClock is a controllable time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func newTestDepot(t *testing.T, capacity int64) (*Depot, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	d, err := NewDepot(DepotConfig{Capacity: capacity, MaxLease: time.Hour, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, clk
+}
+
+func TestNewDepotValidation(t *testing.T) {
+	if _, err := NewDepot(DepotConfig{Capacity: 0}); err == nil {
+		t.Error("expected error for zero capacity")
+	}
+	if _, err := NewDepot(DepotConfig{Capacity: -5}); err == nil {
+		t.Error("expected error for negative capacity")
+	}
+}
+
+func TestAllocateStoreLoad(t *testing.T) {
+	d, _ := newTestDepot(t, 1024)
+	caps, err := d.Allocate(100, time.Minute, Stable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps.Read == "" || caps.Write == "" || caps.Manage == "" ||
+		caps.Read == caps.Write || caps.Write == caps.Manage {
+		t.Fatalf("bad capabilities %+v", caps)
+	}
+	payload := []byte("0123456789")
+	if err := d.Store(caps.Write, 5, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Load(caps.Read, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("Load = %q", got)
+	}
+	// Unwritten region reads as zeros.
+	zero, err := d.Load(caps.Read, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zero, []byte{0, 0, 0, 0}) {
+		t.Errorf("unwritten region = %v", zero)
+	}
+}
+
+func TestCapabilityTypeEnforcement(t *testing.T) {
+	d, _ := newTestDepot(t, 1024)
+	caps, _ := d.Allocate(10, time.Minute, Stable)
+	if err := d.Store(caps.Read, 0, []byte("x")); !errors.Is(err, ErrNoCap) {
+		t.Errorf("store with read cap: %v", err)
+	}
+	if _, err := d.Load(caps.Write, 0, 1); !errors.Is(err, ErrNoCap) {
+		t.Errorf("load with write cap: %v", err)
+	}
+	if _, err := d.Probe(caps.Read); !errors.Is(err, ErrNoCap) {
+		t.Errorf("probe with read cap: %v", err)
+	}
+	if err := d.Store("no-such-cap", 0, []byte("x")); !errors.Is(err, ErrNoCap) {
+		t.Errorf("store with bogus cap: %v", err)
+	}
+}
+
+func TestRangeEnforcement(t *testing.T) {
+	d, _ := newTestDepot(t, 1024)
+	caps, _ := d.Allocate(10, time.Minute, Stable)
+	if err := d.Store(caps.Write, 8, []byte("abc")); !errors.Is(err, ErrRange) {
+		t.Errorf("overflowing store: %v", err)
+	}
+	if err := d.Store(caps.Write, -1, []byte("a")); !errors.Is(err, ErrRange) {
+		t.Errorf("negative offset store: %v", err)
+	}
+	if _, err := d.Load(caps.Read, 5, 6); !errors.Is(err, ErrRange) {
+		t.Errorf("overflowing load: %v", err)
+	}
+	if _, err := d.Load(caps.Read, 0, -1); !errors.Is(err, ErrRange) {
+		t.Errorf("negative length load: %v", err)
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	d, _ := newTestDepot(t, 1024)
+	if _, err := d.Allocate(0, time.Minute, Stable); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero size: %v", err)
+	}
+	if _, err := d.Allocate(10, time.Minute, Policy("bogus")); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad policy: %v", err)
+	}
+	if _, err := d.Allocate(10, 2*time.Hour, Stable); !errors.Is(err, ErrDuration) {
+		t.Errorf("over-long lease: %v", err)
+	}
+	if _, err := d.Allocate(10, 0, Stable); !errors.Is(err, ErrDuration) {
+		t.Errorf("zero lease: %v", err)
+	}
+}
+
+func TestCapacityAdmission(t *testing.T) {
+	d, _ := newTestDepot(t, 100)
+	if _, err := d.Allocate(80, time.Minute, Stable); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Allocate(30, time.Minute, Stable); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("over-allocation: %v", err)
+	}
+	st := d.Stat()
+	if st.Used != 80 || st.Allocations != 1 {
+		t.Errorf("stat = %+v", st)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	d, clk := newTestDepot(t, 100)
+	caps, _ := d.Allocate(50, time.Minute, Stable)
+	clk.Advance(2 * time.Minute)
+	if _, err := d.Load(caps.Read, 0, 1); !errors.Is(err, ErrExpired) {
+		t.Errorf("expired load: %v", err)
+	}
+	// Space is reclaimed.
+	if _, err := d.Allocate(100, time.Minute, Stable); err != nil {
+		t.Errorf("allocation after expiry: %v", err)
+	}
+	if d.Stat().Expirations == 0 {
+		t.Error("expiration not counted")
+	}
+}
+
+func TestExtendLease(t *testing.T) {
+	d, clk := newTestDepot(t, 100)
+	caps, _ := d.Allocate(10, time.Minute, Stable)
+	clk.Advance(50 * time.Second)
+	exp, err := d.Extend(caps.Manage, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Equal(clk.Now().Add(time.Minute)) {
+		t.Errorf("extended to %v", exp)
+	}
+	clk.Advance(50 * time.Second) // would be past the original lease
+	if _, err := d.Load(caps.Read, 0, 1); err != nil {
+		t.Errorf("load after extend: %v", err)
+	}
+	if _, err := d.Extend(caps.Manage, 5*time.Hour); !errors.Is(err, ErrDuration) {
+		t.Errorf("over-extend: %v", err)
+	}
+}
+
+func TestFree(t *testing.T) {
+	d, _ := newTestDepot(t, 100)
+	caps, _ := d.Allocate(60, time.Minute, Stable)
+	if err := d.Free(caps.Manage); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Load(caps.Read, 0, 1); !errors.Is(err, ErrNoCap) {
+		t.Errorf("load after free: %v", err)
+	}
+	if st := d.Stat(); st.Used != 0 {
+		t.Errorf("used = %d after free", st.Used)
+	}
+	if err := d.Free(caps.Manage); !errors.Is(err, ErrNoCap) {
+		t.Errorf("double free: %v", err)
+	}
+}
+
+func TestVolatileRevocation(t *testing.T) {
+	d, _ := newTestDepot(t, 100)
+	v1, _ := d.Allocate(40, time.Minute, Volatile)
+	v2, _ := d.Allocate(40, time.Minute, Volatile)
+	// A stable allocation that needs space triggers revocation of the
+	// oldest volatile allocation first.
+	s, err := d.Allocate(50, time.Minute, Stable)
+	if err != nil {
+		t.Fatalf("stable allocation should revoke volatile space: %v", err)
+	}
+	if _, err := d.Load(v1.Read, 0, 1); !errors.Is(err, ErrRevoked) {
+		t.Errorf("v1 after revocation: %v", err)
+	}
+	// v2 must still be alive (only enough space was reclaimed).
+	if _, err := d.Load(v2.Read, 0, 1); err != nil {
+		t.Errorf("v2 should survive: %v", err)
+	}
+	if _, err := d.Load(s.Read, 0, 1); err != nil {
+		t.Errorf("stable alloc: %v", err)
+	}
+	if d.Stat().Revocations != 1 {
+		t.Errorf("revocations = %d", d.Stat().Revocations)
+	}
+}
+
+func TestStableNeverRevoked(t *testing.T) {
+	d, _ := newTestDepot(t, 100)
+	s, _ := d.Allocate(80, time.Minute, Stable)
+	if _, err := d.Allocate(50, time.Minute, Stable); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("expected NoSpace, got %v", err)
+	}
+	if _, err := d.Load(s.Read, 0, 1); err != nil {
+		t.Errorf("stable allocation was disturbed: %v", err)
+	}
+}
+
+// Property (DESIGN.md): capacity accounting never goes negative and used
+// never exceeds capacity, across random operation sequences.
+func TestCapacityInvariantQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		clk := newFakeClock()
+		d, err := NewDepot(DepotConfig{Capacity: 500, MaxLease: time.Hour, Clock: clk.Now})
+		if err != nil {
+			return false
+		}
+		var live []Capabilities
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				size := int64(op%200) + 1
+				pol := Stable
+				if op%8 >= 4 {
+					pol = Volatile
+				}
+				if caps, err := d.Allocate(size, time.Minute, pol); err == nil {
+					live = append(live, caps)
+				}
+			case 1:
+				if len(live) > 0 {
+					d.Free(live[int(op)%len(live)].Manage)
+				}
+			case 2:
+				clk.Advance(time.Duration(op%100) * time.Second)
+			case 3:
+				if len(live) > 0 {
+					c := live[int(op)%len(live)]
+					d.Store(c.Write, 0, []byte{1})
+				}
+			}
+			st := d.Stat()
+			if st.Used < 0 || st.Used > st.Capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reads only ever observe bytes that were written (or zeros).
+func TestReadSeesOnlyWritesQuick(t *testing.T) {
+	d, _ := newTestDepot(t, 1<<20)
+	caps, err := d.Allocate(4096, time.Minute, Stable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := make([]byte, 4096)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		if rng.Intn(2) == 0 {
+			off := rng.Intn(4000)
+			n := rng.Intn(90) + 1
+			data := make([]byte, n)
+			rng.Read(data)
+			if err := d.Store(caps.Write, int64(off), data); err != nil {
+				t.Fatal(err)
+			}
+			copy(shadow[off:], data)
+		} else {
+			off := rng.Intn(4000)
+			n := rng.Intn(90) + 1
+			got, err := d.Load(caps.Read, int64(off), int64(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, shadow[off:off+n]) {
+				t.Fatalf("read at %d/%d diverges from shadow", off, n)
+			}
+		}
+	}
+}
+
+func TestConcurrentDepotAccess(t *testing.T) {
+	d, _ := newTestDepot(t, 1<<20)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			caps, err := d.Allocate(1024, time.Minute, Stable)
+			if err != nil {
+				errs <- err
+				return
+			}
+			data := bytes.Repeat([]byte{byte(g)}, 512)
+			for i := 0; i < 20; i++ {
+				if err := d.Store(caps.Write, 0, data); err != nil {
+					errs <- err
+					return
+				}
+				got, err := d.Load(caps.Read, 0, 512)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs <- errors.New("cross-goroutine data bleed")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package ibp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// The wire protocol is a text command line followed by optional binary
+// payload, one request/response pair at a time on a persistent connection:
+//
+//	ALLOCATE <size> <leaseMs> <policy>          -> OK <read> <write> <manage>
+//	STORE <writeCap> <offset> <len> + <len> raw -> OK <len>
+//	LOAD <readCap> <offset> <len>               -> OK <len> + <len> raw
+//	PROBE <manageCap>                           -> OK <size> <expiresUnixMs> <policy>
+//	EXTEND <manageCap> <leaseMs>                -> OK <expiresUnixMs>
+//	FREE <manageCap>                            -> OK 0
+//	COPY <readCap> <off> <len> <addr> <wCap> <tOff> -> OK <len>
+//	STATUS                                      -> OK <capacity> <used> <allocs>
+//
+// Errors: "ERR <CODE> <message>". Codes map 1:1 to the package's typed
+// errors so in-process and remote callers see identical semantics.
+
+const maxLineLen = 4096
+
+// maxTransfer bounds a single STORE/LOAD/COPY payload (64 MiB) so a
+// malformed length cannot balloon server memory.
+const maxTransfer = 64 << 20
+
+// wire error codes.
+const (
+	codeNoCap    = "NOCAP"
+	codeExpired  = "EXPIRED"
+	codeRevoked  = "REVOKED"
+	codeNoSpace  = "NOSPACE"
+	codeDuration = "DURATION"
+	codeBadParam = "BADPARAM"
+	codeRange    = "RANGE"
+	codeProto    = "PROTO"
+	codeInternal = "INTERNAL"
+)
+
+// ErrProto reports a malformed request or response.
+var ErrProto = errors.New("ibp: protocol error")
+
+// codeOf maps a typed error to its wire code.
+func codeOf(err error) string {
+	switch {
+	case errors.Is(err, ErrNoCap):
+		return codeNoCap
+	case errors.Is(err, ErrExpired):
+		return codeExpired
+	case errors.Is(err, ErrRevoked):
+		return codeRevoked
+	case errors.Is(err, ErrNoSpace):
+		return codeNoSpace
+	case errors.Is(err, ErrDuration):
+		return codeDuration
+	case errors.Is(err, ErrBadParam):
+		return codeBadParam
+	case errors.Is(err, ErrRange):
+		return codeRange
+	case errors.Is(err, ErrProto):
+		return codeProto
+	default:
+		return codeInternal
+	}
+}
+
+// errOf maps a wire code back to the typed error, wrapping the message.
+func errOf(code, msg string) error {
+	base := map[string]error{
+		codeNoCap:    ErrNoCap,
+		codeExpired:  ErrExpired,
+		codeRevoked:  ErrRevoked,
+		codeNoSpace:  ErrNoSpace,
+		codeDuration: ErrDuration,
+		codeBadParam: ErrBadParam,
+		codeRange:    ErrRange,
+		codeProto:    ErrProto,
+	}[code]
+	if base == nil {
+		return fmt.Errorf("ibp: remote error %s: %s", code, msg)
+	}
+	if msg == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}
+
+// Dialer abstracts connection establishment so tests and experiments can
+// inject netsim-shaped links. *netsim.Dialer satisfies it.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// NetDialer dials plain TCP.
+type NetDialer struct{}
+
+// Dial implements Dialer.
+func (NetDialer) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// parseFields splits a protocol line and validates the verb.
+func parseFields(line string) []string {
+	return strings.Fields(strings.TrimSpace(line))
+}

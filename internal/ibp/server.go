@@ -1,0 +1,349 @@
+package ibp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Server exposes a Depot over the wire protocol.
+type Server struct {
+	Depot *Depot
+	// CopyDialer dials target depots for third-party COPY; nil means plain
+	// TCP. Third-party transfers are the mechanism behind the paper's
+	// aggressive prestaging: "all such LoN operations take place as third
+	// party communication without consuming resources on either the client
+	// or the client agent".
+	CopyDialer Dialer
+	// Logf logs server events; nil disables logging.
+	Logf func(format string, args ...interface{})
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+}
+
+// NewServer wraps a depot.
+func NewServer(d *Depot) *Server {
+	return &Server{Depot: d, conns: make(map[net.Conn]bool)}
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until Close. It returns when the listener
+// fails (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("ibp: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = true
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// ListenAndServe listens on addr and serves in a new goroutine, returning
+// the bound address (useful with ":0").
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := s.Serve(l); err != nil {
+			s.logf("ibp server on %s stopped: %v", l.Addr(), err)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = make(map[net.Conn]bool)
+	return err
+}
+
+func (s *Server) removeConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer c.Close()
+	defer s.removeConn(c)
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("ibp: panic handling %v: %v", c.RemoteAddr(), r)
+		}
+	}()
+	br := bufio.NewReaderSize(c, 64*1024)
+	bw := bufio.NewWriterSize(c, 64*1024)
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return // client hung up or sent an overlong line
+		}
+		if keep := s.dispatch(br, bw, line); !keep {
+			bw.Flush()
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// readLine reads one \n-terminated line with a length cap.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLineLen {
+		return "", ErrProto
+	}
+	return line, nil
+}
+
+// dispatch executes one request; the returned bool says whether to keep the
+// connection (false after protocol-fatal errors).
+func (s *Server) dispatch(br *bufio.Reader, bw *bufio.Writer, line string) bool {
+	f := parseFields(line)
+	if len(f) == 0 {
+		writeErr(bw, ErrProto, "empty request")
+		return false
+	}
+	switch f[0] {
+	case "ALLOCATE":
+		return s.doAllocate(bw, f)
+	case "STORE":
+		return s.doStore(br, bw, f)
+	case "LOAD":
+		return s.doLoad(bw, f)
+	case "PROBE":
+		return s.doProbe(bw, f)
+	case "EXTEND":
+		return s.doExtend(bw, f)
+	case "FREE":
+		return s.doFree(bw, f)
+	case "COPY":
+		return s.doCopy(bw, f)
+	case "STATUS":
+		return s.doStatus(bw, f)
+	default:
+		writeErr(bw, ErrProto, "unknown verb "+f[0])
+		return false
+	}
+}
+
+func writeErr(w io.Writer, err error, context string) {
+	msg := err.Error()
+	if context != "" {
+		msg = context + ": " + msg
+	}
+	fmt.Fprintf(w, "ERR %s %s\n", codeOf(err), sanitize(msg))
+}
+
+// sanitize keeps error messages single-line.
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' || s[i] == '\r' {
+			out = append(out, ' ')
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+func (s *Server) doAllocate(bw *bufio.Writer, f []string) bool {
+	if len(f) != 4 {
+		writeErr(bw, ErrProto, "ALLOCATE wants 3 args")
+		return false
+	}
+	size, err1 := strconv.ParseInt(f[1], 10, 64)
+	leaseMs, err2 := strconv.ParseInt(f[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		writeErr(bw, ErrProto, "bad ALLOCATE numbers")
+		return false
+	}
+	caps, err := s.Depot.Allocate(size, time.Duration(leaseMs)*time.Millisecond, Policy(f[3]))
+	if err != nil {
+		writeErr(bw, err, "")
+		return true
+	}
+	fmt.Fprintf(bw, "OK %s %s %s\n", caps.Read, caps.Write, caps.Manage)
+	return true
+}
+
+func (s *Server) doStore(br *bufio.Reader, bw *bufio.Writer, f []string) bool {
+	if len(f) != 4 {
+		writeErr(bw, ErrProto, "STORE wants 3 args")
+		return false
+	}
+	offset, err1 := strconv.ParseInt(f[2], 10, 64)
+	length, err2 := strconv.ParseInt(f[3], 10, 64)
+	if err1 != nil || err2 != nil || length < 0 || length > maxTransfer {
+		writeErr(bw, ErrProto, "bad STORE numbers")
+		return false
+	}
+	// The payload must be consumed even if the store will fail, to keep
+	// the connection synchronized.
+	data := make([]byte, length)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return false
+	}
+	if err := s.Depot.Store(f[1], offset, data); err != nil {
+		writeErr(bw, err, "")
+		return true
+	}
+	fmt.Fprintf(bw, "OK %d\n", length)
+	return true
+}
+
+func (s *Server) doLoad(bw *bufio.Writer, f []string) bool {
+	if len(f) != 4 {
+		writeErr(bw, ErrProto, "LOAD wants 3 args")
+		return false
+	}
+	offset, err1 := strconv.ParseInt(f[2], 10, 64)
+	length, err2 := strconv.ParseInt(f[3], 10, 64)
+	if err1 != nil || err2 != nil || length < 0 || length > maxTransfer {
+		writeErr(bw, ErrProto, "bad LOAD numbers")
+		return false
+	}
+	data, err := s.Depot.Load(f[1], offset, length)
+	if err != nil {
+		writeErr(bw, err, "")
+		return true
+	}
+	fmt.Fprintf(bw, "OK %d\n", len(data))
+	bw.Write(data)
+	return true
+}
+
+func (s *Server) doProbe(bw *bufio.Writer, f []string) bool {
+	if len(f) != 2 {
+		writeErr(bw, ErrProto, "PROBE wants 1 arg")
+		return false
+	}
+	info, err := s.Depot.Probe(f[1])
+	if err != nil {
+		writeErr(bw, err, "")
+		return true
+	}
+	fmt.Fprintf(bw, "OK %d %d %s\n", info.Size, info.Expires.UnixMilli(), info.Policy)
+	return true
+}
+
+func (s *Server) doExtend(bw *bufio.Writer, f []string) bool {
+	if len(f) != 3 {
+		writeErr(bw, ErrProto, "EXTEND wants 2 args")
+		return false
+	}
+	leaseMs, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		writeErr(bw, ErrProto, "bad EXTEND lease")
+		return false
+	}
+	exp, err := s.Depot.Extend(f[1], time.Duration(leaseMs)*time.Millisecond)
+	if err != nil {
+		writeErr(bw, err, "")
+		return true
+	}
+	fmt.Fprintf(bw, "OK %d\n", exp.UnixMilli())
+	return true
+}
+
+func (s *Server) doFree(bw *bufio.Writer, f []string) bool {
+	if len(f) != 2 {
+		writeErr(bw, ErrProto, "FREE wants 1 arg")
+		return false
+	}
+	if err := s.Depot.Free(f[1]); err != nil {
+		writeErr(bw, err, "")
+		return true
+	}
+	fmt.Fprintf(bw, "OK 0\n")
+	return true
+}
+
+// doCopy implements third-party copy: this depot reads the extent locally
+// and stores it on the target depot directly, without routing bytes
+// through the requesting client.
+func (s *Server) doCopy(bw *bufio.Writer, f []string) bool {
+	if len(f) != 7 {
+		writeErr(bw, ErrProto, "COPY wants 6 args")
+		return false
+	}
+	offset, err1 := strconv.ParseInt(f[2], 10, 64)
+	length, err2 := strconv.ParseInt(f[3], 10, 64)
+	targetOff, err3 := strconv.ParseInt(f[6], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || length < 0 || length > maxTransfer {
+		writeErr(bw, ErrProto, "bad COPY numbers")
+		return false
+	}
+	data, err := s.Depot.Load(f[1], offset, length)
+	if err != nil {
+		writeErr(bw, err, "local read")
+		return true
+	}
+	dialer := s.CopyDialer
+	if dialer == nil {
+		dialer = NetDialer{}
+	}
+	target := &Client{Addr: f[4], Dialer: dialer}
+	if err := target.Store(f[5], targetOff, data); err != nil {
+		writeErr(bw, err, "target store")
+		return true
+	}
+	fmt.Fprintf(bw, "OK %d\n", length)
+	return true
+}
+
+func (s *Server) doStatus(bw *bufio.Writer, f []string) bool {
+	if len(f) != 1 {
+		writeErr(bw, ErrProto, "STATUS wants no args")
+		return false
+	}
+	st := s.Depot.Stat()
+	fmt.Fprintf(bw, "OK %d %d %d\n", st.Capacity, st.Used, st.Allocations)
+	return true
+}

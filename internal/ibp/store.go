@@ -1,0 +1,83 @@
+package ibp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// blockStore abstracts allocation backing storage: memory for small test
+// depots, sparse files for production-sized ones.
+type blockStore interface {
+	writeAt(data []byte, off int64) error
+	readAt(dst []byte, off int64) error
+	destroy() error
+}
+
+// memStore keeps the bytes in RAM.
+type memStore struct {
+	data []byte
+}
+
+func (m *memStore) writeAt(data []byte, off int64) error {
+	copy(m.data[off:], data)
+	return nil
+}
+
+func (m *memStore) readAt(dst []byte, off int64) error {
+	copy(dst, m.data[off:off+int64(len(dst))])
+	return nil
+}
+
+func (m *memStore) destroy() error {
+	m.data = nil
+	return nil
+}
+
+// fileStore backs the allocation with one sparse file.
+type fileStore struct {
+	f    *os.File
+	path string
+}
+
+var fileStoreSeq atomic.Uint64
+
+// newStore picks the backing store per depot configuration.
+func (d *Depot) newStore(size int64) (blockStore, error) {
+	if d.cfg.Dir == "" {
+		return &memStore{data: make([]byte, size)}, nil
+	}
+	path := filepath.Join(d.cfg.Dir, fmt.Sprintf("alloc-%016x.dat", fileStoreSeq.Add(1)))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ibp: creating allocation file: %w", err)
+	}
+	// A sparse file of the full allocation size: unwritten regions read as
+	// zeros, matching the memory store's semantics.
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("ibp: sizing allocation file: %w", err)
+	}
+	return &fileStore{f: f, path: path}, nil
+}
+
+func (s *fileStore) writeAt(data []byte, off int64) error {
+	if _, err := s.f.WriteAt(data, off); err != nil {
+		return fmt.Errorf("ibp: allocation write: %w", err)
+	}
+	return nil
+}
+
+func (s *fileStore) readAt(dst []byte, off int64) error {
+	if _, err := s.f.ReadAt(dst, off); err != nil {
+		return fmt.Errorf("ibp: allocation read: %w", err)
+	}
+	return nil
+}
+
+func (s *fileStore) destroy() error {
+	s.f.Close()
+	return os.Remove(s.path)
+}

@@ -1,0 +1,140 @@
+package ibp
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newDiskDepot(t *testing.T, capacity int64) (*Depot, string, *fakeClock) {
+	t.Helper()
+	dir := t.TempDir()
+	clk := newFakeClock()
+	d, err := NewDepot(DepotConfig{Capacity: capacity, MaxLease: time.Hour, Clock: clk.Now, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, dir, clk
+}
+
+func allocFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "alloc-*.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	d, dir, _ := newDiskDepot(t, 1<<20)
+	caps, err := d.Allocate(4096, time.Minute, Stable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := allocFiles(t, dir); len(got) != 1 {
+		t.Fatalf("allocation files = %v", got)
+	}
+	payload := bytes.Repeat([]byte("disk"), 256)
+	if err := d.Store(caps.Write, 128, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Load(caps.Read, 128, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("disk round trip mismatch")
+	}
+	// Unwritten sparse region reads as zeros.
+	zeros, err := d.Load(caps.Read, 2048, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range zeros {
+		if b != 0 {
+			t.Fatal("sparse region not zero")
+		}
+	}
+}
+
+func TestDiskStoreFreeRemovesFile(t *testing.T) {
+	d, dir, _ := newDiskDepot(t, 1<<20)
+	caps, _ := d.Allocate(1024, time.Minute, Stable)
+	if err := d.Free(caps.Manage); err != nil {
+		t.Fatal(err)
+	}
+	if got := allocFiles(t, dir); len(got) != 0 {
+		t.Errorf("files after free: %v", got)
+	}
+}
+
+func TestDiskStoreExpiryRemovesFile(t *testing.T) {
+	d, dir, clk := newDiskDepot(t, 1<<20)
+	if _, err := d.Allocate(1024, time.Minute, Stable); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Minute)
+	d.Stat() // triggers GC
+	if got := allocFiles(t, dir); len(got) != 0 {
+		t.Errorf("files after expiry: %v", got)
+	}
+}
+
+func TestDiskStoreRevocationRemovesFile(t *testing.T) {
+	d, dir, _ := newDiskDepot(t, 1000)
+	v, _ := d.Allocate(800, time.Minute, Volatile)
+	if _, err := d.Allocate(800, time.Minute, Stable); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Load(v.Read, 0, 1); !errors.Is(err, ErrRevoked) {
+		t.Errorf("revoked read = %v", err)
+	}
+	if got := allocFiles(t, dir); len(got) != 1 {
+		t.Errorf("files after revocation: %v", got)
+	}
+}
+
+func TestDiskDepotOverWire(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDepot(DepotConfig{Capacity: 1 << 20, MaxLease: time.Hour, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &Client{Addr: addr}
+	caps, err := cl.Allocate(8192, time.Minute, Stable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5a}, 8192)
+	if err := cl.Store(caps.Write, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Load(caps.Read, 0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("wire disk round trip mismatch")
+	}
+}
+
+func TestNewDepotBadDir(t *testing.T) {
+	// A file where the directory should be.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDepot(DepotConfig{Capacity: 100, Dir: filepath.Join(f, "sub")}); err == nil {
+		t.Error("depot created under a file path")
+	}
+}

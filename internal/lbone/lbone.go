@@ -1,0 +1,228 @@
+// Package lbone implements the Logistical Backbone: the resource directory
+// that lets applications "find the closest set of IBP depots that can
+// satisfy the needs of an application" (paper section 2.2). Depots register
+// themselves with simulated network coordinates and capacity; clients query
+// for the nearest live depots with enough free space. The paper's system
+// uses it to pick the network caches near the client.
+//
+// The service speaks JSON over HTTP (net/http), in contrast to IBP's raw
+// TCP protocol — mirroring how the real L-Bone was a higher-level service
+// above the depot fabric.
+package lbone
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DepotRecord describes one registered depot.
+type DepotRecord struct {
+	// Addr is the depot's IBP endpoint (host:port).
+	Addr string `json:"addr"`
+	// X, Y are simulated network coordinates; distance in this plane
+	// stands in for network proximity.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// Capacity and Free report storage in bytes.
+	Capacity int64 `json:"capacity"`
+	Free     int64 `json:"free"`
+	// LastSeen is set by the server on registration.
+	LastSeen time.Time `json:"lastSeen,omitempty"`
+}
+
+// Server is the directory. Depots re-register periodically (heartbeat);
+// records older than TTL are considered dead and filtered from lookups.
+type Server struct {
+	// TTL is the registration freshness window (default 30s).
+	TTL time.Duration
+	// Clock supplies time (for tests); nil means time.Now.
+	Clock func() time.Time
+
+	mu      sync.Mutex
+	records map[string]DepotRecord
+	httpSrv *http.Server
+}
+
+// NewServer creates an empty directory.
+func NewServer() *Server {
+	return &Server{TTL: 30 * time.Second, records: make(map[string]DepotRecord)}
+}
+
+func (s *Server) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
+// Register upserts a depot record (also the heartbeat path).
+func (s *Server) Register(rec DepotRecord) error {
+	if rec.Addr == "" {
+		return fmt.Errorf("lbone: record missing addr")
+	}
+	if rec.Capacity < 0 || rec.Free < 0 || rec.Free > rec.Capacity {
+		return fmt.Errorf("lbone: implausible capacity %d/%d", rec.Free, rec.Capacity)
+	}
+	rec.LastSeen = s.now()
+	s.mu.Lock()
+	s.records[rec.Addr] = rec
+	s.mu.Unlock()
+	return nil
+}
+
+// Lookup returns up to n live depots with at least minFree bytes free,
+// sorted by distance from (x, y). n <= 0 means all.
+func (s *Server) Lookup(x, y float64, n int, minFree int64) []DepotRecord {
+	cutoff := s.now().Add(-s.TTL)
+	s.mu.Lock()
+	out := make([]DepotRecord, 0, len(s.records))
+	for addr, rec := range s.records {
+		if rec.LastSeen.Before(cutoff) {
+			delete(s.records, addr)
+			continue
+		}
+		if rec.Free >= minFree {
+			out = append(out, rec)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		di := math.Hypot(out[i].X-x, out[i].Y-y)
+		dj := math.Hypot(out[j].X-x, out[j].Y-y)
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ServeHTTP implements http.Handler with two endpoints:
+// POST /register (DepotRecord JSON body) and GET /lookup.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/register":
+		var rec DepotRecord
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&rec); err != nil {
+			http.Error(w, "bad record: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Register(rec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case r.Method == http.MethodGet && r.URL.Path == "/lookup":
+		q := r.URL.Query()
+		x, _ := strconv.ParseFloat(q.Get("x"), 64)
+		y, _ := strconv.ParseFloat(q.Get("y"), 64)
+		n, _ := strconv.Atoi(q.Get("n"))
+		minFree, _ := strconv.ParseInt(q.Get("minfree"), 10, 64)
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.Lookup(x, y, n, minFree)); err != nil {
+			// Too late to change the status; the client's decoder will fail.
+			return
+		}
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// ListenAndServe starts the directory on addr (":0" for ephemeral) and
+// returns the bound address.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpSrv = &http.Server{Handler: s}
+	go s.httpSrv.Serve(l)
+	return l.Addr().String(), nil
+}
+
+// Close stops the HTTP server if started with ListenAndServe.
+func (s *Server) Close() error {
+	if s.httpSrv != nil {
+		return s.httpSrv.Close()
+	}
+	return nil
+}
+
+// Client talks to a directory server over HTTP.
+type Client struct {
+	// BaseURL is "http://host:port".
+	BaseURL string
+	// HTTP is the client to use; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Register registers (or heartbeats) a depot record.
+func (c *Client) Register(rec DepotRecord) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("lbone: register: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("lbone: register: status %s", resp.Status)
+	}
+	return nil
+}
+
+// Lookup queries the nearest live depots.
+func (c *Client) Lookup(x, y float64, n int, minFree int64) ([]DepotRecord, error) {
+	url := fmt.Sprintf("%s/lookup?x=%g&y=%g&n=%d&minfree=%d", c.BaseURL, x, y, n, minFree)
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("lbone: lookup: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("lbone: lookup: status %s", resp.Status)
+	}
+	var out []DepotRecord
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("lbone: lookup decode: %w", err)
+	}
+	return out, nil
+}
+
+// Heartbeat runs a registration loop every interval until stop is closed.
+// It is the depot-side liveness mechanism.
+func (c *Client) Heartbeat(rec func() DepotRecord, interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if err := c.Register(rec()); err != nil {
+			// Best effort: the directory may be briefly unreachable.
+			_ = err
+		}
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package lightfield
+
+import "lonviz/internal/codec"
+
+// EncodeViewSet marshals and losslessly compresses a view set for network
+// transfer or depot storage — the wire representation used throughout the
+// streaming system. level is a codec compression level
+// (codec.DefaultCompression when unsure).
+func EncodeViewSet(vs *ViewSet, p Params, level int) ([]byte, error) {
+	raw, err := vs.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	return codec.Compress(raw, level)
+}
+
+// DecodeViewSet reverses EncodeViewSet, validating the checksum.
+func DecodeViewSet(frame []byte, p Params) (*ViewSet, error) {
+	raw, err := codec.Decompress(frame)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalViewSet(raw, p)
+}

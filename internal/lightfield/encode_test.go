@@ -1,0 +1,67 @@
+package lightfield
+
+import (
+	"context"
+	"testing"
+
+	"lonviz/internal/codec"
+)
+
+func TestEncodeDecodeViewSet(t *testing.T) {
+	p := smallParams()
+	gen, _ := NewProceduralGenerator(p, 17)
+	vs, err := gen.GenerateViewSet(context.Background(), ViewSetID{R: 0, C: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodeViewSet(vs, p, codec.DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeViewSet(frame, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(vs) {
+		t.Error("encode/decode round trip mismatch")
+	}
+	if len(frame) >= int(p.BytesPerViewSet()) {
+		t.Errorf("compressed frame %d bytes >= raw %d", len(frame), p.BytesPerViewSet())
+	}
+}
+
+func TestDecodeViewSetRejectsCorruption(t *testing.T) {
+	p := smallParams()
+	gen, _ := NewProceduralGenerator(p, 17)
+	vs, _ := gen.GenerateViewSet(context.Background(), ViewSetID{R: 0, C: 0})
+	frame, err := EncodeViewSet(vs, p, codec.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)/2] ^= 0xff
+	if _, err := DecodeViewSet(frame, p); err == nil {
+		t.Error("corrupted frame decoded without error")
+	}
+}
+
+// TestCompressionRatioRealistic pins the procedural generator's zlib ratio
+// to the paper's reported 5-7x band (section 4.1) at a moderately sized
+// view. The band here is generous (3.5-9x) to stay robust across zlib
+// versions while still catching generator regressions that would distort
+// Figure 7.
+func TestCompressionRatioRealistic(t *testing.T) {
+	p := ScaledParams(30, 3, 64)
+	gen, _ := NewProceduralGenerator(p, 4)
+	vs, err := gen.GenerateViewSet(context.Background(), ViewSetID{R: 1, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodeViewSet(vs, p, codec.DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(p.BytesPerViewSet()) / float64(len(frame))
+	if ratio < 3.5 || ratio > 9 {
+		t.Errorf("compression ratio %.2f outside the realistic band [3.5, 9]", ratio)
+	}
+}

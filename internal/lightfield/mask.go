@@ -1,0 +1,37 @@
+package lightfield
+
+import "sync"
+
+// maskCacheT memoizes occlusion masks per Params value. Params is a
+// comparable struct, so it keys a map directly.
+type maskCacheT struct {
+	mu sync.Mutex
+	m  map[Params]*Bitmask
+}
+
+var maskCache = &maskCacheT{m: make(map[Params]*Bitmask)}
+
+func (c *maskCacheT) get(p Params) (*Bitmask, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.m[p]; ok {
+		return m, nil
+	}
+	m, err := computeMask(p)
+	if err != nil {
+		return nil, err
+	}
+	c.m[p] = m
+	return m, nil
+}
+
+// MaskFraction returns the fraction of pixels stored per view under the
+// occlusion mask — the raw (pre-zlib) storage saving of the spherical
+// parameterization is 1 minus this value.
+func (p Params) MaskFraction() (float64, error) {
+	m, err := p.ViewMask(0, 0)
+	if err != nil {
+		return 0, err
+	}
+	return float64(m.Count()) / float64(m.Len()), nil
+}

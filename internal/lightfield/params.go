@@ -1,0 +1,205 @@
+// Package lightfield implements the paper's primary contribution: a light
+// field database (LFD) with spherical two-sphere parameterization, organized
+// into view sets for network transfer, plus generation (sampling a volume
+// renderer over a camera lattice) and client-side novel-view rendering by
+// 4-D table lookup and interpolation.
+//
+// Parameterization (paper section 3.2): two concentric spheres surround the
+// volume. Any viewing ray that can see the volume pierces both spheres; its
+// intersection with the outer sphere gives the camera-lattice coordinate
+// (u,v) and its intersection with the inner (focal) sphere gives (s,t). The
+// camera lattice of Rows x Cols sample views sits on the outer sphere at
+// AngularStep degree intervals; blocks of L x L adjacent sample views form a
+// view set — the unit of compression and transmission.
+package lightfield
+
+import (
+	"fmt"
+	"math"
+
+	"lonviz/internal/geom"
+)
+
+// Params fully describes a light field database's geometry.
+type Params struct {
+	// AngularStepDeg is the lattice spacing in degrees in both angular
+	// directions. The paper uses 2.5.
+	AngularStepDeg float64
+	// ViewSetL is the side length l of a view set block. The paper uses 6,
+	// so a view set spans 15 degrees.
+	ViewSetL int
+	// Res is the pixel resolution r of each (square) sample view.
+	Res int
+	// InnerRadius and OuterRadius are the focal and camera sphere radii.
+	InnerRadius, OuterRadius float64
+	// Center is the common center of both spheres.
+	Center geom.Vec3
+	// FovYDeg is the sample cameras' vertical field of view in degrees.
+	// Zero means "tight": just enough to cover the inner sphere.
+	FovYDeg float64
+}
+
+// PaperParams returns the configuration used in the paper's experiments at
+// the given sample-view resolution: a 2.5 degree lattice (72 x 144 cameras),
+// view sets of 6 x 6 (15 degrees), giving 12 x 24 = 288 view sets.
+func PaperParams(res int) Params {
+	return Params{
+		AngularStepDeg: 2.5,
+		ViewSetL:       6,
+		Res:            res,
+		InnerRadius:    0.87, // just outside the unit-cube volume's bounding sphere
+		OuterRadius:    2.5,
+	}
+}
+
+// ScaledParams returns a reduced lattice for fast tests and CI-scale
+// experiments: step degrees spacing with the same view-set structure.
+func ScaledParams(stepDeg float64, l, res int) Params {
+	p := PaperParams(res)
+	p.AngularStepDeg = stepDeg
+	p.ViewSetL = l
+	return p
+}
+
+// Validate checks structural invariants and returns a descriptive error on
+// the first violation.
+func (p Params) Validate() error {
+	if p.AngularStepDeg <= 0 {
+		return fmt.Errorf("lightfield: non-positive angular step %v", p.AngularStepDeg)
+	}
+	rows := 180 / p.AngularStepDeg
+	cols := 360 / p.AngularStepDeg
+	if rows != math.Trunc(rows) || cols != math.Trunc(cols) {
+		return fmt.Errorf("lightfield: angular step %v does not evenly divide the sphere", p.AngularStepDeg)
+	}
+	if p.ViewSetL <= 0 {
+		return fmt.Errorf("lightfield: non-positive view set size %d", p.ViewSetL)
+	}
+	if int(rows)%p.ViewSetL != 0 || int(cols)%p.ViewSetL != 0 {
+		return fmt.Errorf("lightfield: view set size %d does not tile the %dx%d lattice",
+			p.ViewSetL, int(rows), int(cols))
+	}
+	if p.Res <= 0 {
+		return fmt.Errorf("lightfield: non-positive view resolution %d", p.Res)
+	}
+	if p.InnerRadius <= 0 || p.OuterRadius <= p.InnerRadius {
+		return fmt.Errorf("lightfield: need 0 < inner (%v) < outer (%v) radius", p.InnerRadius, p.OuterRadius)
+	}
+	if p.FovYDeg < 0 || p.FovYDeg >= 180 {
+		return fmt.Errorf("lightfield: field of view %v out of range", p.FovYDeg)
+	}
+	return nil
+}
+
+// Rows returns the number of lattice rows (theta direction, covering 180
+// degrees).
+func (p Params) Rows() int { return int(180 / p.AngularStepDeg) }
+
+// Cols returns the number of lattice columns (phi direction, covering 360
+// degrees).
+func (p Params) Cols() int { return int(360 / p.AngularStepDeg) }
+
+// SetRows returns the number of view set rows.
+func (p Params) SetRows() int { return p.Rows() / p.ViewSetL }
+
+// SetCols returns the number of view set columns.
+func (p Params) SetCols() int { return p.Cols() / p.ViewSetL }
+
+// NumViewSets returns the total number of view sets in the database.
+func (p Params) NumViewSets() int { return p.SetRows() * p.SetCols() }
+
+// FovY returns the sample-camera vertical field of view in radians,
+// defaulting to the tightest view that covers the whole inner sphere.
+func (p Params) FovY() float64 {
+	if p.FovYDeg > 0 {
+		return geom.Radians(p.FovYDeg)
+	}
+	return 2 * math.Asin(p.InnerRadius/p.OuterRadius)
+}
+
+// InnerSphere returns the focal sphere.
+func (p Params) InnerSphere() geom.Sphere {
+	return geom.Sphere{Center: p.Center, Radius: p.InnerRadius}
+}
+
+// OuterSphere returns the camera sphere.
+func (p Params) OuterSphere() geom.Sphere {
+	return geom.Sphere{Center: p.Center, Radius: p.OuterRadius}
+}
+
+// ThetaOf returns the colatitude (radians) of lattice row i. Rows are
+// cell-centered so no camera sits exactly on a pole.
+func (p Params) ThetaOf(i int) float64 {
+	return (float64(i) + 0.5) * math.Pi / float64(p.Rows())
+}
+
+// PhiOf returns the longitude (radians) of lattice column j.
+func (p Params) PhiOf(j int) float64 {
+	return (float64(j) + 0.5) * 2 * math.Pi / float64(p.Cols())
+}
+
+// CameraAngles returns the spherical angles of the sample camera at lattice
+// position (i, j).
+func (p Params) CameraAngles(i, j int) geom.Spherical {
+	return geom.Spherical{Theta: p.ThetaOf(i), Phi: p.PhiOf(j)}
+}
+
+// LatticeCoords returns continuous lattice coordinates (row, col) for a
+// direction given in spherical angles; integer values fall on camera
+// positions. col wraps modulo Cols.
+func (p Params) LatticeCoords(sp geom.Spherical) (row, col float64) {
+	row = sp.Theta/math.Pi*float64(p.Rows()) - 0.5
+	col = sp.Phi/(2*math.Pi)*float64(p.Cols()) - 0.5
+	if col < 0 {
+		col += float64(p.Cols())
+	}
+	return row, col
+}
+
+// NearestCamera returns the lattice indices of the sample camera closest to
+// the given direction. Row clamps at the poles, column wraps.
+func (p Params) NearestCamera(sp geom.Spherical) (i, j int) {
+	row, col := p.LatticeCoords(sp)
+	i = int(math.Round(row))
+	if i < 0 {
+		i = 0
+	}
+	if i >= p.Rows() {
+		i = p.Rows() - 1
+	}
+	j = int(math.Round(col)) % p.Cols()
+	if j < 0 {
+		j += p.Cols()
+	}
+	return i, j
+}
+
+// Camera builds the sample camera at lattice position (i, j), sitting on
+// the outer sphere and looking at the center.
+func (p Params) Camera(i, j int) (*geom.Camera, error) {
+	if i < 0 || i >= p.Rows() || j < 0 || j >= p.Cols() {
+		return nil, fmt.Errorf("lightfield: lattice position (%d,%d) outside %dx%d", i, j, p.Rows(), p.Cols())
+	}
+	return geom.OrbitCamera(p.Center, p.OuterRadius, p.CameraAngles(i, j), p.FovY(), p.Res)
+}
+
+// BytesPerView returns the uncompressed size of one sample view (RGB).
+func (p Params) BytesPerView() int64 { return int64(3 * p.Res * p.Res) }
+
+// BytesPerViewSet returns the uncompressed pixel payload of one view set.
+func (p Params) BytesPerViewSet() int64 {
+	return p.BytesPerView() * int64(p.ViewSetL*p.ViewSetL)
+}
+
+// UncompressedDBBytes returns the uncompressed size of the whole database's
+// pixel payload.
+func (p Params) UncompressedDBBytes() int64 {
+	return p.BytesPerView() * int64(p.Rows()*p.Cols())
+}
+
+// PaperDBBytes reports the database size using the paper's 4 bytes/pixel
+// accounting (their reported 1.5 GB at 200^2 up to 14 GB at 600^2 matches
+// RGBA storage); used by the Figure 7 analytic series.
+func (p Params) PaperDBBytes() int64 {
+	return int64(4*p.Res*p.Res) * int64(p.Rows()*p.Cols())
+}

@@ -1,0 +1,240 @@
+package lightfield
+
+import (
+	"math"
+	"testing"
+
+	"lonviz/internal/geom"
+)
+
+func TestPaperParams(t *testing.T) {
+	p := PaperParams(200)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows() != 72 || p.Cols() != 144 {
+		t.Errorf("lattice = %dx%d, want 72x144", p.Rows(), p.Cols())
+	}
+	if p.SetRows() != 12 || p.SetCols() != 24 {
+		t.Errorf("view sets = %dx%d, want 12x24", p.SetRows(), p.SetCols())
+	}
+	if p.NumViewSets() != 288 {
+		t.Errorf("NumViewSets = %d, want 288", p.NumViewSets())
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	base := ScaledParams(15, 3, 16)
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base params invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero step", func(p *Params) { p.AngularStepDeg = 0 }},
+		{"uneven step", func(p *Params) { p.AngularStepDeg = 7 }},
+		{"zero L", func(p *Params) { p.ViewSetL = 0 }},
+		{"L does not tile", func(p *Params) { p.ViewSetL = 5 }},
+		{"zero res", func(p *Params) { p.Res = 0 }},
+		{"inner >= outer", func(p *Params) { p.InnerRadius = p.OuterRadius }},
+		{"negative inner", func(p *Params) { p.InnerRadius = -1 }},
+		{"fov out of range", func(p *Params) { p.FovYDeg = 200 }},
+	}
+	for _, tc := range cases {
+		p := base
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestPaperScaleDBBytesMatchPaper(t *testing.T) {
+	// Figure 7 reports ~1.5 GB at 200^2 and ~14 GB at 600^2 uncompressed.
+	if got := float64(PaperParams(200).PaperDBBytes()) / 1e9; got < 1.3 || got > 1.9 {
+		t.Errorf("200^2 DB = %.2f GB, paper reports ~1.5", got)
+	}
+	if got := float64(PaperParams(600).PaperDBBytes()) / 1e9; got < 12 || got > 16 {
+		t.Errorf("600^2 DB = %.2f GB, paper reports ~14", got)
+	}
+}
+
+func TestCameraAnglesRanges(t *testing.T) {
+	p := ScaledParams(10, 3, 8)
+	for i := 0; i < p.Rows(); i++ {
+		th := p.ThetaOf(i)
+		if th <= 0 || th >= math.Pi {
+			t.Errorf("row %d theta %v touches a pole", i, th)
+		}
+	}
+	for j := 0; j < p.Cols(); j++ {
+		ph := p.PhiOf(j)
+		if ph < 0 || ph >= 2*math.Pi {
+			t.Errorf("col %d phi %v out of range", j, ph)
+		}
+	}
+}
+
+func TestNearestCameraRoundTrip(t *testing.T) {
+	p := ScaledParams(10, 3, 8)
+	for i := 0; i < p.Rows(); i++ {
+		for j := 0; j < p.Cols(); j++ {
+			gi, gj := p.NearestCamera(p.CameraAngles(i, j))
+			if gi != i || gj != j {
+				t.Fatalf("NearestCamera(angles(%d,%d)) = (%d,%d)", i, j, gi, gj)
+			}
+		}
+	}
+}
+
+func TestNearestCameraClampsAndWraps(t *testing.T) {
+	p := ScaledParams(10, 3, 8)
+	// Exactly at the north pole: row clamps to 0.
+	i, _ := p.NearestCamera(geom.Spherical{Theta: 0, Phi: 1})
+	if i != 0 {
+		t.Errorf("pole row = %d", i)
+	}
+	i, _ = p.NearestCamera(geom.Spherical{Theta: math.Pi, Phi: 1})
+	if i != p.Rows()-1 {
+		t.Errorf("south pole row = %d", i)
+	}
+	// Phi just below 2*pi maps near column 0 (wrap).
+	_, j := p.NearestCamera(geom.Spherical{Theta: math.Pi / 2, Phi: 2*math.Pi - 1e-9})
+	if j != 0 && j != p.Cols()-1 {
+		t.Errorf("wrap column = %d", j)
+	}
+}
+
+func TestCameraOnOuterSphere(t *testing.T) {
+	p := ScaledParams(15, 3, 8)
+	cam, err := p.Camera(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cam.Eye.Dist(p.Center)-p.OuterRadius) > 1e-9 {
+		t.Errorf("camera eye %v not on outer sphere", cam.Eye)
+	}
+	if _, err := p.Camera(-1, 0); err == nil {
+		t.Error("expected error for out-of-range lattice position")
+	}
+	if _, err := p.Camera(0, p.Cols()); err == nil {
+		t.Error("expected error for out-of-range column")
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	p := ScaledParams(15, 3, 10)
+	if p.BytesPerView() != 300 {
+		t.Errorf("BytesPerView = %d", p.BytesPerView())
+	}
+	if p.BytesPerViewSet() != 300*9 {
+		t.Errorf("BytesPerViewSet = %d", p.BytesPerViewSet())
+	}
+	if p.UncompressedDBBytes() != 300*int64(p.Rows()*p.Cols()) {
+		t.Errorf("UncompressedDBBytes = %d", p.UncompressedDBBytes())
+	}
+}
+
+func TestFovDefaultCoversInnerSphere(t *testing.T) {
+	p := ScaledParams(15, 3, 8)
+	want := 2 * math.Asin(p.InnerRadius/p.OuterRadius)
+	if math.Abs(p.FovY()-want) > 1e-12 {
+		t.Errorf("FovY = %v, want %v", p.FovY(), want)
+	}
+	p.FovYDeg = 30
+	if math.Abs(p.FovY()-geom.Radians(30)) > 1e-12 {
+		t.Errorf("explicit FovY = %v", p.FovY())
+	}
+}
+
+func TestViewSetOfTilesLattice(t *testing.T) {
+	p := ScaledParams(10, 6, 8) // 18x36 lattice, 3x6 sets
+	counts := make(map[ViewSetID]int)
+	for i := 0; i < p.Rows(); i++ {
+		for j := 0; j < p.Cols(); j++ {
+			id := p.ViewSetOf(i, j)
+			if !p.ValidID(id) {
+				t.Fatalf("ViewSetOf(%d,%d) = %v invalid", i, j, id)
+			}
+			counts[id]++
+		}
+	}
+	if len(counts) != p.NumViewSets() {
+		t.Fatalf("covered %d view sets, want %d", len(counts), p.NumViewSets())
+	}
+	for id, n := range counts {
+		if n != p.ViewSetL*p.ViewSetL {
+			t.Errorf("view set %v has %d cameras, want %d", id, n, p.ViewSetL*p.ViewSetL)
+		}
+	}
+}
+
+func TestNeighborsInterior(t *testing.T) {
+	p := ScaledParams(10, 3, 8) // sets: 6 rows x 12 cols
+	n := p.Neighbors(ViewSetID{R: 3, C: 5})
+	if len(n) != 8 {
+		t.Fatalf("interior neighbors = %d, want 8", len(n))
+	}
+	seen := map[ViewSetID]bool{}
+	for _, id := range n {
+		if seen[id] {
+			t.Fatalf("duplicate neighbor %v", id)
+		}
+		seen[id] = true
+		if id == (ViewSetID{R: 3, C: 5}) {
+			t.Fatal("neighbors include self")
+		}
+	}
+}
+
+func TestNeighborsPoleAndWrap(t *testing.T) {
+	p := ScaledParams(10, 3, 8)
+	// Top row: no row above -> 5 neighbors.
+	if n := p.Neighbors(ViewSetID{R: 0, C: 5}); len(n) != 5 {
+		t.Errorf("top-row neighbors = %d, want 5", len(n))
+	}
+	// Column wraps: neighbor of col 0 includes col SetCols-1.
+	found := false
+	for _, id := range p.Neighbors(ViewSetID{R: 3, C: 0}) {
+		if id.C == p.SetCols()-1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("column did not wrap in neighbors")
+	}
+}
+
+func TestAllViewSetsEnumeration(t *testing.T) {
+	p := ScaledParams(15, 3, 8) // 4x8 sets
+	ids := p.AllViewSets()
+	if len(ids) != p.NumViewSets() {
+		t.Fatalf("AllViewSets len = %d", len(ids))
+	}
+	seen := map[ViewSetID]bool{}
+	for _, id := range ids {
+		if !p.ValidID(id) || seen[id] {
+			t.Fatalf("bad or duplicate id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSetCenterAngles(t *testing.T) {
+	p := ScaledParams(10, 3, 8) // odd L: center camera is exact
+	id := ViewSetID{R: 2, C: 4}
+	center := p.SetCenterAngles(id)
+	ci, cj := id.R*p.ViewSetL+1, id.C*p.ViewSetL+1
+	want := p.CameraAngles(ci, cj)
+	if math.Abs(center.Theta-want.Theta) > 1e-12 || math.Abs(center.Phi-want.Phi) > 1e-12 {
+		t.Errorf("center = %+v, want %+v", center, want)
+	}
+	// Even L: center between the two middle cameras.
+	p2 := ScaledParams(15, 6, 8)
+	id2 := ViewSetID{R: 0, C: 0}
+	c2 := p2.SetCenterAngles(id2)
+	if c2.Theta <= p2.ThetaOf(2) || c2.Theta >= p2.ThetaOf(3) {
+		t.Errorf("even-L theta center %v not between middle cameras", c2.Theta)
+	}
+}

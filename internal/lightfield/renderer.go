@@ -1,0 +1,320 @@
+package lightfield
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"lonviz/internal/geom"
+	"lonviz/internal/render"
+)
+
+// Provider supplies view sets to the client-side renderer. The simplest
+// provider is a map of everything (local browsing); the streaming client
+// wraps its agent cache in this interface.
+type Provider interface {
+	// ViewSet returns the view set with the given ID if locally available.
+	ViewSet(id ViewSetID) (*ViewSet, bool)
+}
+
+// MapProvider is an in-memory Provider.
+type MapProvider map[ViewSetID]*ViewSet
+
+// ViewSet implements Provider.
+func (m MapProvider) ViewSet(id ViewSetID) (*ViewSet, bool) {
+	vs, ok := m[id]
+	return vs, ok
+}
+
+// RenderStats reports what happened during one novel-view render.
+type RenderStats struct {
+	Pixels     int // total pixels rendered
+	Background int // rays that missed the focal sphere (guaranteed empty)
+	Filled     int // pixels reconstructed from sample views
+	MissingSet int // pixels that needed an unavailable view set
+}
+
+// Renderer reconstructs novel views from a light field database by 4-D
+// table lookup (paper section 3.1): each display ray is mapped to
+// (s,t,u,v), the nearest sample cameras on the (u,v) sphere are found, the
+// ray's focal-sphere point (s,t) is projected into each, and the results
+// are blended — quadrilinear interpolation overall. No volume data and no
+// graphics acceleration are touched at view time; this is why the paper's
+// client runs on PDAs.
+type Renderer struct {
+	P    Params
+	Prov Provider
+	// Blend selects camera blending: true (default via NewRenderer) blends
+	// the 4 nearest sample cameras; false uses nearest-camera lookup only.
+	Blend bool
+
+	// cams caches sample cameras per lattice index; building a camera per
+	// ray would dominate render time.
+	camsOnce sync.Once
+	cams     []*geom.Camera
+	camsErr  error
+}
+
+// NewRenderer validates params and returns a blending renderer.
+func NewRenderer(p Params, prov Provider) (*Renderer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if prov == nil {
+		return nil, fmt.Errorf("lightfield: nil provider")
+	}
+	return &Renderer{P: p, Prov: prov, Blend: true}, nil
+}
+
+// camera returns the cached sample camera at lattice (i, j).
+func (r *Renderer) camera(i, j int) (*geom.Camera, error) {
+	r.camsOnce.Do(func() {
+		rows, cols := r.P.Rows(), r.P.Cols()
+		r.cams = make([]*geom.Camera, rows*cols)
+		for ci := 0; ci < rows; ci++ {
+			for cj := 0; cj < cols; cj++ {
+				cam, err := r.P.Camera(ci, cj)
+				if err != nil {
+					r.camsErr = err
+					return
+				}
+				r.cams[ci*cols+cj] = cam
+			}
+		}
+	})
+	if r.camsErr != nil {
+		return nil, r.camsErr
+	}
+	return r.cams[i*r.P.Cols()+j], nil
+}
+
+// CurrentViewSetID returns the view set that supports viewing from
+// direction sp — the one containing the nearest sample camera.
+func (r *Renderer) CurrentViewSetID(sp geom.Spherical) ViewSetID {
+	i, j := r.P.NearestCamera(sp)
+	return r.P.ViewSetOf(i, j)
+}
+
+// RenderView reconstructs the view seen by cam. The camera should be
+// outside the outer sphere looking toward the volume (the paper's external
+// browsing regime). Scanlines render in parallel across GOMAXPROCS
+// goroutines; lookups touch only immutable data, so no locking is needed.
+func (r *Renderer) RenderView(cam *geom.Camera) (*render.Image, RenderStats, error) {
+	im, err := render.NewImage(cam.Res)
+	if err != nil {
+		return nil, RenderStats{}, err
+	}
+	// Force the camera cache to build once before fan-out.
+	if _, err := r.camera(0, 0); err != nil {
+		return nil, RenderStats{}, err
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > cam.Res {
+		nw = cam.Res
+	}
+	perWorker := make([]RenderStats, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &perWorker[w]
+			var memo providerMemo
+			for y := w; y < cam.Res; y += nw {
+				for x := 0; x < cam.Res; x++ {
+					cr, cg, cb, class := r.lookupRay(cam.PrimaryRayRaw(x, y), &memo)
+					switch class {
+					case rayBackground:
+						st.Background++
+					case rayFilled:
+						st.Filled++
+					case rayMissingSet:
+						st.MissingSet++
+					}
+					im.Set(x, y, cr, cg, cb)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats := RenderStats{Pixels: cam.Res * cam.Res}
+	for _, st := range perWorker {
+		stats.Background += st.Background
+		stats.Filled += st.Filled
+		stats.MissingSet += st.MissingSet
+	}
+	return im, stats, nil
+}
+
+type rayClass int
+
+const (
+	rayBackground rayClass = iota
+	rayFilled
+	rayMissingSet
+)
+
+// providerMemo caches the last provider answer; neighboring pixels almost
+// always need the same view set, so this removes a map lookup per tap.
+type providerMemo struct {
+	id    ViewSetID
+	vs    *ViewSet
+	ok    bool
+	valid bool
+}
+
+func (m *providerMemo) get(prov Provider, id ViewSetID) (*ViewSet, bool) {
+	if m.valid && m.id == id {
+		return m.vs, m.ok
+	}
+	vs, ok := prov.ViewSet(id)
+	m.id, m.vs, m.ok, m.valid = id, vs, ok, true
+	return vs, ok
+}
+
+// lookupRay maps one display ray through the 4-D database.
+func (r *Renderer) lookupRay(ray geom.Ray, memo *providerMemo) (cr, cg, cb byte, class rayClass) {
+	inner := r.P.InnerSphere()
+	outer := r.P.OuterSphere()
+
+	// (s,t): entry point on the focal sphere. Rays that miss it can never
+	// see the volume (same predicate as the storage occlusion mask).
+	tn, tf, ok := inner.IntersectRayGeneral(ray)
+	if !ok || tf <= 0 {
+		return 0, 0, 0, rayBackground
+	}
+	if tn < 0 {
+		tn = 0
+	}
+	focal := ray.At(tn)
+
+	// (u,v): intersection with the camera sphere on the viewer's side.
+	un, uf, ok := outer.IntersectRayGeneral(ray)
+	if !ok {
+		return 0, 0, 0, rayBackground
+	}
+	tuv := un
+	if tuv < 0 {
+		tuv = uf // viewer inside the camera sphere: use the exit point
+	}
+	if tuv < 0 {
+		return 0, 0, 0, rayBackground
+	}
+	uv := outer.SphericalOf(ray.At(tuv))
+
+	row, col := r.P.LatticeCoords(uv)
+	var sumW, sumR, sumG, sumB float64
+	missing := false
+	taps, nTaps := r.cameraTaps(row, col)
+	for _, s := range taps[:nTaps] {
+		vsID := r.P.ViewSetOf(s.i, s.j)
+		vs, ok := memo.get(r.Prov, vsID)
+		if !ok {
+			missing = true
+			continue
+		}
+		cam, err := r.camera(s.i, s.j)
+		if err != nil {
+			continue
+		}
+		px, py, ok := cam.Project(focal)
+		if !ok {
+			continue
+		}
+		if px < 0 || py < 0 || px > float64(r.P.Res-1) || py > float64(r.P.Res-1) {
+			continue // focal point outside this sample view's frame
+		}
+		a := s.i - vs.ID.R*vs.L
+		b := s.j - vs.ID.C*vs.L
+		view, err := vs.View(a, b)
+		if err != nil {
+			continue
+		}
+		var pr, pg, pb float64
+		if r.Blend {
+			pr, pg, pb = view.SampleBilinear(px, py)
+		} else {
+			// Pure table lookup: the nearest stored sample (paper 3.1 —
+			// "simply a sequence of table lookup operations").
+			xr, yr := int(px+0.5), int(py+0.5)
+			r8, g8, b8 := view.At(xr, yr)
+			pr, pg, pb = float64(r8), float64(g8), float64(b8)
+		}
+		sumR += s.w * pr
+		sumG += s.w * pg
+		sumB += s.w * pb
+		sumW += s.w
+	}
+	if sumW == 0 {
+		if missing {
+			return 0, 0, 0, rayMissingSet
+		}
+		return 0, 0, 0, rayBackground
+	}
+	inv := 1 / sumW
+	return clampByte(sumR * inv), clampByte(sumG * inv), clampByte(sumB * inv), rayFilled
+}
+
+// tap is one sample camera contribution with its bilinear weight.
+type tap struct {
+	i, j int
+	w    float64
+}
+
+// cameraTaps returns the sample cameras blended for continuous lattice
+// coordinates (row, col). The fixed-size return avoids a per-pixel heap
+// allocation on the rendering hot path.
+func (r *Renderer) cameraTaps(row, col float64) ([4]tap, int) {
+	rows, cols := r.P.Rows(), r.P.Cols()
+	clampRow := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= rows {
+			return rows - 1
+		}
+		return i
+	}
+	wrapCol := func(j int) int {
+		j %= cols
+		if j < 0 {
+			j += cols
+		}
+		return j
+	}
+	var out [4]tap
+	if !r.Blend {
+		out[0] = tap{i: clampRow(int(math.Round(row))), j: wrapCol(int(math.Round(col))), w: 1}
+		return out, 1
+	}
+	i0 := int(math.Floor(row))
+	j0 := int(math.Floor(col))
+	ft := row - float64(i0)
+	fp := col - float64(j0)
+	out[0] = tap{i: clampRow(i0), j: wrapCol(j0), w: (1 - ft) * (1 - fp)}
+	out[1] = tap{i: clampRow(i0 + 1), j: wrapCol(j0), w: ft * (1 - fp)}
+	out[2] = tap{i: clampRow(i0), j: wrapCol(j0 + 1), w: (1 - ft) * fp}
+	out[3] = tap{i: clampRow(i0 + 1), j: wrapCol(j0 + 1), w: ft * fp}
+	return out, 4
+}
+
+func clampByte(x float64) byte {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 255 {
+		return 255
+	}
+	return byte(x + 0.5)
+}
+
+// ViewerCamera builds a client camera at distance dist from the database
+// center along direction sp, looking at the center — the standard external
+// browsing camera.
+func (p Params) ViewerCamera(sp geom.Spherical, dist float64, res int) (*geom.Camera, error) {
+	if dist <= p.OuterRadius {
+		return nil, fmt.Errorf("lightfield: viewer distance %v must exceed outer radius %v", dist, p.OuterRadius)
+	}
+	return geom.OrbitCamera(p.Center, dist, sp, p.FovY()*p.OuterRadius/dist, res)
+}

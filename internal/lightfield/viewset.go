@@ -1,0 +1,325 @@
+package lightfield
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"lonviz/internal/geom"
+	"lonviz/internal/render"
+)
+
+// ViewSetID identifies a view set by its block position in the lattice:
+// R in [0, SetRows), C in [0, SetCols).
+type ViewSetID struct {
+	R, C int
+}
+
+// String renders the ID in the "r12c05" form used as dictionary keys.
+func (id ViewSetID) String() string { return fmt.Sprintf("r%02dc%02d", id.R, id.C) }
+
+// ViewSetOf returns the view set containing lattice camera (i, j).
+func (p Params) ViewSetOf(i, j int) ViewSetID {
+	return ViewSetID{R: i / p.ViewSetL, C: j / p.ViewSetL}
+}
+
+// ValidID reports whether id addresses a view set inside this database.
+func (p Params) ValidID(id ViewSetID) bool {
+	return id.R >= 0 && id.R < p.SetRows() && id.C >= 0 && id.C < p.SetCols()
+}
+
+// AllViewSets enumerates every view set ID in row-major order.
+func (p Params) AllViewSets() []ViewSetID {
+	out := make([]ViewSetID, 0, p.NumViewSets())
+	for r := 0; r < p.SetRows(); r++ {
+		for c := 0; c < p.SetCols(); c++ {
+			out = append(out, ViewSetID{R: r, C: c})
+		}
+	}
+	return out
+}
+
+// Neighbors returns the up-to-8 neighboring view sets of id. The column
+// direction wraps (phi is periodic); the row direction clamps at the poles.
+func (p Params) Neighbors(id ViewSetID) []ViewSetID {
+	var out []ViewSetID
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			r := id.R + dr
+			if r < 0 || r >= p.SetRows() {
+				continue
+			}
+			c := (id.C + dc) % p.SetCols()
+			if c < 0 {
+				c += p.SetCols()
+			}
+			n := ViewSetID{R: r, C: c}
+			if n != id { // tiny lattices can wrap onto themselves
+				out = append(out, n)
+			}
+		}
+	}
+	return dedupIDs(out)
+}
+
+func dedupIDs(ids []ViewSetID) []ViewSetID {
+	seen := make(map[ViewSetID]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SetCenterAngles returns the spherical direction at the center of a view
+// set's angular span.
+func (p Params) SetCenterAngles(id ViewSetID) geom.Spherical {
+	i := id.R*p.ViewSetL + p.ViewSetL/2
+	j := id.C*p.ViewSetL + p.ViewSetL/2
+	// For even L the "center" camera is offset half a step; average the two
+	// middle positions for a true center.
+	theta := (p.ThetaOf(i-1) + p.ThetaOf(i)) / 2
+	phi := (p.PhiOf(j-1) + p.PhiOf(j)) / 2
+	if p.ViewSetL%2 == 1 {
+		theta = p.ThetaOf(id.R*p.ViewSetL + p.ViewSetL/2)
+		phi = p.PhiOf(id.C*p.ViewSetL + p.ViewSetL/2)
+	}
+	return geom.Spherical{Theta: theta, Phi: phi}
+}
+
+// AngularDistToSet returns the great-circle angle between a direction and
+// the center of view set id. The client agent's prestaging stage orders
+// transfers by this distance ("proximity to cursor", Figure 5).
+func (p Params) AngularDistToSet(sp geom.Spherical, id ViewSetID) float64 {
+	return geom.AngularDist(sp, p.SetCenterAngles(id))
+}
+
+// ViewSet is an l x l block of sample views — the unit of network transfer.
+type ViewSet struct {
+	ID    ViewSetID
+	L     int
+	Res   int
+	Views []*render.Image // row-major L*L, never nil after generation
+}
+
+// NewViewSet allocates a view set with black images.
+func NewViewSet(id ViewSetID, l, res int) (*ViewSet, error) {
+	if l <= 0 || res <= 0 {
+		return nil, fmt.Errorf("lightfield: invalid view set dims l=%d res=%d", l, res)
+	}
+	vs := &ViewSet{ID: id, L: l, Res: res, Views: make([]*render.Image, l*l)}
+	for i := range vs.Views {
+		im, err := render.NewImage(res)
+		if err != nil {
+			return nil, err
+		}
+		vs.Views[i] = im
+	}
+	return vs, nil
+}
+
+// View returns the sample view at local position (a, b) within the block,
+// a, b in [0, L).
+func (vs *ViewSet) View(a, b int) (*render.Image, error) {
+	if a < 0 || a >= vs.L || b < 0 || b >= vs.L {
+		return nil, fmt.Errorf("lightfield: view (%d,%d) outside %dx%d view set", a, b, vs.L, vs.L)
+	}
+	return vs.Views[a*vs.L+b], nil
+}
+
+// LatticePos returns the global lattice indices of local view (a, b).
+func (vs *ViewSet) LatticePos(a, b int) (i, j int) {
+	return vs.ID.R*vs.L + a, vs.ID.C*vs.L + b
+}
+
+// Equal reports deep equality of two view sets.
+func (vs *ViewSet) Equal(other *ViewSet) bool {
+	if other == nil || vs.ID != other.ID || vs.L != other.L || vs.Res != other.Res {
+		return false
+	}
+	for i := range vs.Views {
+		if !vs.Views[i].Equal(other.Views[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+const viewSetMagic = "LVVS1\x00"
+
+// Marshal serializes the view set using the occlusion mask implied by the
+// database geometry (paper: "we can naturally save storage by not storing
+// portions of the 4D database that will remain empty"). Pixels whose primary
+// ray misses the inner (focal) sphere can never see the volume; they are
+// omitted from the byte stream and restored as background on Unmarshal. Both
+// sides recompute the mask from Params, so it costs no wire bytes.
+func (vs *ViewSet) Marshal(p Params) ([]byte, error) {
+	if vs.L != p.ViewSetL || vs.Res != p.Res {
+		return nil, fmt.Errorf("lightfield: view set %dx%d/r%d does not match params %dx%d/r%d",
+			vs.L, vs.L, vs.Res, p.ViewSetL, p.ViewSetL, p.Res)
+	}
+	buf := make([]byte, 0, len(viewSetMagic)+10+int(p.BytesPerViewSet()))
+	buf = append(buf, viewSetMagic...)
+	var hdr [10]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(vs.ID.R))
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(vs.ID.C))
+	hdr[4] = byte(vs.L)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(vs.Res))
+	hdr[9] = 0 // format flags, reserved
+	buf = append(buf, hdr[:]...)
+
+	for a := 0; a < vs.L; a++ {
+		for b := 0; b < vs.L; b++ {
+			i, j := vs.LatticePos(a, b)
+			mask, err := p.ViewMask(i, j)
+			if err != nil {
+				return nil, err
+			}
+			im := vs.Views[a*vs.L+b]
+			for idx := 0; idx < vs.Res*vs.Res; idx++ {
+				if mask.Get(idx) {
+					buf = append(buf, im.Pix[3*idx], im.Pix[3*idx+1], im.Pix[3*idx+2])
+				}
+			}
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalViewSet reconstructs a view set serialized by Marshal. Masked-out
+// pixels are restored as black background.
+func UnmarshalViewSet(data []byte, p Params) (*ViewSet, error) {
+	if len(data) < len(viewSetMagic)+10 {
+		return nil, errors.New("lightfield: view set payload truncated")
+	}
+	if string(data[:len(viewSetMagic)]) != viewSetMagic {
+		return nil, errors.New("lightfield: bad view set magic")
+	}
+	h := data[len(viewSetMagic):]
+	id := ViewSetID{
+		R: int(binary.LittleEndian.Uint16(h[0:])),
+		C: int(binary.LittleEndian.Uint16(h[2:])),
+	}
+	l := int(h[4])
+	res := int(binary.LittleEndian.Uint32(h[5:]))
+	if l != p.ViewSetL || res != p.Res {
+		return nil, fmt.Errorf("lightfield: payload dims l=%d res=%d do not match params l=%d res=%d",
+			l, res, p.ViewSetL, p.Res)
+	}
+	if !p.ValidID(id) {
+		return nil, fmt.Errorf("lightfield: payload view set %v outside database", id)
+	}
+	vs, err := NewViewSet(id, l, res)
+	if err != nil {
+		return nil, err
+	}
+	pos := len(viewSetMagic) + 10
+	for a := 0; a < l; a++ {
+		for b := 0; b < l; b++ {
+			i, j := vs.LatticePos(a, b)
+			mask, err := p.ViewMask(i, j)
+			if err != nil {
+				return nil, err
+			}
+			im := vs.Views[a*l+b]
+			for idx := 0; idx < res*res; idx++ {
+				if !mask.Get(idx) {
+					continue
+				}
+				if pos+3 > len(data) {
+					return nil, errors.New("lightfield: view set payload truncated in pixel data")
+				}
+				im.Pix[3*idx] = data[pos]
+				im.Pix[3*idx+1] = data[pos+1]
+				im.Pix[3*idx+2] = data[pos+2]
+				pos += 3
+			}
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("lightfield: %d trailing bytes in view set payload", len(data)-pos)
+	}
+	return vs, nil
+}
+
+// Bitmask is a simple bit set over pixel indices.
+type Bitmask struct {
+	n    int
+	bits []uint64
+}
+
+// NewBitmask allocates an all-false mask of n bits.
+func NewBitmask(n int) *Bitmask {
+	return &Bitmask{n: n, bits: make([]uint64, (n+63)/64)}
+}
+
+// Get reports bit i.
+func (m *Bitmask) Get(i int) bool { return m.bits[i/64]&(1<<(i%64)) != 0 }
+
+// Set sets bit i to v.
+func (m *Bitmask) Set(i int, v bool) {
+	if v {
+		m.bits[i/64] |= 1 << (i % 64)
+	} else {
+		m.bits[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// Count returns the number of set bits.
+func (m *Bitmask) Count() int {
+	total := 0
+	for _, w := range m.bits {
+		total += popcount(w)
+	}
+	return total
+}
+
+// Len returns the mask size in bits.
+func (m *Bitmask) Len() int { return m.n }
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// ViewMask returns the occlusion mask for the sample camera at lattice
+// (i, j): bit idx is set iff the primary ray of pixel idx intersects the
+// inner sphere and therefore may see the volume. Masks are cached per
+// lattice row — by symmetry all cameras in a row share the same mask.
+func (p Params) ViewMask(i, j int) (*Bitmask, error) {
+	// All orbit cameras are related by rotation about the sphere center,
+	// and the mask depends only on the camera-to-center geometry, which is
+	// identical for every lattice position. Compute once per Params value.
+	return maskCache.get(p)
+}
+
+// computeMask builds the mask for the canonical camera.
+func computeMask(p Params) (*Bitmask, error) {
+	cam, err := geom.OrbitCamera(p.Center, p.OuterRadius,
+		geom.Spherical{Theta: math.Pi / 2, Phi: 0}, p.FovY(), p.Res)
+	if err != nil {
+		return nil, err
+	}
+	inner := p.InnerSphere()
+	m := NewBitmask(p.Res * p.Res)
+	for y := 0; y < p.Res; y++ {
+		for x := 0; x < p.Res; x++ {
+			r := cam.PrimaryRay(x, y)
+			if _, tf, ok := inner.IntersectRay(r); ok && tf > 0 {
+				m.Set(y*p.Res+x, true)
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,456 @@
+// Package lors implements the Logistical Runtime System layer of the
+// network storage stack (paper Figure 1): tools that compose primitive IBP
+// operations into whole-object transfers. Upload stripes an object across
+// depots with replication and returns an exNode; Download reassembles the
+// object with multi-threaded parallel reads, replica failover, and
+// optional replica racing — the high-performance wide-area download
+// algorithms of Plank et al. (paper reference [14]).
+package lors
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"lonviz/internal/exnode"
+	"lonviz/internal/ibp"
+)
+
+// UploadOptions configures Upload.
+type UploadOptions struct {
+	// Depots are candidate depot addresses; stripes round-robin across
+	// them. Required, at least Replicas distinct entries.
+	Depots []string
+	// StripeSize is the extent size in bytes (default 256 KiB).
+	StripeSize int64
+	// Replicas is the number of copies per stripe on distinct depots
+	// (default 1).
+	Replicas int
+	// Lease is the allocation lease requested from depots (default 10m).
+	Lease time.Duration
+	// Policy is the IBP allocation policy (default Stable).
+	Policy ibp.Policy
+	// Dialer shapes depot connections; nil means plain TCP.
+	Dialer ibp.Dialer
+	// Parallelism bounds concurrent stripe uploads (default 4).
+	Parallelism int
+}
+
+func (o *UploadOptions) defaults() error {
+	if len(o.Depots) == 0 {
+		return errors.New("lors: no depots")
+	}
+	if o.StripeSize <= 0 {
+		o.StripeSize = 256 * 1024
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	distinct := map[string]bool{}
+	for _, d := range o.Depots {
+		distinct[d] = true
+	}
+	if o.Replicas > len(distinct) {
+		return fmt.Errorf("lors: %d replicas need %d distinct depots, have %d",
+			o.Replicas, o.Replicas, len(distinct))
+	}
+	if o.Lease == 0 {
+		o.Lease = 10 * time.Minute
+	}
+	if o.Policy == "" {
+		o.Policy = ibp.Stable
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	return nil
+}
+
+func (o *UploadOptions) client(addr string) *ibp.Client {
+	return &ibp.Client{Addr: addr, Dialer: o.Dialer}
+}
+
+// Upload stripes data across depots and returns the exNode describing it.
+// Each stripe is stored on Replicas distinct depots chosen round-robin.
+func Upload(ctx context.Context, name string, data []byte, opts UploadOptions) (*exnode.ExNode, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	ex := &exnode.ExNode{
+		Name:     name,
+		Length:   int64(len(data)),
+		Checksum: fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(data)),
+	}
+	if len(data) == 0 {
+		return ex, nil
+	}
+	type job struct {
+		idx         int
+		offset, end int64
+	}
+	var jobs []job
+	for off := int64(0); off < int64(len(data)); off += opts.StripeSize {
+		end := off + opts.StripeSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		jobs = append(jobs, job{idx: len(jobs), offset: off, end: end})
+	}
+	extents := make([]exnode.Extent, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ext, err := uploadStripe(ctx, data[j.offset:j.end], j, opts)
+			extents[j.idx] = ext
+			errs[j.idx] = err
+		}(j)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	ex.Extents = extents
+	if err := ex.Validate(); err != nil {
+		return nil, fmt.Errorf("lors: built invalid exnode: %w", err)
+	}
+	return ex, nil
+}
+
+// uploadStripe stores one stripe on Replicas distinct depots.
+func uploadStripe(ctx context.Context, chunk []byte, j struct {
+	idx         int
+	offset, end int64
+}, opts UploadOptions) (exnode.Extent, error) {
+	ext := exnode.Extent{Offset: j.offset, Length: j.end - j.offset}
+	placed := 0
+	tried := map[string]bool{}
+	// Start each stripe on a different depot for balance, then walk.
+	for step := 0; placed < opts.Replicas && step < 2*len(opts.Depots); step++ {
+		if err := ctx.Err(); err != nil {
+			return ext, err
+		}
+		addr := opts.Depots[(j.idx+step)%len(opts.Depots)]
+		if tried[addr] {
+			continue
+		}
+		tried[addr] = true
+		cl := opts.client(addr)
+		caps, err := cl.Allocate(ext.Length, opts.Lease, opts.Policy)
+		if err != nil {
+			continue // admission refusal or dead depot: try the next
+		}
+		if err := cl.Store(caps.Write, 0, chunk); err != nil {
+			continue
+		}
+		ext.Replicas = append(ext.Replicas, exnode.Replica{
+			Depot:     addr,
+			ReadCap:   caps.Read,
+			ManageCap: caps.Manage,
+		})
+		placed++
+	}
+	if placed < opts.Replicas {
+		return ext, fmt.Errorf("lors: stripe at %d: placed %d of %d replicas", j.offset, placed, opts.Replicas)
+	}
+	return ext, nil
+}
+
+// DownloadOptions configures Download.
+type DownloadOptions struct {
+	// Dialer shapes depot connections; nil means plain TCP.
+	Dialer ibp.Dialer
+	// Parallelism bounds concurrent extent downloads (default 4). This is
+	// the paper's "simultaneous downloads in parallel" knob.
+	Parallelism int
+	// RaceReplicas fetches every replica of an extent concurrently and
+	// takes the first success, instead of sequential failover. Higher
+	// throughput variance resistance at the cost of redundant transfer
+	// (progressive-redundancy download, reference [14]).
+	RaceReplicas bool
+	// Retries is how many times the full replica list is retried per
+	// extent before giving up (default 1, i.e. one pass).
+	Retries int
+	// Rand orders replica attempts; nil uses a time-seeded source.
+	Rand *rand.Rand
+}
+
+func (o *DownloadOptions) defaults() {
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	if o.Retries <= 0 {
+		o.Retries = 1
+	}
+}
+
+// DownloadStats reports transfer accounting for one Download call.
+type DownloadStats struct {
+	Bytes          int64 // payload bytes assembled
+	ExtentFetches  int   // extents fetched
+	ReplicaTries   int   // replica load attempts, including failures
+	FailedAttempts int   // failed replica loads
+}
+
+// Download reassembles an exNode's payload from the network.
+func Download(ctx context.Context, ex *exnode.ExNode, opts DownloadOptions) ([]byte, DownloadStats, error) {
+	opts.defaults()
+	var stats DownloadStats
+	if err := ex.Validate(); err != nil {
+		return nil, stats, err
+	}
+	out := make([]byte, ex.Length)
+	extents := ex.SortedExtents()
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	errs := make([]error, len(extents))
+	var statsMu sync.Mutex
+	for i, ext := range extents {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, ext exnode.Extent) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			st, err := fetchExtent(ctx, ext, out[ext.Offset:ext.Offset+ext.Length], opts)
+			statsMu.Lock()
+			stats.ReplicaTries += st.ReplicaTries
+			stats.FailedAttempts += st.FailedAttempts
+			stats.ExtentFetches++
+			statsMu.Unlock()
+			errs[i] = err
+		}(i, ext)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.Bytes = ex.Length
+	return out, stats, nil
+}
+
+// fetchExtent fills dst with one extent's bytes using failover or racing.
+func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts DownloadOptions) (DownloadStats, error) {
+	var stats DownloadStats
+	replicas := append([]exnode.Replica{}, ext.Replicas...)
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	rng.Shuffle(len(replicas), func(i, j int) { replicas[i], replicas[j] = replicas[j], replicas[i] })
+
+	if opts.RaceReplicas && len(replicas) > 1 {
+		data, st, err := raceReplicas(ctx, ext, replicas, opts)
+		stats.ReplicaTries += st.ReplicaTries
+		stats.FailedAttempts += st.FailedAttempts
+		if err != nil {
+			return stats, err
+		}
+		copy(dst, data)
+		return stats, nil
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < opts.Retries; attempt++ {
+		for _, rep := range replicas {
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+			stats.ReplicaTries++
+			cl := &ibp.Client{Addr: rep.Depot, Dialer: opts.Dialer}
+			data, err := cl.Load(rep.ReadCap, rep.AllocOffset, ext.Length)
+			if err != nil {
+				stats.FailedAttempts++
+				lastErr = err
+				continue
+			}
+			copy(dst, data)
+			return stats, nil
+		}
+	}
+	return stats, fmt.Errorf("lors: extent at %d: all %d replicas failed: %w",
+		ext.Offset, len(replicas), lastErr)
+}
+
+// raceReplicas launches all replicas concurrently and returns the first
+// success.
+func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Replica, opts DownloadOptions) ([]byte, DownloadStats, error) {
+	var stats DownloadStats
+	type result struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan result, len(replicas))
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for _, rep := range replicas {
+		stats.ReplicaTries++
+		go func(rep exnode.Replica) {
+			cl := &ibp.Client{Addr: rep.Depot, Dialer: opts.Dialer}
+			// The IBP client has its own timeout; context cancellation here
+			// just abandons the result.
+			data, err := cl.Load(rep.ReadCap, rep.AllocOffset, ext.Length)
+			select {
+			case ch <- result{data, err}:
+			case <-cctx.Done():
+			}
+		}(rep)
+	}
+	var lastErr error
+	for i := 0; i < len(replicas); i++ {
+		select {
+		case <-ctx.Done():
+			return nil, stats, ctx.Err()
+		case r := <-ch:
+			if r.err == nil {
+				return r.data, stats, nil
+			}
+			stats.FailedAttempts++
+			lastErr = r.err
+		}
+	}
+	return nil, stats, fmt.Errorf("lors: extent at %d: race lost on all %d replicas: %w",
+		ext.Offset, len(replicas), lastErr)
+}
+
+// Refresh extends the lease on every replica allocation that carries a
+// manage capability, returning the number of successful extensions. The
+// client agent uses it to keep cached-on-depot view sets alive.
+func Refresh(ctx context.Context, ex *exnode.ExNode, lease time.Duration, dialer ibp.Dialer) (int, error) {
+	if err := ex.Validate(); err != nil {
+		return 0, err
+	}
+	ok := 0
+	var lastErr error
+	for _, ext := range ex.Extents {
+		for _, rep := range ext.Replicas {
+			if rep.ManageCap == "" {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return ok, err
+			}
+			cl := &ibp.Client{Addr: rep.Depot, Dialer: dialer}
+			if _, err := cl.Extend(rep.ManageCap, lease); err != nil {
+				lastErr = err
+				continue
+			}
+			ok++
+		}
+	}
+	if ok == 0 && lastErr != nil {
+		return 0, lastErr
+	}
+	return ok, nil
+}
+
+// Free releases every replica allocation with a manage capability.
+func Free(ctx context.Context, ex *exnode.ExNode, dialer ibp.Dialer) error {
+	var lastErr error
+	for _, ext := range ex.Extents {
+		for _, rep := range ext.Replicas {
+			if rep.ManageCap == "" {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			cl := &ibp.Client{Addr: rep.Depot, Dialer: dialer}
+			if err := cl.Free(rep.ManageCap); err != nil {
+				lastErr = err
+			}
+		}
+	}
+	return lastErr
+}
+
+// CopyTo replicates the whole object onto the target depot with third-party
+// copies executed by the source depots, returning a new exNode whose
+// extents point at the target. This is the primitive behind prestaging view
+// sets to a LAN depot (paper Figure 5): no payload bytes traverse the
+// caller.
+func CopyTo(ctx context.Context, ex *exnode.ExNode, targetAddr string, lease time.Duration, policy ibp.Policy, dialer ibp.Dialer) (*exnode.ExNode, error) {
+	return CopyToStriped(ctx, ex, []string{targetAddr}, lease, policy, dialer)
+}
+
+// CopyToStriped stages the object across several target depots, assigning
+// extents round-robin — the paper's configuration stripes staged view sets
+// "across four depots attached to the client agent by a 1Gb/s LAN".
+func CopyToStriped(ctx context.Context, ex *exnode.ExNode, targets []string, lease time.Duration, policy ibp.Policy, dialer ibp.Dialer) (*exnode.ExNode, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("lors: no staging targets")
+	}
+	if err := ex.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == "" {
+		policy = ibp.Volatile // staged copies are cache, soft by default
+	}
+	out := &exnode.ExNode{Name: ex.Name, Length: ex.Length, Checksum: ex.Checksum}
+	for k, ext := range ex.SortedExtents() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		targetAddr := targets[k%len(targets)]
+		target := &ibp.Client{Addr: targetAddr, Dialer: dialer}
+		caps, err := target.Allocate(ext.Length, lease, policy)
+		if err != nil {
+			return nil, fmt.Errorf("lors: staging allocation on %s: %w", targetAddr, err)
+		}
+		copied := false
+		var lastErr error
+		// Sort replica attempts deterministically for reproducible tests.
+		reps := append([]exnode.Replica{}, ext.Replicas...)
+		sort.Slice(reps, func(i, j int) bool { return reps[i].Depot < reps[j].Depot })
+		for _, rep := range reps {
+			src := &ibp.Client{Addr: rep.Depot, Dialer: dialer}
+			if err := src.Copy(rep.ReadCap, rep.AllocOffset, ext.Length, targetAddr, caps.Write, 0); err != nil {
+				lastErr = err
+				continue
+			}
+			copied = true
+			break
+		}
+		if !copied {
+			return nil, fmt.Errorf("lors: staging extent at %d failed: %w", ext.Offset, lastErr)
+		}
+		out.Extents = append(out.Extents, exnode.Extent{
+			Offset: ext.Offset,
+			Length: ext.Length,
+			Replicas: []exnode.Replica{{
+				Depot:     targetAddr,
+				ReadCap:   caps.Read,
+				ManageCap: caps.Manage,
+			}},
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("lors: staged exnode invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,313 @@
+package lors
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lonviz/internal/ibp"
+)
+
+// depotFarm starts n depots and returns their addresses.
+func depotFarm(t *testing.T, n int, capacity int64) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		d, err := ibp.NewDepot(ibp.DepotConfig{Capacity: capacity, MaxLease: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := ibp.NewServer(d)
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = addr
+	}
+	return addrs
+}
+
+func testPayload(n int, seed int64) []byte {
+	data := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+func TestUploadDownloadRoundTrip(t *testing.T) {
+	depots := depotFarm(t, 3, 1<<22)
+	data := testPayload(300*1024, 1) // 300 KiB over 64 KiB stripes
+	ex, err := Upload(context.Background(), "obj1", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 64 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Length != int64(len(data)) {
+		t.Errorf("exnode length = %d", ex.Length)
+	}
+	if len(ex.Extents) != 5 {
+		t.Errorf("extents = %d, want 5", len(ex.Extents))
+	}
+	// Stripes must land on more than one depot.
+	if len(ex.Depots()) < 2 {
+		t.Errorf("striping used only %v", ex.Depots())
+	}
+	got, stats, err := Download(context.Background(), ex, DownloadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("download mismatch")
+	}
+	if stats.Bytes != int64(len(data)) || stats.ExtentFetches != 5 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestUploadReplication(t *testing.T) {
+	depots := depotFarm(t, 3, 1<<22)
+	data := testPayload(100*1024, 2)
+	ex, err := Upload(context.Background(), "obj2", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 32 * 1024,
+		Replicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf := ex.ReplicationFactor(); rf != 2 {
+		t.Errorf("replication factor = %d", rf)
+	}
+	for _, ext := range ex.Extents {
+		if ext.Replicas[0].Depot == ext.Replicas[1].Depot {
+			t.Error("replicas placed on the same depot")
+		}
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	if _, err := Upload(context.Background(), "x", []byte("d"), UploadOptions{}); err == nil {
+		t.Error("no depots accepted")
+	}
+	if _, err := Upload(context.Background(), "x", []byte("d"), UploadOptions{
+		Depots:   []string{"a:1"},
+		Replicas: 2,
+	}); err == nil {
+		t.Error("replicas > distinct depots accepted")
+	}
+}
+
+func TestUploadEmptyObject(t *testing.T) {
+	depots := depotFarm(t, 1, 1024)
+	ex, err := Upload(context.Background(), "empty", nil, UploadOptions{Depots: depots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Download(context.Background(), ex, DownloadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty object downloaded %d bytes", len(got))
+	}
+}
+
+func TestDownloadFailoverToReplica(t *testing.T) {
+	depots := depotFarm(t, 3, 1<<22)
+	data := testPayload(64*1024, 3)
+	ex, err := Upload(context.Background(), "obj3", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 16 * 1024,
+		Replicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison the first replica of every extent so failover must kick in.
+	for i := range ex.Extents {
+		ex.Extents[i].Replicas[0].ReadCap = "poisoned"
+	}
+	got, stats, err := Download(context.Background(), ex, DownloadOptions{
+		Rand: rand.New(rand.NewSource(0)), // deterministic shuffle
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("failover download mismatch")
+	}
+	if stats.FailedAttempts == 0 {
+		t.Error("poisoned replicas never tried; test ineffective")
+	}
+}
+
+func TestDownloadAllReplicasDead(t *testing.T) {
+	depots := depotFarm(t, 2, 1<<20)
+	data := testPayload(8*1024, 4)
+	ex, err := Upload(context.Background(), "obj4", data, UploadOptions{Depots: depots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ex.Extents {
+		for j := range ex.Extents[i].Replicas {
+			ex.Extents[i].Replicas[j].ReadCap = "gone"
+		}
+	}
+	if _, _, err := Download(context.Background(), ex, DownloadOptions{}); err == nil {
+		t.Error("download with dead replicas succeeded")
+	}
+}
+
+func TestDownloadRaceReplicas(t *testing.T) {
+	depots := depotFarm(t, 3, 1<<22)
+	data := testPayload(96*1024, 5)
+	ex, err := Upload(context.Background(), "obj5", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 32 * 1024,
+		Replicas:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Download(context.Background(), ex, DownloadOptions{RaceReplicas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("raced download mismatch")
+	}
+	if stats.ReplicaTries < 9 { // 3 extents x 3 replicas all launched
+		t.Errorf("race tried %d replicas, want 9", stats.ReplicaTries)
+	}
+	// Racing with one poisoned replica still succeeds.
+	for i := range ex.Extents {
+		ex.Extents[i].Replicas[0].ReadCap = "poisoned"
+	}
+	got, _, err = Download(context.Background(), ex, DownloadOptions{RaceReplicas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("raced download with poison mismatch")
+	}
+}
+
+func TestDownloadCancellation(t *testing.T) {
+	depots := depotFarm(t, 2, 1<<22)
+	data := testPayload(64*1024, 6)
+	ex, err := Upload(context.Background(), "obj6", data, UploadOptions{Depots: depots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Download(ctx, ex, DownloadOptions{}); err == nil {
+		t.Error("canceled download succeeded")
+	}
+}
+
+func TestRefreshAndFree(t *testing.T) {
+	depots := depotFarm(t, 2, 1<<22)
+	data := testPayload(32*1024, 7)
+	ex, err := Upload(context.Background(), "obj7", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 16 * 1024,
+		Lease:      2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Refresh(context.Background(), ex, 30*time.Minute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ex.Extents) {
+		t.Errorf("refreshed %d of %d", n, len(ex.Extents))
+	}
+	if err := Free(context.Background(), ex, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Download(context.Background(), ex, DownloadOptions{}); err == nil {
+		t.Error("download after free succeeded")
+	}
+}
+
+func TestCopyToStagesWholeObject(t *testing.T) {
+	src := depotFarm(t, 3, 1<<22)
+	lanDepot := depotFarm(t, 1, 1<<22)[0]
+	data := testPayload(128*1024, 8)
+	ex, err := Upload(context.Background(), "obj8", data, UploadOptions{
+		Depots:     src,
+		StripeSize: 32 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := CopyTo(context.Background(), ex, lanDepot, time.Minute, ibp.Volatile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deps := staged.Depots(); len(deps) != 1 || deps[0] != lanDepot {
+		t.Errorf("staged depots = %v", deps)
+	}
+	got, _, err := Download(context.Background(), staged, DownloadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("staged copy mismatch")
+	}
+}
+
+func TestCopyToSurvivesOneDeadSource(t *testing.T) {
+	src := depotFarm(t, 2, 1<<22)
+	lanDepot := depotFarm(t, 1, 1<<22)[0]
+	data := testPayload(32*1024, 9)
+	ex, err := Upload(context.Background(), "obj9", data, UploadOptions{
+		Depots:     src,
+		StripeSize: 16 * 1024,
+		Replicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison one replica per extent; CopyTo must fail over to the other.
+	for i := range ex.Extents {
+		ex.Extents[i].Replicas[0].ReadCap = "poisoned"
+	}
+	staged, err := CopyTo(context.Background(), ex, lanDepot, time.Minute, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Download(context.Background(), staged, DownloadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("failover staging mismatch")
+	}
+}
+
+func TestUploadSkipsFullDepot(t *testing.T) {
+	// One depot too small to take anything, one large: upload succeeds by
+	// walking past the refusal.
+	small := depotFarm(t, 1, 10)
+	big := depotFarm(t, 1, 1<<22)
+	data := testPayload(16*1024, 10)
+	ex, err := Upload(context.Background(), "obj10", data, UploadOptions{
+		Depots:     []string{small[0], big[0]},
+		StripeSize: 8 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ex.Depots() {
+		if d == small[0] {
+			t.Error("stripe placed on undersized depot")
+		}
+	}
+}

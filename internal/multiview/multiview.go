@@ -1,0 +1,202 @@
+// Package multiview implements interior navigation with multiple light
+// field databases (paper section 3.2: "To allow user navigation through
+// the interior of a volume, multiple light field databases are needed
+// [16], but the same framework for remote visualization can be reused").
+//
+// A Track places stations along a camera path through the volume. Each
+// station is an ordinary spherical light field database — its own Params
+// with a local center and small radii — published under a derived dataset
+// name, streamed by the ordinary agents, and rendered by the ordinary
+// renderer. The Browser glues them together: given a viewer position it
+// selects the station whose database supports that viewpoint and delegates
+// to that station's viewer, so walking the track is a sequence of plain
+// external-browsing sessions.
+package multiview
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/geom"
+	"lonviz/internal/lightfield"
+	"lonviz/internal/render"
+	"lonviz/internal/volume"
+)
+
+// Station is one light field database along a track.
+type Station struct {
+	// Index is the station's position on the track.
+	Index int
+	// Dataset is the derived dataset name (base + "#sNN").
+	Dataset string
+	// P is the station's database geometry: the template with a local
+	// center and scaled radii.
+	P lightfield.Params
+}
+
+// Track is an ordered sequence of stations along a path through the
+// volume's interior.
+type Track struct {
+	Base     string
+	Stations []Station
+}
+
+// NewTrack builds stations from a template geometry: one per path point,
+// each with the template's lattice but centered at the point with radii
+// scaled by radiusScale (so stations cover local neighborhoods rather than
+// the whole volume).
+func NewTrack(base string, template lightfield.Params, path []geom.Vec3, radiusScale float64) (*Track, error) {
+	if base == "" {
+		return nil, fmt.Errorf("multiview: empty base dataset name")
+	}
+	if len(path) == 0 {
+		return nil, fmt.Errorf("multiview: empty path")
+	}
+	if radiusScale <= 0 || radiusScale > 1 {
+		return nil, fmt.Errorf("multiview: radius scale %v out of (0, 1]", radiusScale)
+	}
+	if err := template.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Track{Base: base}
+	for i, c := range path {
+		p := template
+		p.Center = c
+		p.InnerRadius = template.InnerRadius * radiusScale
+		p.OuterRadius = template.OuterRadius * radiusScale
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("multiview: station %d: %w", i, err)
+		}
+		t.Stations = append(t.Stations, Station{
+			Index:   i,
+			Dataset: StationDataset(base, i),
+			P:       p,
+		})
+	}
+	return t, nil
+}
+
+// StationDataset derives the DVS dataset name for station i of base.
+func StationDataset(base string, i int) string {
+	return fmt.Sprintf("%s#s%02d", base, i)
+}
+
+// StationFor returns the station that best supports a viewer at pos: the
+// nearest station center whose outer sphere does not contain the viewer
+// (the external-browsing requirement). ok is false when the viewer is
+// inside every station's camera sphere.
+func (t *Track) StationFor(pos geom.Vec3) (Station, bool) {
+	best := Station{}
+	bestDist := math.Inf(1)
+	found := false
+	for _, s := range t.Stations {
+		d := pos.Dist(s.P.Center)
+		if d <= s.P.OuterRadius {
+			continue // inside this station's camera sphere
+		}
+		if d < bestDist {
+			bestDist = d
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// SourceFactory builds the view set source (typically a client agent or a
+// remote proxy) for one station. The multiview framework is deliberately
+// agnostic: the same LoN streaming stack serves every station.
+type SourceFactory func(st Station) (agent.ViewSetSource, error)
+
+// Browser walks a track, lazily constructing one viewer per station.
+type Browser struct {
+	Track   *Track
+	Factory SourceFactory
+
+	viewers map[int]*agent.Viewer
+}
+
+// NewBrowser validates inputs and returns an empty browser.
+func NewBrowser(t *Track, f SourceFactory) (*Browser, error) {
+	if t == nil || len(t.Stations) == 0 {
+		return nil, fmt.Errorf("multiview: browser needs a track")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("multiview: browser needs a source factory")
+	}
+	return &Browser{Track: t, Factory: f, viewers: make(map[int]*agent.Viewer)}, nil
+}
+
+// viewer returns (building if needed) the viewer for a station.
+func (b *Browser) viewer(st Station) (*agent.Viewer, error) {
+	if v, ok := b.viewers[st.Index]; ok {
+		return v, nil
+	}
+	src, err := b.Factory(st)
+	if err != nil {
+		return nil, fmt.Errorf("multiview: station %d source: %w", st.Index, err)
+	}
+	v, err := agent.NewViewer(st.P, src)
+	if err != nil {
+		return nil, err
+	}
+	b.viewers[st.Index] = v
+	return v, nil
+}
+
+// MoveResult reports one interior move.
+type MoveResult struct {
+	Station Station
+	Record  agent.AccessRecord
+}
+
+// MoveTo processes a viewer position: select the supporting station,
+// convert the position to that station's viewing direction, and fetch the
+// covering view set through the station's own streaming stack.
+func (b *Browser) MoveTo(ctx context.Context, pos geom.Vec3) (MoveResult, error) {
+	st, ok := b.Track.StationFor(pos)
+	if !ok {
+		return MoveResult{}, fmt.Errorf("multiview: position %v inside every station's camera sphere", pos)
+	}
+	v, err := b.viewer(st)
+	if err != nil {
+		return MoveResult{}, err
+	}
+	sp := st.P.OuterSphere().SphericalOf(pos)
+	rec, err := v.MoveTo(ctx, sp)
+	if err != nil {
+		return MoveResult{}, err
+	}
+	return MoveResult{Station: st, Record: rec}, nil
+}
+
+// Render reconstructs the view from pos toward the active station's
+// center at the given display resolution.
+func (b *Browser) Render(pos geom.Vec3, res int) (*render.Image, lightfield.RenderStats, error) {
+	st, ok := b.Track.StationFor(pos)
+	if !ok {
+		return nil, lightfield.RenderStats{}, fmt.Errorf("multiview: unsupported position %v", pos)
+	}
+	v, err := b.viewer(st)
+	if err != nil {
+		return nil, lightfield.RenderStats{}, err
+	}
+	sp := st.P.OuterSphere().SphericalOf(pos)
+	return v.Render(sp, pos.Dist(st.P.Center), res)
+}
+
+// StationGenerators builds a clipped ray-cast generator per station from
+// one shared volume — the offline generation plan for an interior track.
+func StationGenerators(t *Track, vol *volume.Volume, tf *volume.TransferFunction) (map[string]lightfield.Generator, error) {
+	out := make(map[string]lightfield.Generator, len(t.Stations))
+	for _, st := range t.Stations {
+		gen, err := lightfield.NewClippedRaycastGenerator(st.P, vol, tf)
+		if err != nil {
+			return nil, fmt.Errorf("multiview: station %d generator: %w", st.Index, err)
+		}
+		out[st.Dataset] = gen
+	}
+	return out, nil
+}

@@ -1,0 +1,227 @@
+package render
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"lonviz/internal/geom"
+	"lonviz/internal/volume"
+)
+
+// Raycaster renders a volume through a transfer function by front-to-back
+// alpha compositing along primary rays.
+type Raycaster struct {
+	Vol *volume.Volume
+	TF  *volume.TransferFunction
+
+	// StepScale is the ray-march step as a fraction of the smallest voxel
+	// extent. Defaults to 0.8 when zero.
+	StepScale float64
+	// OpacityCutoff triggers early ray termination when accumulated alpha
+	// exceeds it. Defaults to 0.98 when zero.
+	OpacityCutoff float64
+	// Workers is the size of the rendering worker pool. Defaults to
+	// GOMAXPROCS when zero. The paper used a 32-processor cluster for this
+	// stage; Workers=32 reproduces that configuration on a large host.
+	Workers int
+	// Shade enables simple headlight diffuse shading from the gradient.
+	Shade bool
+	// Background is the background color (default black).
+	Background [3]byte
+	// Clip, when non-nil, restricts ray marching to the inside of this
+	// sphere: samples outside contribute nothing, and rays that miss it
+	// entirely render pure background. Interior-navigation station
+	// databases use it so each station captures exactly the sub-volume its
+	// focal sphere can contain.
+	Clip *geom.Sphere
+}
+
+// NewRaycaster returns a ray caster with default parameters.
+func NewRaycaster(vol *volume.Volume, tf *volume.TransferFunction) (*Raycaster, error) {
+	if vol == nil {
+		return nil, fmt.Errorf("render: nil volume")
+	}
+	if tf == nil {
+		return nil, fmt.Errorf("render: nil transfer function")
+	}
+	return &Raycaster{Vol: vol, TF: tf, Shade: true}, nil
+}
+
+func (rc *Raycaster) step() float64 {
+	s := rc.StepScale
+	if s <= 0 {
+		s = 0.8
+	}
+	vx := rc.Vol.Size.X / float64(rc.Vol.NX)
+	vy := rc.Vol.Size.Y / float64(rc.Vol.NY)
+	vz := rc.Vol.Size.Z / float64(rc.Vol.NZ)
+	m := vx
+	if vy < m {
+		m = vy
+	}
+	if vz < m {
+		m = vz
+	}
+	return s * m
+}
+
+func (rc *Raycaster) cutoff() float32 {
+	if rc.OpacityCutoff <= 0 {
+		return 0.98
+	}
+	return float32(rc.OpacityCutoff)
+}
+
+func (rc *Raycaster) workers() int {
+	if rc.Workers > 0 {
+		return rc.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Render renders the full camera view into a new image, parallelizing over
+// scanlines. ctx cancels a long render early; the partial image is
+// discarded and ctx.Err() returned.
+func (rc *Raycaster) Render(ctx context.Context, cam *geom.Camera) (*Image, error) {
+	im, err := NewImage(cam.Res)
+	if err != nil {
+		return nil, err
+	}
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	nw := rc.workers()
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for y := range rows {
+				rc.renderRow(cam, im, y)
+			}
+		}()
+	}
+	err = nil
+feed:
+	for y := 0; y < cam.Res; y++ {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		case rows <- y:
+		}
+	}
+	close(rows)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// renderRow casts all rays of scanline y.
+func (rc *Raycaster) renderRow(cam *geom.Camera, im *Image, y int) {
+	for x := 0; x < cam.Res; x++ {
+		r, g, b := rc.CastRay(cam.PrimaryRay(x, y))
+		im.Set(x, y, r, g, b)
+	}
+}
+
+// CastRay composites the volume along one ray and returns the final pixel
+// color over the background.
+func (rc *Raycaster) CastRay(ray geom.Ray) (r, g, b byte) {
+	tn, tf, ok := rc.Vol.Bounds().IntersectRay(ray)
+	if !ok || tf <= 0 {
+		return rc.Background[0], rc.Background[1], rc.Background[2]
+	}
+	if rc.Clip != nil {
+		cn, cf, cok := rc.Clip.IntersectRay(ray)
+		if !cok || cf <= 0 {
+			return rc.Background[0], rc.Background[1], rc.Background[2]
+		}
+		if cn > tn {
+			tn = cn
+		}
+		if cf < tf {
+			tf = cf
+		}
+		if tn >= tf {
+			return rc.Background[0], rc.Background[1], rc.Background[2]
+		}
+	}
+	if tn < 0 {
+		tn = 0
+	}
+	step := rc.step()
+	cutoff := rc.cutoff()
+
+	var accR, accG, accB, accA float32
+	for t := tn + step/2; t < tf; t += step {
+		p := ray.At(t)
+		s := rc.Vol.Sample(p)
+		c := rc.TF.Lookup(s)
+		if c.A <= 0 {
+			continue
+		}
+		// Opacity correction for step size relative to unit reference.
+		alpha := 1 - pow32(1-c.A, float32(step*float64(rc.Vol.NX)))
+		if alpha <= 0 {
+			continue
+		}
+		cr, cg, cb := c.R, c.G, c.B
+		if rc.Shade {
+			grad := rc.Vol.Gradient(p)
+			if l := grad.Len(); l > 1e-6 {
+				// Headlight diffuse: light from the eye direction.
+				diff := float32(abs64(grad.Norm().Dot(ray.Dir)))
+				shade := 0.35 + 0.65*diff
+				cr *= shade
+				cg *= shade
+				cb *= shade
+			}
+		}
+		// Front-to-back compositing with premultiplied colors.
+		w := (1 - accA) * alpha
+		accR += w * cr
+		accG += w * cg
+		accB += w * cb
+		accA += w
+		if accA >= cutoff {
+			break
+		}
+	}
+	bg := rc.Background
+	accR += (1 - accA) * float32(bg[0]) / 255
+	accG += (1 - accA) * float32(bg[1]) / 255
+	accB += (1 - accA) * float32(bg[2]) / 255
+	return toByte(accR), toByte(accG), toByte(accB)
+}
+
+func toByte(x float32) byte {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 255
+	}
+	return byte(x*255 + 0.5)
+}
+
+func pow32(base, exp float32) float32 {
+	// Small fast-path: exp near 1 is the common case.
+	if base <= 0 {
+		return 0
+	}
+	if base >= 1 {
+		return 1
+	}
+	return float32(math.Pow(float64(base), float64(exp)))
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

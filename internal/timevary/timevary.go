@@ -1,0 +1,194 @@
+// Package timevary extends the system to time-varying simulations — the
+// paper's closing future-work item ("We will continue to develop remote
+// visualization systems for flow fields and time-varying simulations as
+// well"). A Sequence publishes one ordinary light field database per
+// timestep under derived dataset names; the Player browses a view
+// direction through time, prefetching the same angular window of upcoming
+// timesteps so playback hides WAN latency the same way the quadrant policy
+// hides panning latency.
+package timevary
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/geom"
+	"lonviz/internal/lightfield"
+	"lonviz/internal/render"
+)
+
+// Sequence describes a time-varying light field database.
+type Sequence struct {
+	// Base is the dataset family name.
+	Base string
+	// P is the (shared) database geometry of every timestep.
+	P lightfield.Params
+	// Steps is the number of timesteps.
+	Steps int
+}
+
+// NewSequence validates the description.
+func NewSequence(base string, p lightfield.Params, steps int) (*Sequence, error) {
+	if base == "" {
+		return nil, fmt.Errorf("timevary: empty base dataset name")
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("timevary: non-positive step count %d", steps)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sequence{Base: base, P: p, Steps: steps}, nil
+}
+
+// Dataset derives the DVS dataset name for timestep t.
+func (s *Sequence) Dataset(t int) string {
+	return fmt.Sprintf("%s@t%03d", s.Base, t)
+}
+
+// ValidStep reports whether t is a timestep of the sequence.
+func (s *Sequence) ValidStep(t int) bool { return t >= 0 && t < s.Steps }
+
+// SourceFactory builds the view set source for one timestep's dataset —
+// the same streaming stack as the static system, instantiated per step.
+type SourceFactory func(step int, dataset string) (agent.ViewSetSource, error)
+
+// Player browses a time-varying database: spatial movement within a step
+// works exactly like the static viewer; advancing time swaps databases,
+// and the temporal prefetcher pulls the current angular window of the next
+// Lookahead steps in the background.
+type Player struct {
+	Seq     *Sequence
+	Factory SourceFactory
+	// Lookahead is the temporal prefetch depth in steps (default 1; 0
+	// disables temporal prefetch).
+	Lookahead int
+
+	viewers map[int]*agent.Viewer
+	sources map[int]agent.ViewSetSource
+	step    int
+}
+
+// NewPlayer validates inputs.
+func NewPlayer(seq *Sequence, f SourceFactory) (*Player, error) {
+	if seq == nil {
+		return nil, fmt.Errorf("timevary: player needs a sequence")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("timevary: player needs a source factory")
+	}
+	return &Player{
+		Seq:       seq,
+		Factory:   f,
+		Lookahead: 1,
+		viewers:   make(map[int]*agent.Viewer),
+		sources:   make(map[int]agent.ViewSetSource),
+	}, nil
+}
+
+func (pl *Player) source(step int) (agent.ViewSetSource, error) {
+	if src, ok := pl.sources[step]; ok {
+		return src, nil
+	}
+	src, err := pl.Factory(step, pl.Seq.Dataset(step))
+	if err != nil {
+		return nil, fmt.Errorf("timevary: step %d source: %w", step, err)
+	}
+	pl.sources[step] = src
+	return src, nil
+}
+
+func (pl *Player) viewer(step int) (*agent.Viewer, error) {
+	if v, ok := pl.viewers[step]; ok {
+		return v, nil
+	}
+	src, err := pl.source(step)
+	if err != nil {
+		return nil, err
+	}
+	v, err := agent.NewViewer(pl.Seq.P, src)
+	if err != nil {
+		return nil, err
+	}
+	pl.viewers[step] = v
+	return v, nil
+}
+
+// Step returns the current timestep.
+func (pl *Player) Step() int { return pl.step }
+
+// Seek moves to timestep t viewing from direction sp, returning the access
+// record for the view set that had to be present. Temporal prefetch for
+// steps t+1..t+Lookahead starts in the background.
+func (pl *Player) Seek(ctx context.Context, t int, sp geom.Spherical) (agent.AccessRecord, error) {
+	if !pl.Seq.ValidStep(t) {
+		return agent.AccessRecord{}, fmt.Errorf("timevary: step %d outside [0, %d)", t, pl.Seq.Steps)
+	}
+	v, err := pl.viewer(t)
+	if err != nil {
+		return agent.AccessRecord{}, err
+	}
+	rec, err := v.MoveTo(ctx, sp)
+	if err != nil {
+		return rec, err
+	}
+	pl.step = t
+	pl.prefetchAhead(t, sp)
+	return rec, nil
+}
+
+// Advance plays the next timestep at the same view direction.
+func (pl *Player) Advance(ctx context.Context, sp geom.Spherical) (agent.AccessRecord, error) {
+	return pl.Seek(ctx, pl.step+1, sp)
+}
+
+// prefetchAhead warms the next steps' agents with the current angular
+// window — the temporal analogue of the quadrant policy.
+func (pl *Player) prefetchAhead(t int, sp geom.Spherical) {
+	i, j := pl.Seq.P.NearestCamera(sp)
+	id := pl.Seq.P.ViewSetOf(i, j)
+	for dt := 1; dt <= pl.Lookahead; dt++ {
+		step := t + dt
+		if !pl.Seq.ValidStep(step) {
+			break
+		}
+		src, err := pl.source(step)
+		if err != nil {
+			continue // step source unavailable; playback will surface it
+		}
+		go func(src agent.ViewSetSource) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			// GetViewSet populates the step's agent cache; the frame is
+			// discarded here.
+			_, _, _ = src.GetViewSet(ctx, id)
+		}(src)
+	}
+}
+
+// Render reconstructs the current timestep's view from direction sp.
+func (pl *Player) Render(sp geom.Spherical, dist float64, res int) (*render.Image, lightfield.RenderStats, error) {
+	v, err := pl.viewer(pl.step)
+	if err != nil {
+		return nil, lightfield.RenderStats{}, err
+	}
+	return v.Render(sp, dist, res)
+}
+
+// TimeGenerator builds per-step procedural generators whose content
+// evolves smoothly with the step index — a stand-in for a time-varying
+// simulation output.
+func TimeGenerator(seq *Sequence, baseSeed int64) map[string]lightfield.Generator {
+	out := make(map[string]lightfield.Generator, seq.Steps)
+	for t := 0; t < seq.Steps; t++ {
+		gen, err := lightfield.NewProceduralGenerator(seq.P, baseSeed+int64(t))
+		if err != nil {
+			// NewSequence validated P already; this cannot fail.
+			panic("timevary: " + err.Error())
+		}
+		out[seq.Dataset(t)] = gen
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package timevary
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/dvs"
+	"lonviz/internal/geom"
+	"lonviz/internal/ibp"
+	"lonviz/internal/lightfield"
+)
+
+func seqParams() lightfield.Params { return lightfield.ScaledParams(45, 2, 8) }
+
+func TestNewSequenceValidation(t *testing.T) {
+	p := seqParams()
+	if _, err := NewSequence("", p, 3); err == nil {
+		t.Error("empty base accepted")
+	}
+	if _, err := NewSequence("d", p, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	bad := p
+	bad.Res = 0
+	if _, err := NewSequence("d", bad, 3); err == nil {
+		t.Error("bad params accepted")
+	}
+	s, err := NewSequence("neghip", p, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dataset(7) != "neghip@t007" {
+		t.Errorf("dataset = %q", s.Dataset(7))
+	}
+	if !s.ValidStep(0) || !s.ValidStep(11) || s.ValidStep(12) || s.ValidStep(-1) {
+		t.Error("ValidStep wrong")
+	}
+}
+
+// timeRig publishes every timestep through the shared streaming stack and
+// returns a factory of per-step client agents (kept for inspection).
+func timeRig(t *testing.T, seq *Sequence) (SourceFactory, map[int]*agent.ClientAgent) {
+	t.Helper()
+	var depots []string
+	for i := 0; i < 2; i++ {
+		d, err := ibp.NewDepot(ibp.DepotConfig{Capacity: 1 << 24, MaxLease: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := ibp.NewServer(d)
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		depots = append(depots, addr)
+	}
+	dvsSrv := dvs.NewServer("")
+	dvsAddr, err := dvsSrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dvsSrv.Close() })
+
+	for dataset, gen := range TimeGenerator(seq, 100) {
+		sa, err := agent.NewServerAgent(agent.ServerAgentConfig{
+			Dataset: dataset,
+			Gen:     gen,
+			Depots:  depots,
+			DVS:     &dvs.Client{Addr: dvsAddr},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sa.Close() })
+		if _, err := sa.PrecomputeAll(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	agents := make(map[int]*agent.ClientAgent)
+	factory := func(step int, dataset string) (agent.ViewSetSource, error) {
+		ca, err := agent.NewClientAgent(agent.ClientAgentConfig{
+			Dataset: dataset,
+			Params:  seq.P,
+			DVS:     &dvs.Client{Addr: dvsAddr},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Cleanup(ca.Close)
+		agents[step] = ca
+		return ca, nil
+	}
+	return factory, agents
+}
+
+func TestPlayerPlaybackWithTemporalPrefetch(t *testing.T) {
+	seq, err := NewSequence("flow", seqParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, agents := timeRig(t, seq)
+	pl, err := NewPlayer(seq, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Lookahead = 1
+	sp := geom.Spherical{Theta: 1.4, Phi: 2.0}
+
+	rec, err := pl.Seek(context.Background(), 0, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Class != agent.AccessWAN {
+		t.Errorf("first frame class = %v", rec.Class)
+	}
+	// Give the temporal prefetch of step 1 time to land in step 1's agent.
+	i, j := seq.P.NearestCamera(sp)
+	id := seq.P.ViewSetOf(i, j)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ca, ok := agents[1]; ok {
+			if _, rep, err := ca.GetViewSet(context.Background(), id); err == nil && rep.Class == agent.AccessHit {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("temporal prefetch never warmed step 1")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Advancing is now an agent-cache hit.
+	rec, err = pl.Advance(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Class != agent.AccessHit {
+		t.Errorf("prefetched step class = %v", rec.Class)
+	}
+	if pl.Step() != 1 {
+		t.Errorf("step = %d", pl.Step())
+	}
+	// Rendering the current frame works.
+	im, stats, err := pl.Render(sp, seq.P.OuterRadius*1.6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Res != 16 || stats.Filled == 0 {
+		t.Errorf("render stats = %+v", stats)
+	}
+}
+
+func TestPlayerStepsDiffer(t *testing.T) {
+	seq, _ := NewSequence("flow", seqParams(), 2)
+	factory, _ := timeRig(t, seq)
+	pl, _ := NewPlayer(seq, factory)
+	pl.Lookahead = 0
+	sp := geom.Spherical{Theta: 1.4, Phi: 2.0}
+	if _, err := pl.Seek(context.Background(), 0, sp); err != nil {
+		t.Fatal(err)
+	}
+	im0, _, err := pl.Render(sp, seq.P.OuterRadius*1.6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Seek(context.Background(), 1, sp); err != nil {
+		t.Fatal(err)
+	}
+	im1, _, err := pl.Render(sp, seq.P.OuterRadius*1.6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im0.Equal(im1) {
+		t.Error("timesteps rendered identically; time-varying content missing")
+	}
+}
+
+func TestPlayerValidation(t *testing.T) {
+	seq, _ := NewSequence("d", seqParams(), 3)
+	if _, err := NewPlayer(nil, nil); err == nil {
+		t.Error("nil sequence accepted")
+	}
+	if _, err := NewPlayer(seq, nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	pl, err := NewPlayer(seq, func(step int, dataset string) (agent.ViewSetSource, error) {
+		t.Fatal("factory must not run for invalid steps")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Seek(context.Background(), 5, geom.Spherical{}); err == nil {
+		t.Error("out-of-range step accepted")
+	}
+	if _, err := pl.Seek(context.Background(), -1, geom.Spherical{}); err == nil {
+		t.Error("negative step accepted")
+	}
+}
+
+func TestTimeGeneratorCoversSteps(t *testing.T) {
+	seq, _ := NewSequence("d", seqParams(), 5)
+	gens := TimeGenerator(seq, 7)
+	if len(gens) != 5 {
+		t.Fatalf("generators = %d", len(gens))
+	}
+	for tstep := 0; tstep < 5; tstep++ {
+		if _, ok := gens[seq.Dataset(tstep)]; !ok {
+			t.Errorf("missing generator for step %d", tstep)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package volume
+
+import (
+	"math"
+	"math/rand"
+
+	"lonviz/internal/geom"
+)
+
+// charge is one Gaussian charge of the synthetic potential field.
+type charge struct {
+	pos   geom.Vec3
+	q     float64 // signed magnitude
+	sigma float64 // Gaussian radius
+}
+
+// NegHip synthesizes the stand-in for the paper's negHip dataset: the
+// electrical potential of a negative high-energy protein, 64^3 by default.
+// It superposes positive and negative Gaussian charges arranged as a short
+// helical backbone with pendant side groups, then normalizes to [0,1] so
+// 0.5 is neutral potential. The result mixes broad semi-transparent lobes
+// with compact high-magnitude cores, exercising the same rendering regime
+// (semi-transparency + full opaqueness) as the original dataset.
+func NegHip(n int) (*Volume, error) {
+	v, err := New(n, n, n)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(0x6e654869)) // "neHi" — fixed for reproducibility
+
+	var charges []charge
+	// Helical backbone of alternating charges.
+	const backbone = 14
+	for i := 0; i < backbone; i++ {
+		t := float64(i) / float64(backbone-1) // 0..1
+		ang := t * 4 * math.Pi
+		pos := geom.V(
+			0.28*math.Cos(ang),
+			0.28*math.Sin(ang),
+			0.7*(t-0.5),
+		)
+		q := 1.0
+		if i%2 == 1 {
+			q = -1.2 // net negative, as the name says
+		}
+		charges = append(charges, charge{pos: pos, q: q, sigma: 0.06 + 0.02*rng.Float64()})
+	}
+	// Pendant side groups: small strong negative cores.
+	for i := 0; i < 10; i++ {
+		dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Norm()
+		base := charges[rng.Intn(backbone)].pos
+		charges = append(charges, charge{
+			pos:   base.Add(dir.Scale(0.08 + 0.06*rng.Float64())),
+			q:     -2.0 + 0.5*rng.Float64(),
+			sigma: 0.03 + 0.01*rng.Float64(),
+		})
+	}
+	// A diffuse positive halo to give the outer semi-transparent shell.
+	charges = append(charges, charge{pos: geom.V(0, 0, 0), q: 0.4, sigma: 0.22})
+
+	fillCharges(v, charges)
+	// Symmetric normalization keeps neutral potential on the transfer
+	// function's transparent midpoint, so empty space renders empty.
+	v.NormalizeSymmetric()
+	return v, nil
+}
+
+// Blobs synthesizes a field of nBlobs random Gaussian blobs; handy as a
+// second test dataset with different spatial frequency content. seed makes
+// the dataset reproducible.
+func Blobs(n, nBlobs int, seed int64) (*Volume, error) {
+	v, err := New(n, n, n)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	charges := make([]charge, 0, nBlobs)
+	for i := 0; i < nBlobs; i++ {
+		charges = append(charges, charge{
+			pos: geom.V(
+				(rng.Float64()-0.5)*0.8,
+				(rng.Float64()-0.5)*0.8,
+				(rng.Float64()-0.5)*0.8,
+			),
+			q:     0.5 + rng.Float64(),
+			sigma: 0.05 + 0.1*rng.Float64(),
+		})
+	}
+	fillCharges(v, charges)
+	v.Normalize()
+	return v, nil
+}
+
+// Shell synthesizes a hollow spherical shell — a worst case for occlusion
+// culling (every external ray through the bounding sphere hits data) and a
+// best case for view coherence.
+func Shell(n int, radius, thickness float64) (*Volume, error) {
+	v, err := New(n, n, n)
+	if err != nil {
+		return nil, err
+	}
+	forEachVoxel(v, func(i, j, k int, p geom.Vec3) float32 {
+		d := p.Len() - radius
+		return float32(math.Exp(-d * d / (2 * thickness * thickness)))
+	})
+	v.Normalize()
+	return v, nil
+}
+
+// fillCharges evaluates the superposed Gaussian charges into v.
+func fillCharges(v *Volume, charges []charge) {
+	forEachVoxel(v, func(i, j, k int, p geom.Vec3) float32 {
+		var sum float64
+		for _, c := range charges {
+			d2 := p.Sub(c.pos).Len2()
+			sum += c.q * math.Exp(-d2/(2*c.sigma*c.sigma))
+		}
+		return float32(sum)
+	})
+}
+
+// forEachVoxel calls f with every voxel index and its world-space center,
+// storing the returned value.
+func forEachVoxel(v *Volume, f func(i, j, k int, p geom.Vec3) float32) {
+	for k := 0; k < v.NZ; k++ {
+		z := v.Origin.Z + (float64(k)+0.5)/float64(v.NZ)*v.Size.Z
+		for j := 0; j < v.NY; j++ {
+			y := v.Origin.Y + (float64(j)+0.5)/float64(v.NY)*v.Size.Y
+			for i := 0; i < v.NX; i++ {
+				x := v.Origin.X + (float64(i)+0.5)/float64(v.NX)*v.Size.X
+				v.Data[v.index(i, j, k)] = f(i, j, k, geom.V(x, y, z))
+			}
+		}
+	}
+}
