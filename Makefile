@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test test-short race vet fmt check chaos
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the chaos soak and the multi-process end-to-end test.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# Full gate: what CI (and the pre-merge checklist) runs.
+check:
+	./scripts/check.sh
+
+# Just the fault-injection soak, verbosely.
+chaos:
+	$(GO) test -race -v -run 'TestChaos' -count=1 .

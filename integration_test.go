@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -53,16 +54,16 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 
 	var procs []*exec.Cmd
-	start := func(name string, args ...string) *bytes.Buffer {
+	start := func(name string, args ...string) *syncBuffer {
 		cmd := exec.Command(filepath.Join(bin, name), args...)
-		var buf bytes.Buffer
-		cmd.Stdout = &buf
-		cmd.Stderr = &buf
+		buf := &syncBuffer{}
+		cmd.Stdout = buf
+		cmd.Stderr = buf
 		if err := cmd.Start(); err != nil {
 			t.Fatalf("starting %s: %v", name, err)
 		}
 		procs = append(procs, cmd)
-		return &buf
+		return buf
 	}
 	t.Cleanup(func() {
 		for _, p := range procs {
@@ -146,4 +147,23 @@ func TestBinariesEndToEnd(t *testing.T) {
 		t.Errorf("no per-access rows in output:\n%s", text)
 	}
 	fmt.Fprintln(os.Stderr, "integration: full binary pipeline OK")
+}
+
+// syncBuffer is a bytes.Buffer safe to read while an exec.Cmd's copier
+// goroutine is still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

@@ -110,6 +110,15 @@ type ClientAgentConfig struct {
 	// every bit of available network bandwidth" while the network is
 	// otherwise vacant.
 	StageParallelism int
+	// Health is the depot circuit breaker shared by the fetch, prefetch,
+	// and prestage paths, so none of them keeps hammering a dead or
+	// flapping depot during its cooldown. Nil gets a default tracker;
+	// callers inject their own to share it across agents or to tune the
+	// threshold and cooldown.
+	Health *lors.HealthTracker
+	// Retries is how many replica-list passes each extent download makes
+	// (default 2 so a transient fault gets one backed-off second chance).
+	Retries int
 	// Rand seeds replica choices; nil uses a time-seeded source.
 	Rand *rand.Rand
 }
@@ -121,6 +130,12 @@ type ClientAgentStats struct {
 	Prefetches                   int64
 	Staged                       int64
 	StageErrors                  int64
+	// ReplicaTries/FailedAttempts/ChecksumErrors aggregate the transfer
+	// accounting of every lors download the agent performed, so failovers
+	// and detected corruption are visible at the agent level.
+	ReplicaTries   int64
+	FailedAttempts int64
+	ChecksumErrors int64
 }
 
 // ClientAgent is the broker between clients and the LoN fabric: it caches
@@ -174,6 +189,12 @@ func NewClientAgent(cfg ClientAgentConfig) (*ClientAgent, error) {
 	if cfg.StageParallelism <= 0 {
 		cfg.StageParallelism = 4
 	}
+	if cfg.Health == nil {
+		cfg.Health = lors.NewHealthTracker(lors.HealthConfig{})
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 2
+	}
 	cache, err := NewLRU(cfg.CacheBytes)
 	if err != nil {
 		return nil, err
@@ -208,6 +229,29 @@ func (ca *ClientAgent) Stats() ClientAgentStats {
 
 // CacheStats exposes the view set cache accounting.
 func (ca *ClientAgent) CacheStats() CacheStats { return ca.cache.Stats() }
+
+// Health exposes the agent's depot circuit breaker (never nil after
+// NewClientAgent).
+func (ca *ClientAgent) Health() *lors.HealthTracker { return ca.cfg.Health }
+
+// addTransferStats folds one download's accounting into the agent stats.
+func (ca *ClientAgent) addTransferStats(st lors.DownloadStats) {
+	ca.mu.Lock()
+	ca.stats.ReplicaTries += int64(st.ReplicaTries)
+	ca.stats.FailedAttempts += int64(st.FailedAttempts)
+	ca.stats.ChecksumErrors += int64(st.ChecksumErrors)
+	ca.mu.Unlock()
+}
+
+// copyOpts builds the staging options for this agent.
+func (ca *ClientAgent) copyOpts() lors.CopyOptions {
+	return lors.CopyOptions{
+		Lease:  ca.cfg.StageLease,
+		Policy: ibp.Volatile,
+		Dialer: ca.cfg.Dialer,
+		Health: ca.cfg.Health,
+	}
+}
 
 // resolveExNodes returns the exNode replicas for a view set, consulting
 // the exNode cache before the DVS.
@@ -305,10 +349,13 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 	dl := lors.DownloadOptions{
 		Dialer:      ca.cfg.Dialer,
 		Parallelism: ca.cfg.Parallelism,
+		Retries:     ca.cfg.Retries,
+		Health:      ca.cfg.Health,
 		Rand:        ca.cfg.Rand,
 	}
 	if stagedEx != nil {
-		frame, _, err := lors.Download(ctx, stagedEx, dl)
+		frame, st, err := lors.Download(ctx, stagedEx, dl)
+		ca.addTransferStats(st)
 		if err == nil {
 			_ = ca.cache.Put(id.String(), frame)
 			ca.mu.Lock()
@@ -339,9 +386,10 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 	if ca.cfg.RouteMissesThroughDepot && len(ca.cfg.LANDepots) > 0 {
 		// Stage first, then read locally: the WAN crossing becomes a
 		// third-party copy whose result stays cached on the depot.
-		staged, err := lors.CopyToStriped(ctx, exs[0], ca.cfg.LANDepots, ca.cfg.StageLease, ibp.Volatile, ca.cfg.Dialer)
+		staged, err := lors.CopyToStriped(ctx, exs[0], ca.cfg.LANDepots, ca.copyOpts())
 		if err == nil {
-			frame, _, err := lors.Download(ctx, staged, dl)
+			frame, st, err := lors.Download(ctx, staged, dl)
+			ca.addTransferStats(st)
 			if err == nil {
 				ca.mu.Lock()
 				ca.staged[id] = staged
@@ -357,7 +405,8 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 
 	var lastErr error
 	for _, ex := range exs {
-		frame, _, err := lors.Download(ctx, ex, dl)
+		frame, st, err := lors.Download(ctx, ex, dl)
+		ca.addTransferStats(st)
 		if err != nil {
 			lastErr = err
 			continue
@@ -535,7 +584,7 @@ func (ca *ClientAgent) stageOne(ctx context.Context, id lightfield.ViewSetID) er
 	if err != nil {
 		return err
 	}
-	staged, err := lors.CopyToStriped(ctx, exs[0], ca.cfg.LANDepots, ca.cfg.StageLease, ibp.Volatile, ca.cfg.Dialer)
+	staged, err := lors.CopyToStriped(ctx, exs[0], ca.cfg.LANDepots, ca.copyOpts())
 	if err != nil {
 		return err
 	}

@@ -9,7 +9,9 @@ package exnode
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 )
@@ -29,9 +31,37 @@ type Replica struct {
 
 // Extent maps [Offset, Offset+Length) of the logical file to replicas.
 type Extent struct {
-	Offset   int64     `xml:"offset,attr"`
-	Length   int64     `xml:"length,attr"`
+	Offset int64 `xml:"offset,attr"`
+	Length int64 `xml:"length,attr"`
+	// Checksum is the integrity token ("crc32:%08x") of this extent's
+	// payload bytes, written at upload time. Empty on exNodes produced
+	// before checksums existed; consumers accept those unverified.
+	Checksum string    `xml:"checksum,attr,omitempty"`
 	Replicas []Replica `xml:"replica"`
+}
+
+// ChecksumOf returns the canonical integrity token for payload bytes, the
+// format stored in Extent.Checksum and ExNode.Checksum.
+func ChecksumOf(data []byte) string {
+	return fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(data))
+}
+
+// ErrChecksum reports payload bytes that do not match their recorded
+// extent checksum.
+var ErrChecksum = errors.New("exnode: payload checksum mismatch")
+
+// VerifyData checks payload bytes against the extent checksum. Extents
+// without a checksum accept anything (legacy exNodes). A mismatch means
+// the depot returned corrupted bytes: callers must treat it like a failed
+// replica load and fail over rather than use the data.
+func (x *Extent) VerifyData(data []byte) error {
+	if x.Checksum == "" {
+		return nil
+	}
+	if got := ChecksumOf(data); got != x.Checksum {
+		return fmt.Errorf("%w: extent at %d: payload %s, recorded %s", ErrChecksum, x.Offset, got, x.Checksum)
+	}
+	return nil
 }
 
 // ExNode aggregates the extents of one logical object.

@@ -2,6 +2,7 @@ package ibp
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -11,44 +12,98 @@ import (
 
 // Client performs IBP operations against one depot address. Each operation
 // opens its own connection, so independent operations parallelize across
-// sockets (the LoRS download algorithms rely on this). The zero value is
-// not usable; set Addr.
+// sockets (the LoRS download algorithms rely on this). Every operation
+// takes a context: cancellation interrupts in-flight transfers (the
+// connection deadline is yanked), and a context deadline tightens the
+// per-operation timeout. The zero value is not usable; set Addr.
 type Client struct {
 	// Addr is the depot's host:port.
 	Addr string
 	// Dialer establishes connections; nil means plain TCP.
 	Dialer Dialer
-	// Timeout bounds one whole operation (default 30s).
+	// Timeout bounds one whole operation (default 30s). The effective
+	// deadline is min(ctx deadline, now+Timeout).
 	Timeout time.Duration
 }
 
-func (c *Client) dial() (net.Conn, error) {
+// dial connects and arms the operation deadline. The dial itself runs in a
+// goroutine so a cancelled context abandons (and closes) a slow connect
+// instead of waiting it out.
+func (c *Client) dial(ctx context.Context) (net.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d := c.Dialer
 	if d == nil {
 		d = NetDialer{}
 	}
-	conn, err := d.Dial(c.Addr)
-	if err != nil {
-		return nil, err
+	type dialResult struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan dialResult, 1)
+	go func() {
+		conn, err := d.Dial(c.Addr)
+		ch <- dialResult{conn, err}
+	}()
+	var conn net.Conn
+	select {
+	case <-ctx.Done():
+		go func() {
+			if r := <-ch; r.conn != nil {
+				r.conn.Close()
+			}
+		}()
+		return nil, ctx.Err()
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		conn = r.conn
 	}
 	timeout := c.Timeout
 	if timeout == 0 {
 		timeout = 30 * time.Second
 	}
-	_ = conn.SetDeadline(time.Now().Add(timeout))
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	_ = conn.SetDeadline(deadline)
 	return conn, nil
 }
 
 // roundTrip sends one request (line + optional payload) and parses the
-// response status line. If wantBody, the returned reader is positioned at
-// the body and the caller must read exactly bodyLen bytes before close is
-// called; otherwise the connection is closed before returning.
-func (c *Client) roundTrip(req string, payload []byte) (fields []string, body []byte, err error) {
-	conn, err := c.dial()
+// response status line. Context cancellation mid-operation forces the
+// connection deadline into the past, which unblocks any in-flight read or
+// write; the operation then reports ctx.Err().
+func (c *Client) roundTrip(ctx context.Context, req string, payload []byte) (fields []string, body []byte, err error) {
+	conn, err := c.dial(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer conn.Close()
+	opDone := make(chan struct{})
+	defer close(opDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Unix(1, 0))
+		case <-opDone:
+		}
+	}()
+	fields, body, err = c.exchange(conn, req, payload)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, nil, ctxErr
+		}
+		return nil, nil, err
+	}
+	return fields, body, nil
+}
+
+// exchange performs the wire conversation on an established connection.
+func (c *Client) exchange(conn net.Conn, req string, payload []byte) ([]string, []byte, error) {
 	bw := bufio.NewWriterSize(conn, 64*1024)
 	if _, err := bw.WriteString(req); err != nil {
 		return nil, nil, err
@@ -74,6 +129,7 @@ func (c *Client) roundTrip(req string, payload []byte) (fields []string, body []
 	case "OK":
 		// Responses with a body declare its length as the first OK field
 		// only for LOAD; the caller decides whether to read a body.
+		var body []byte
 		if err := c.maybeReadBody(br, req, f[1:], &body); err != nil {
 			return nil, nil, err
 		}
@@ -118,8 +174,8 @@ func (c *Client) maybeReadBody(br *bufio.Reader, req string, okFields []string, 
 }
 
 // Allocate requests an allocation on the depot.
-func (c *Client) Allocate(size int64, lease time.Duration, policy Policy) (Capabilities, error) {
-	f, _, err := c.roundTrip(fmt.Sprintf("ALLOCATE %d %d %s\n", size, lease.Milliseconds(), policy), nil)
+func (c *Client) Allocate(ctx context.Context, size int64, lease time.Duration, policy Policy) (Capabilities, error) {
+	f, _, err := c.roundTrip(ctx, fmt.Sprintf("ALLOCATE %d %d %s\n", size, lease.Milliseconds(), policy), nil)
 	if err != nil {
 		return Capabilities{}, err
 	}
@@ -130,14 +186,14 @@ func (c *Client) Allocate(size int64, lease time.Duration, policy Policy) (Capab
 }
 
 // Store writes data at offset through a write capability.
-func (c *Client) Store(writeCap string, offset int64, data []byte) error {
-	_, _, err := c.roundTrip(fmt.Sprintf("STORE %s %d %d\n", writeCap, offset, len(data)), data)
+func (c *Client) Store(ctx context.Context, writeCap string, offset int64, data []byte) error {
+	_, _, err := c.roundTrip(ctx, fmt.Sprintf("STORE %s %d %d\n", writeCap, offset, len(data)), data)
 	return err
 }
 
 // Load reads length bytes at offset through a read capability.
-func (c *Client) Load(readCap string, offset, length int64) ([]byte, error) {
-	_, body, err := c.roundTrip(fmt.Sprintf("LOAD %s %d %d\n", readCap, offset, length), nil)
+func (c *Client) Load(ctx context.Context, readCap string, offset, length int64) ([]byte, error) {
+	_, body, err := c.roundTrip(ctx, fmt.Sprintf("LOAD %s %d %d\n", readCap, offset, length), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -148,8 +204,8 @@ func (c *Client) Load(readCap string, offset, length int64) ([]byte, error) {
 }
 
 // Probe returns allocation metadata through a manage capability.
-func (c *Client) Probe(manageCap string) (AllocInfo, error) {
-	f, _, err := c.roundTrip(fmt.Sprintf("PROBE %s\n", manageCap), nil)
+func (c *Client) Probe(ctx context.Context, manageCap string) (AllocInfo, error) {
+	f, _, err := c.roundTrip(ctx, fmt.Sprintf("PROBE %s\n", manageCap), nil)
 	if err != nil {
 		return AllocInfo{}, err
 	}
@@ -165,8 +221,8 @@ func (c *Client) Probe(manageCap string) (AllocInfo, error) {
 }
 
 // Extend renews the allocation lease.
-func (c *Client) Extend(manageCap string, lease time.Duration) (time.Time, error) {
-	f, _, err := c.roundTrip(fmt.Sprintf("EXTEND %s %d\n", manageCap, lease.Milliseconds()), nil)
+func (c *Client) Extend(ctx context.Context, manageCap string, lease time.Duration) (time.Time, error) {
+	f, _, err := c.roundTrip(ctx, fmt.Sprintf("EXTEND %s %d\n", manageCap, lease.Milliseconds()), nil)
 	if err != nil {
 		return time.Time{}, err
 	}
@@ -181,22 +237,22 @@ func (c *Client) Extend(manageCap string, lease time.Duration) (time.Time, error
 }
 
 // Free releases the allocation immediately.
-func (c *Client) Free(manageCap string) error {
-	_, _, err := c.roundTrip(fmt.Sprintf("FREE %s\n", manageCap), nil)
+func (c *Client) Free(ctx context.Context, manageCap string) error {
+	_, _, err := c.roundTrip(ctx, fmt.Sprintf("FREE %s\n", manageCap), nil)
 	return err
 }
 
 // Copy asks this depot to transfer an extent directly to a write
 // capability on another depot (third-party copy).
-func (c *Client) Copy(readCap string, offset, length int64, targetAddr, targetWriteCap string, targetOffset int64) error {
-	_, _, err := c.roundTrip(fmt.Sprintf("COPY %s %d %d %s %s %d\n",
+func (c *Client) Copy(ctx context.Context, readCap string, offset, length int64, targetAddr, targetWriteCap string, targetOffset int64) error {
+	_, _, err := c.roundTrip(ctx, fmt.Sprintf("COPY %s %d %d %s %s %d\n",
 		readCap, offset, length, targetAddr, targetWriteCap, targetOffset), nil)
 	return err
 }
 
 // Status returns the depot's capacity accounting.
-func (c *Client) Status() (capacity, used int64, allocations int, err error) {
-	f, _, err := c.roundTrip("STATUS\n", nil)
+func (c *Client) Status(ctx context.Context) (capacity, used int64, allocations int, err error) {
+	f, _, err := c.roundTrip(ctx, "STATUS\n", nil)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -2,6 +2,7 @@ package ibp
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -330,7 +331,9 @@ func (s *Server) doCopy(bw *bufio.Writer, f []string) bool {
 		dialer = NetDialer{}
 	}
 	target := &Client{Addr: f[4], Dialer: dialer}
-	if err := target.Store(f[5], targetOff, data); err != nil {
+	// The server has no per-request context; the client's Timeout bounds
+	// the onward store.
+	if err := target.Store(context.Background(), f[5], targetOff, data); err != nil {
 		writeErr(bw, err, "target store")
 		return true
 	}

@@ -2,6 +2,7 @@ package ibp
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -111,15 +112,15 @@ func TestDiskDepotOverWire(t *testing.T) {
 	}
 	defer srv.Close()
 	cl := &Client{Addr: addr}
-	caps, err := cl.Allocate(8192, time.Minute, Stable)
+	caps, err := cl.Allocate(context.Background(), 8192, time.Minute, Stable)
 	if err != nil {
 		t.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte{0x5a}, 8192)
-	if err := cl.Store(caps.Write, 0, payload); err != nil {
+	if err := cl.Store(context.Background(), caps.Write, 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.Load(caps.Read, 0, 8192)
+	got, err := cl.Load(context.Background(), caps.Read, 0, 8192)
 	if err != nil {
 		t.Fatal(err)
 	}

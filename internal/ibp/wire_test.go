@@ -2,6 +2,7 @@ package ibp
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"strings"
@@ -30,15 +31,15 @@ func startDepotServer(t *testing.T, capacity int64) (addr string, cl *Client, sr
 
 func TestWireAllocateStoreLoad(t *testing.T) {
 	_, cl, _ := startDepotServer(t, 1<<20)
-	caps, err := cl.Allocate(1000, time.Minute, Stable)
+	caps, err := cl.Allocate(context.Background(), 1000, time.Minute, Stable)
 	if err != nil {
 		t.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte("viewset!"), 100)
-	if err := cl.Store(caps.Write, 100, payload); err != nil {
+	if err := cl.Store(context.Background(), caps.Write, 100, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.Load(caps.Read, 100, int64(len(payload)))
+	got, err := cl.Load(context.Background(), caps.Read, 100, int64(len(payload)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,25 +50,25 @@ func TestWireAllocateStoreLoad(t *testing.T) {
 
 func TestWireErrorsTyped(t *testing.T) {
 	_, cl, _ := startDepotServer(t, 100)
-	if _, err := cl.Allocate(500, time.Minute, Stable); !errors.Is(err, ErrNoSpace) {
+	if _, err := cl.Allocate(context.Background(), 500, time.Minute, Stable); !errors.Is(err, ErrNoSpace) {
 		t.Errorf("over-allocation over wire: %v", err)
 	}
-	if _, err := cl.Allocate(10, 2*time.Hour, Stable); !errors.Is(err, ErrDuration) {
+	if _, err := cl.Allocate(context.Background(), 10, 2*time.Hour, Stable); !errors.Is(err, ErrDuration) {
 		t.Errorf("long lease over wire: %v", err)
 	}
-	if err := cl.Store("bogus", 0, []byte("x")); !errors.Is(err, ErrNoCap) {
+	if err := cl.Store(context.Background(), "bogus", 0, []byte("x")); !errors.Is(err, ErrNoCap) {
 		t.Errorf("bogus cap over wire: %v", err)
 	}
-	caps, _ := cl.Allocate(10, time.Minute, Stable)
-	if _, err := cl.Load(caps.Read, 0, 50); !errors.Is(err, ErrRange) {
+	caps, _ := cl.Allocate(context.Background(), 10, time.Minute, Stable)
+	if _, err := cl.Load(context.Background(), caps.Read, 0, 50); !errors.Is(err, ErrRange) {
 		t.Errorf("range error over wire: %v", err)
 	}
 }
 
 func TestWireProbeExtendFree(t *testing.T) {
 	_, cl, _ := startDepotServer(t, 1000)
-	caps, _ := cl.Allocate(128, time.Minute, Volatile)
-	info, err := cl.Probe(caps.Manage)
+	caps, _ := cl.Allocate(context.Background(), 128, time.Minute, Volatile)
+	info, err := cl.Probe(context.Background(), caps.Manage)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,27 +78,27 @@ func TestWireProbeExtendFree(t *testing.T) {
 	if time.Until(info.Expires) <= 0 {
 		t.Error("probe expiry in the past")
 	}
-	exp, err := cl.Extend(caps.Manage, 30*time.Minute)
+	exp, err := cl.Extend(context.Background(), caps.Manage, 30*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if time.Until(exp) < 25*time.Minute {
 		t.Errorf("extend expiry %v", exp)
 	}
-	if err := cl.Free(caps.Manage); err != nil {
+	if err := cl.Free(context.Background(), caps.Manage); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Probe(caps.Manage); !errors.Is(err, ErrNoCap) {
+	if _, err := cl.Probe(context.Background(), caps.Manage); !errors.Is(err, ErrNoCap) {
 		t.Errorf("probe after free: %v", err)
 	}
 }
 
 func TestWireStatus(t *testing.T) {
 	_, cl, _ := startDepotServer(t, 5000)
-	if _, err := cl.Allocate(1200, time.Minute, Stable); err != nil {
+	if _, err := cl.Allocate(context.Background(), 1200, time.Minute, Stable); err != nil {
 		t.Fatal(err)
 	}
-	capacity, used, allocs, err := cl.Status()
+	capacity, used, allocs, err := cl.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,23 +111,23 @@ func TestThirdPartyCopy(t *testing.T) {
 	_, clA, _ := startDepotServer(t, 1<<20) // source
 	addrB, clB, _ := startDepotServer(t, 1<<20)
 
-	src, err := clA.Allocate(256, time.Minute, Stable)
+	src, err := clA.Allocate(context.Background(), 256, time.Minute, Stable)
 	if err != nil {
 		t.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte{0xAB, 0xCD}, 128)
-	if err := clA.Store(src.Write, 0, payload); err != nil {
+	if err := clA.Store(context.Background(), src.Write, 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	dst, err := clB.Allocate(256, time.Minute, Stable)
+	dst, err := clB.Allocate(context.Background(), 256, time.Minute, Stable)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Client asks depot A to push bytes straight to depot B.
-	if err := clA.Copy(src.Read, 0, 256, addrB, dst.Write, 0); err != nil {
+	if err := clA.Copy(context.Background(), src.Read, 0, 256, addrB, dst.Write, 0); err != nil {
 		t.Fatal(err)
 	}
-	got, err := clB.Load(dst.Read, 0, 256)
+	got, err := clB.Load(context.Background(), dst.Read, 0, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,18 +139,18 @@ func TestThirdPartyCopy(t *testing.T) {
 func TestThirdPartyCopyErrors(t *testing.T) {
 	addrA, clA, _ := startDepotServer(t, 1024)
 	addrB, clB, _ := startDepotServer(t, 1024)
-	src, _ := clA.Allocate(64, time.Minute, Stable)
-	dst, _ := clB.Allocate(64, time.Minute, Stable)
+	src, _ := clA.Allocate(context.Background(), 64, time.Minute, Stable)
+	dst, _ := clB.Allocate(context.Background(), 64, time.Minute, Stable)
 	// Bad source cap.
-	if err := clA.Copy("bogus", 0, 64, addrB, dst.Write, 0); !errors.Is(err, ErrNoCap) {
+	if err := clA.Copy(context.Background(), "bogus", 0, 64, addrB, dst.Write, 0); !errors.Is(err, ErrNoCap) {
 		t.Errorf("copy with bogus read cap: %v", err)
 	}
 	// Bad target cap surfaces the remote error.
-	if err := clA.Copy(src.Read, 0, 64, addrB, "bogus", 0); !errors.Is(err, ErrNoCap) {
+	if err := clA.Copy(context.Background(), src.Read, 0, 64, addrB, "bogus", 0); !errors.Is(err, ErrNoCap) {
 		t.Errorf("copy with bogus write cap: %v", err)
 	}
 	// Unreachable target.
-	if err := clA.Copy(src.Read, 0, 64, "127.0.0.1:1", dst.Write, 0); err == nil {
+	if err := clA.Copy(context.Background(), src.Read, 0, 64, "127.0.0.1:1", dst.Write, 0); err == nil {
 		t.Error("copy to dead depot succeeded")
 	}
 	_ = addrA
@@ -160,14 +161,14 @@ func TestWireOverShapedLink(t *testing.T) {
 	dialer := netsim.NewDialer(netsim.LinkProfile{Name: "testwan", Latency: 20 * time.Millisecond})
 	cl := &Client{Addr: addr, Dialer: dialer}
 	start := time.Now()
-	caps, err := cl.Allocate(100, time.Minute, Stable)
+	caps, err := cl.Allocate(context.Background(), 100, time.Minute, Stable)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
 		t.Errorf("shaped allocate took only %v, want >= 2x20ms", elapsed)
 	}
-	if err := cl.Store(caps.Write, 0, []byte("over the wan")); err != nil {
+	if err := cl.Store(context.Background(), caps.Write, 0, []byte("over the wan")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -218,12 +219,12 @@ func TestServerKeepsConnectionAcrossRequests(t *testing.T) {
 
 func TestServerClose(t *testing.T) {
 	addr, cl, srv := startDepotServer(t, 1024)
-	if _, err := cl.Allocate(10, time.Minute, Stable); err != nil {
+	if _, err := cl.Allocate(context.Background(), 10, time.Minute, Stable); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
 	cl2 := &Client{Addr: addr, Timeout: time.Second}
-	if _, err := cl2.Allocate(10, time.Minute, Stable); err == nil {
+	if _, err := cl2.Allocate(context.Background(), 10, time.Minute, Stable); err == nil {
 		t.Error("allocate after server close succeeded")
 	}
 }
@@ -234,17 +235,17 @@ func TestConcurrentWireClients(t *testing.T) {
 	for g := 0; g < 8; g++ {
 		go func(g int) {
 			cl := &Client{Addr: addr}
-			caps, err := cl.Allocate(4096, time.Minute, Stable)
+			caps, err := cl.Allocate(context.Background(), 4096, time.Minute, Stable)
 			if err != nil {
 				done <- err
 				return
 			}
 			data := bytes.Repeat([]byte{byte(g + 1)}, 4096)
-			if err := cl.Store(caps.Write, 0, data); err != nil {
+			if err := cl.Store(context.Background(), caps.Write, 0, data); err != nil {
 				done <- err
 				return
 			}
-			got, err := cl.Load(caps.Read, 0, 4096)
+			got, err := cl.Load(context.Background(), caps.Read, 0, 4096)
 			if err != nil {
 				done <- err
 				return

@@ -5,13 +5,19 @@
 // object with multi-threaded parallel reads, replica failover, and
 // optional replica racing — the high-performance wide-area download
 // algorithms of Plank et al. (paper reference [14]).
+//
+// The layer is self-healing over degraded links, not just dead ones:
+// every extent carries a CRC32 written at upload time and verified on
+// every load (a corrupted payload counts as a failed attempt and triggers
+// failover), replica-list passes are separated by bounded exponential
+// backoff with jitter, and an optional HealthTracker circuit breaker
+// steers traffic away from depots that keep failing.
 package lors
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"math/rand"
 	"sort"
 	"sync"
@@ -20,6 +26,37 @@ import (
 	"lonviz/internal/exnode"
 	"lonviz/internal/ibp"
 )
+
+// replicaRand orders replica attempts when DownloadOptions.Rand is nil. A
+// single package-level seeded source behind a mutex is cheaper than a
+// source per fetch, and two extents fetched in the same nanosecond no
+// longer shuffle identically.
+var (
+	replicaRandMu sync.Mutex
+	replicaRand   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// lockedShuffle shuffles reps with rng (or the package source when rng is
+// nil) under the package mutex, so one *rand.Rand shared across the
+// concurrent extent fetches of a Download is safe.
+func lockedShuffle(rng *rand.Rand, reps []exnode.Replica) {
+	replicaRandMu.Lock()
+	defer replicaRandMu.Unlock()
+	if rng == nil {
+		rng = replicaRand
+	}
+	rng.Shuffle(len(reps), func(i, j int) { reps[i], reps[j] = reps[j], reps[i] })
+}
+
+// lockedFloat64 draws one uniform sample for backoff jitter.
+func lockedFloat64(rng *rand.Rand) float64 {
+	replicaRandMu.Lock()
+	defer replicaRandMu.Unlock()
+	if rng == nil {
+		rng = replicaRand
+	}
+	return rng.Float64()
+}
 
 // UploadOptions configures Upload.
 type UploadOptions struct {
@@ -39,6 +76,8 @@ type UploadOptions struct {
 	Dialer ibp.Dialer
 	// Parallelism bounds concurrent stripe uploads (default 4).
 	Parallelism int
+	// Timeout bounds each IBP operation (0 uses the ibp default, 30s).
+	Timeout time.Duration
 }
 
 func (o *UploadOptions) defaults() error {
@@ -72,11 +111,13 @@ func (o *UploadOptions) defaults() error {
 }
 
 func (o *UploadOptions) client(addr string) *ibp.Client {
-	return &ibp.Client{Addr: addr, Dialer: o.Dialer}
+	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout}
 }
 
 // Upload stripes data across depots and returns the exNode describing it.
-// Each stripe is stored on Replicas distinct depots chosen round-robin.
+// Each stripe is stored on Replicas distinct depots chosen round-robin,
+// and each extent records the CRC32 of its payload so downloads can detect
+// depot-side corruption.
 func Upload(ctx context.Context, name string, data []byte, opts UploadOptions) (*exnode.ExNode, error) {
 	if err := opts.defaults(); err != nil {
 		return nil, err
@@ -84,7 +125,7 @@ func Upload(ctx context.Context, name string, data []byte, opts UploadOptions) (
 	ex := &exnode.ExNode{
 		Name:     name,
 		Length:   int64(len(data)),
-		Checksum: fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(data)),
+		Checksum: exnode.ChecksumOf(data),
 	}
 	if len(data) == 0 {
 		return ex, nil
@@ -106,11 +147,15 @@ func Upload(ctx context.Context, name string, data []byte, opts UploadOptions) (
 	sem := make(chan struct{}, opts.Parallelism)
 	var wg sync.WaitGroup
 	for _, j := range jobs {
-		if ctx.Err() != nil {
-			break
+		// Acquire a slot inside a select so cancellation cannot strand the
+		// dispatcher behind workers that hold every slot.
+		select {
+		case <-ctx.Done():
+			errs[j.idx] = ctx.Err()
+			continue
+		case sem <- struct{}{}:
 		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -140,7 +185,11 @@ func uploadStripe(ctx context.Context, chunk []byte, j struct {
 	idx         int
 	offset, end int64
 }, opts UploadOptions) (exnode.Extent, error) {
-	ext := exnode.Extent{Offset: j.offset, Length: j.end - j.offset}
+	ext := exnode.Extent{
+		Offset:   j.offset,
+		Length:   j.end - j.offset,
+		Checksum: exnode.ChecksumOf(chunk),
+	}
 	placed := 0
 	tried := map[string]bool{}
 	// Start each stripe on a different depot for balance, then walk.
@@ -154,11 +203,15 @@ func uploadStripe(ctx context.Context, chunk []byte, j struct {
 		}
 		tried[addr] = true
 		cl := opts.client(addr)
-		caps, err := cl.Allocate(ext.Length, opts.Lease, opts.Policy)
+		caps, err := cl.Allocate(ctx, ext.Length, opts.Lease, opts.Policy)
 		if err != nil {
 			continue // admission refusal or dead depot: try the next
 		}
-		if err := cl.Store(caps.Write, 0, chunk); err != nil {
+		if err := cl.Store(ctx, caps.Write, 0, chunk); err != nil {
+			// The allocation succeeded but the store didn't: free it so a
+			// half-written depot isn't left holding a leaked allocation
+			// until lease expiry.
+			_ = cl.Free(context.WithoutCancel(ctx), caps.Manage)
 			continue
 		}
 		ext.Replicas = append(ext.Replicas, exnode.Replica{
@@ -189,7 +242,20 @@ type DownloadOptions struct {
 	// Retries is how many times the full replica list is retried per
 	// extent before giving up (default 1, i.e. one pass).
 	Retries int
-	// Rand orders replica attempts; nil uses a time-seeded source.
+	// BackoffBase is the delay before the second replica-list pass; each
+	// further pass doubles it, capped at BackoffMax, with uniform jitter
+	// in [1/2, 1) of the computed delay (default 50ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the between-pass delay (default 2s).
+	BackoffMax time.Duration
+	// Timeout bounds each IBP operation (0 uses the ibp default, 30s).
+	Timeout time.Duration
+	// Health, when set, is consulted before every replica attempt and told
+	// about every outcome: replicas on circuit-open depots are skipped for
+	// the cooldown, so a dead or flapping depot is not hammered.
+	Health *HealthTracker
+	// Rand orders replica attempts; nil uses the package-level seeded
+	// source.
 	Rand *rand.Rand
 }
 
@@ -200,6 +266,34 @@ func (o *DownloadOptions) defaults() {
 	if o.Retries <= 0 {
 		o.Retries = 1
 	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+}
+
+func (o *DownloadOptions) client(addr string) *ibp.Client {
+	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout}
+}
+
+// backoff sleeps before retry pass attempt (1-based), ctx-aware.
+func (o *DownloadOptions) backoff(ctx context.Context, attempt int) error {
+	d := o.BackoffBase << (attempt - 1)
+	if d > o.BackoffMax || d <= 0 {
+		d = o.BackoffMax
+	}
+	// Jitter into [d/2, d) so retrying extents don't synchronize.
+	d = d/2 + time.Duration(lockedFloat64(o.Rand)*float64(d/2))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // DownloadStats reports transfer accounting for one Download call.
@@ -207,7 +301,17 @@ type DownloadStats struct {
 	Bytes          int64 // payload bytes assembled
 	ExtentFetches  int   // extents fetched
 	ReplicaTries   int   // replica load attempts, including failures
-	FailedAttempts int   // failed replica loads
+	FailedAttempts int   // failed replica loads (refusals, errors, corruption)
+	ChecksumErrors int   // failed attempts that were checksum mismatches
+	Skipped        int   // replicas skipped because their depot's circuit was open
+}
+
+// add accumulates per-extent stats into a download-wide total.
+func (s *DownloadStats) add(o DownloadStats) {
+	s.ReplicaTries += o.ReplicaTries
+	s.FailedAttempts += o.FailedAttempts
+	s.ChecksumErrors += o.ChecksumErrors
+	s.Skipped += o.Skipped
 }
 
 // Download reassembles an exNode's payload from the network.
@@ -224,18 +328,19 @@ func Download(ctx context.Context, ex *exnode.ExNode, opts DownloadOptions) ([]b
 	errs := make([]error, len(extents))
 	var statsMu sync.Mutex
 	for i, ext := range extents {
-		if ctx.Err() != nil {
-			break
+		select {
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			continue
+		case sem <- struct{}{}:
 		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, ext exnode.Extent) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			st, err := fetchExtent(ctx, ext, out[ext.Offset:ext.Offset+ext.Length], opts)
 			statsMu.Lock()
-			stats.ReplicaTries += st.ReplicaTries
-			stats.FailedAttempts += st.FailedAttempts
+			stats.add(st)
 			stats.ExtentFetches++
 			statsMu.Unlock()
 			errs[i] = err
@@ -254,20 +359,21 @@ func Download(ctx context.Context, ex *exnode.ExNode, opts DownloadOptions) ([]b
 	return out, stats, nil
 }
 
+// errAllCircuitsOpen reports an extent whose every replica sits behind an
+// open circuit; retries wait out the backoff and look again.
+var errAllCircuitsOpen = errors.New("lors: every replica depot is circuit-open")
+
 // fetchExtent fills dst with one extent's bytes using failover or racing.
+// Loaded bytes are verified against the extent checksum before use: a
+// corrupted payload is a failed attempt, never returned data.
 func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts DownloadOptions) (DownloadStats, error) {
 	var stats DownloadStats
 	replicas := append([]exnode.Replica{}, ext.Replicas...)
-	rng := opts.Rand
-	if rng == nil {
-		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
-	}
-	rng.Shuffle(len(replicas), func(i, j int) { replicas[i], replicas[j] = replicas[j], replicas[i] })
+	lockedShuffle(opts.Rand, replicas)
 
 	if opts.RaceReplicas && len(replicas) > 1 {
 		data, st, err := raceReplicas(ctx, ext, replicas, opts)
-		stats.ReplicaTries += st.ReplicaTries
-		stats.FailedAttempts += st.FailedAttempts
+		stats.add(st)
 		if err != nil {
 			return stats, err
 		}
@@ -277,18 +383,40 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 
 	var lastErr error
 	for attempt := 0; attempt < opts.Retries; attempt++ {
-		for _, rep := range replicas {
+		if attempt > 0 {
+			if err := opts.backoff(ctx, attempt); err != nil {
+				return stats, err
+			}
+		}
+		candidates := allowedReplicas(opts.Health, replicas,
+			func(r exnode.Replica) string { return r.Depot })
+		stats.Skipped += len(replicas) - len(candidates)
+		if len(candidates) == 0 {
+			lastErr = errAllCircuitsOpen
+			continue
+		}
+		for _, rep := range candidates {
 			if err := ctx.Err(); err != nil {
 				return stats, err
 			}
 			stats.ReplicaTries++
-			cl := &ibp.Client{Addr: rep.Depot, Dialer: opts.Dialer}
-			data, err := cl.Load(rep.ReadCap, rep.AllocOffset, ext.Length)
+			data, err := opts.client(rep.Depot).Load(ctx, rep.ReadCap, rep.AllocOffset, ext.Length)
+			if err == nil {
+				if verr := ext.VerifyData(data); verr != nil {
+					stats.ChecksumErrors++
+					err = verr
+				}
+			}
 			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return stats, ctxErr
+				}
 				stats.FailedAttempts++
+				opts.Health.ReportFailure(rep.Depot)
 				lastErr = err
 				continue
 			}
+			opts.Health.ReportSuccess(rep.Depot)
 			copy(dst, data)
 			return stats, nil
 		}
@@ -298,23 +426,37 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 }
 
 // raceReplicas launches all replicas concurrently and returns the first
-// success.
+// success. Losers are genuinely cancelled: the shared context is cancelled
+// on the first verified success, which yanks their in-flight transfers.
 func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Replica, opts DownloadOptions) ([]byte, DownloadStats, error) {
 	var stats DownloadStats
+	candidates := allowedReplicas(opts.Health, replicas,
+		func(r exnode.Replica) string { return r.Depot })
+	stats.Skipped += len(replicas) - len(candidates)
+	if len(candidates) == 0 {
+		return nil, stats, fmt.Errorf("lors: extent at %d: %w", ext.Offset, errAllCircuitsOpen)
+	}
 	type result struct {
 		data []byte
 		err  error
 	}
-	ch := make(chan result, len(replicas))
+	ch := make(chan result, len(candidates))
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	for _, rep := range replicas {
+	for _, rep := range candidates {
 		stats.ReplicaTries++
 		go func(rep exnode.Replica) {
-			cl := &ibp.Client{Addr: rep.Depot, Dialer: opts.Dialer}
-			// The IBP client has its own timeout; context cancellation here
-			// just abandons the result.
-			data, err := cl.Load(rep.ReadCap, rep.AllocOffset, ext.Length)
+			data, err := opts.client(rep.Depot).Load(cctx, rep.ReadCap, rep.AllocOffset, ext.Length)
+			if err == nil {
+				if verr := ext.VerifyData(data); verr != nil {
+					err = verr
+				}
+			}
+			if err != nil {
+				opts.Health.ReportFailure(rep.Depot)
+			} else {
+				opts.Health.ReportSuccess(rep.Depot)
+			}
 			select {
 			case ch <- result{data, err}:
 			case <-cctx.Done():
@@ -322,7 +464,7 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 		}(rep)
 	}
 	var lastErr error
-	for i := 0; i < len(replicas); i++ {
+	for i := 0; i < len(candidates); i++ {
 		select {
 		case <-ctx.Done():
 			return nil, stats, ctx.Err()
@@ -331,11 +473,14 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 				return r.data, stats, nil
 			}
 			stats.FailedAttempts++
+			if errors.Is(r.err, exnode.ErrChecksum) {
+				stats.ChecksumErrors++
+			}
 			lastErr = r.err
 		}
 	}
 	return nil, stats, fmt.Errorf("lors: extent at %d: race lost on all %d replicas: %w",
-		ext.Offset, len(replicas), lastErr)
+		ext.Offset, len(candidates), lastErr)
 }
 
 // Refresh extends the lease on every replica allocation that carries a
@@ -356,7 +501,7 @@ func Refresh(ctx context.Context, ex *exnode.ExNode, lease time.Duration, dialer
 				return ok, err
 			}
 			cl := &ibp.Client{Addr: rep.Depot, Dialer: dialer}
-			if _, err := cl.Extend(rep.ManageCap, lease); err != nil {
+			if _, err := cl.Extend(ctx, rep.ManageCap, lease); err != nil {
 				lastErr = err
 				continue
 			}
@@ -381,7 +526,7 @@ func Free(ctx context.Context, ex *exnode.ExNode, dialer ibp.Dialer) error {
 				return err
 			}
 			cl := &ibp.Client{Addr: rep.Depot, Dialer: dialer}
-			if err := cl.Free(rep.ManageCap); err != nil {
+			if err := cl.Free(ctx, rep.ManageCap); err != nil {
 				lastErr = err
 			}
 		}
@@ -389,27 +534,49 @@ func Free(ctx context.Context, ex *exnode.ExNode, dialer ibp.Dialer) error {
 	return lastErr
 }
 
+// CopyOptions configures CopyTo/CopyToStriped staging transfers.
+type CopyOptions struct {
+	// Lease is the allocation lease on the staging targets (required).
+	Lease time.Duration
+	// Policy is the target allocation policy; empty means Volatile, since
+	// staged copies are cache and should yield to hard allocations.
+	Policy ibp.Policy
+	// Dialer shapes depot connections; nil means plain TCP.
+	Dialer ibp.Dialer
+	// Timeout bounds each IBP operation (0 uses the ibp default, 30s).
+	Timeout time.Duration
+	// Health steers source-replica choice away from circuit-open depots
+	// and records staging outcomes, like DownloadOptions.Health.
+	Health *HealthTracker
+}
+
+func (o *CopyOptions) client(addr string) *ibp.Client {
+	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout}
+}
+
 // CopyTo replicates the whole object onto the target depot with third-party
 // copies executed by the source depots, returning a new exNode whose
 // extents point at the target. This is the primitive behind prestaging view
 // sets to a LAN depot (paper Figure 5): no payload bytes traverse the
 // caller.
-func CopyTo(ctx context.Context, ex *exnode.ExNode, targetAddr string, lease time.Duration, policy ibp.Policy, dialer ibp.Dialer) (*exnode.ExNode, error) {
-	return CopyToStriped(ctx, ex, []string{targetAddr}, lease, policy, dialer)
+func CopyTo(ctx context.Context, ex *exnode.ExNode, targetAddr string, opts CopyOptions) (*exnode.ExNode, error) {
+	return CopyToStriped(ctx, ex, []string{targetAddr}, opts)
 }
 
 // CopyToStriped stages the object across several target depots, assigning
 // extents round-robin — the paper's configuration stripes staged view sets
-// "across four depots attached to the client agent by a 1Gb/s LAN".
-func CopyToStriped(ctx context.Context, ex *exnode.ExNode, targets []string, lease time.Duration, policy ibp.Policy, dialer ibp.Dialer) (*exnode.ExNode, error) {
+// "across four depots attached to the client agent by a 1Gb/s LAN". Extent
+// checksums carry over to the staged exNode, so reads from the staging
+// depot are verified exactly like reads from the origin.
+func CopyToStriped(ctx context.Context, ex *exnode.ExNode, targets []string, opts CopyOptions) (*exnode.ExNode, error) {
 	if len(targets) == 0 {
 		return nil, errors.New("lors: no staging targets")
 	}
 	if err := ex.Validate(); err != nil {
 		return nil, err
 	}
-	if policy == "" {
-		policy = ibp.Volatile // staged copies are cache, soft by default
+	if opts.Policy == "" {
+		opts.Policy = ibp.Volatile // staged copies are cache, soft by default
 	}
 	out := &exnode.ExNode{Name: ex.Name, Length: ex.Length, Checksum: ex.Checksum}
 	for k, ext := range ex.SortedExtents() {
@@ -417,22 +584,29 @@ func CopyToStriped(ctx context.Context, ex *exnode.ExNode, targets []string, lea
 			return nil, err
 		}
 		targetAddr := targets[k%len(targets)]
-		target := &ibp.Client{Addr: targetAddr, Dialer: dialer}
-		caps, err := target.Allocate(ext.Length, lease, policy)
+		caps, err := opts.client(targetAddr).Allocate(ctx, ext.Length, opts.Lease, opts.Policy)
 		if err != nil {
+			opts.Health.ReportFailure(targetAddr)
 			return nil, fmt.Errorf("lors: staging allocation on %s: %w", targetAddr, err)
 		}
+		opts.Health.ReportSuccess(targetAddr)
 		copied := false
 		var lastErr error
 		// Sort replica attempts deterministically for reproducible tests.
 		reps := append([]exnode.Replica{}, ext.Replicas...)
 		sort.Slice(reps, func(i, j int) bool { return reps[i].Depot < reps[j].Depot })
+		reps = allowedReplicas(opts.Health, reps,
+			func(r exnode.Replica) string { return r.Depot })
+		if len(reps) == 0 {
+			lastErr = errAllCircuitsOpen
+		}
 		for _, rep := range reps {
-			src := &ibp.Client{Addr: rep.Depot, Dialer: dialer}
-			if err := src.Copy(rep.ReadCap, rep.AllocOffset, ext.Length, targetAddr, caps.Write, 0); err != nil {
+			if err := opts.client(rep.Depot).Copy(ctx, rep.ReadCap, rep.AllocOffset, ext.Length, targetAddr, caps.Write, 0); err != nil {
+				opts.Health.ReportFailure(rep.Depot)
 				lastErr = err
 				continue
 			}
+			opts.Health.ReportSuccess(rep.Depot)
 			copied = true
 			break
 		}
@@ -440,8 +614,9 @@ func CopyToStriped(ctx context.Context, ex *exnode.ExNode, targets []string, lea
 			return nil, fmt.Errorf("lors: staging extent at %d failed: %w", ext.Offset, lastErr)
 		}
 		out.Extents = append(out.Extents, exnode.Extent{
-			Offset: ext.Offset,
-			Length: ext.Length,
+			Offset:   ext.Offset,
+			Length:   ext.Length,
+			Checksum: ext.Checksum,
 			Replicas: []exnode.Replica{{
 				Depot:     targetAddr,
 				ReadCap:   caps.Read,

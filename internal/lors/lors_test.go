@@ -1,8 +1,13 @@
 package lors
 
 import (
+	"errors"
+	"net"
+
 	"bytes"
 	"context"
+	"lonviz/internal/exnode"
+	"lonviz/internal/netsim"
 	"math/rand"
 	"testing"
 	"time"
@@ -247,7 +252,7 @@ func TestCopyToStagesWholeObject(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	staged, err := CopyTo(context.Background(), ex, lanDepot, time.Minute, ibp.Volatile, nil)
+	staged, err := CopyTo(context.Background(), ex, lanDepot, CopyOptions{Lease: time.Minute, Policy: ibp.Volatile})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +284,7 @@ func TestCopyToSurvivesOneDeadSource(t *testing.T) {
 	for i := range ex.Extents {
 		ex.Extents[i].Replicas[0].ReadCap = "poisoned"
 	}
-	staged, err := CopyTo(context.Background(), ex, lanDepot, time.Minute, "", nil)
+	staged, err := CopyTo(context.Background(), ex, lanDepot, CopyOptions{Lease: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,5 +314,475 @@ func TestUploadSkipsFullDepot(t *testing.T) {
 		if d == small[0] {
 			t.Error("stripe placed on undersized depot")
 		}
+	}
+}
+
+// depotRig starts one depot and returns its handle, address, and server so
+// tests can inspect accounting or take the depot down.
+func depotRig(t *testing.T, capacity int64) (*ibp.Depot, string, *ibp.Server) {
+	t.Helper()
+	d, err := ibp.NewDepot(ibp.DepotConfig{Capacity: capacity, MaxLease: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ibp.NewServer(d)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return d, addr, srv
+}
+
+func TestUploadWritesExtentChecksums(t *testing.T) {
+	depots := depotFarm(t, 2, 1<<22)
+	data := testPayload(100*1024, 20)
+	ex, err := Upload(context.Background(), "ck", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 32 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range ex.SortedExtents() {
+		if ext.Checksum == "" {
+			t.Fatalf("extent at %d has no checksum", ext.Offset)
+		}
+		want := exnode.ChecksumOf(data[ext.Offset : ext.Offset+ext.Length])
+		if ext.Checksum != want {
+			t.Errorf("extent at %d checksum = %s, want %s", ext.Offset, ext.Checksum, want)
+		}
+	}
+	if ex.Checksum != exnode.ChecksumOf(data) {
+		t.Errorf("object checksum = %s", ex.Checksum)
+	}
+}
+
+func TestDownloadRejectsCorruptPayload(t *testing.T) {
+	depots := depotFarm(t, 1, 1<<22)
+	data := testPayload(24*1024, 21)
+	ex, err := Upload(context.Background(), "corrupt-all", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 8 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every connection to the only depot silently flips a payload byte:
+	// without a clean replica the download must fail, not return garbage.
+	fd := netsim.NewFaultDialer(nil, 1)
+	fd.SetFault(depots[0], netsim.FaultProfile{CorruptProb: 1})
+	_, stats, err := Download(context.Background(), ex, DownloadOptions{Dialer: fd})
+	if err == nil {
+		t.Fatal("corrupted download succeeded")
+	}
+	if !errors.Is(err, exnode.ErrChecksum) {
+		t.Errorf("error = %v, want checksum mismatch", err)
+	}
+	if stats.ChecksumErrors == 0 {
+		t.Errorf("stats = %+v, expected checksum errors", stats)
+	}
+}
+
+func TestDownloadFailsOverOnCorruption(t *testing.T) {
+	depots := depotFarm(t, 2, 1<<22)
+	data := testPayload(128*1024, 22)
+	ex, err := Upload(context.Background(), "corrupt-one", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 8 * 1024, // 16 extents, each replicated on both depots
+		Replicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One depot corrupts every payload; the other is clean. Every extent
+	// must come back checksum-clean via failover, and with 16 extents the
+	// seeded shuffle is guaranteed to try the corrupt depot first at least
+	// once, so the corruption path is exercised.
+	fd := netsim.NewFaultDialer(nil, 2)
+	fd.SetFault(depots[0], netsim.FaultProfile{CorruptProb: 1})
+	got, stats, err := Download(context.Background(), ex, DownloadOptions{
+		Dialer:      fd,
+		Parallelism: 1,
+		Rand:        rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("failover download mismatch")
+	}
+	if stats.ChecksumErrors == 0 || stats.FailedAttempts == 0 {
+		t.Errorf("stats = %+v, expected detected corruption and failovers", stats)
+	}
+}
+
+func TestDownloadBackoffBetweenPasses(t *testing.T) {
+	depots := depotFarm(t, 1, 1<<20)
+	data := testPayload(4*1024, 23)
+	ex, err := Upload(context.Background(), "backoff", data, UploadOptions{Depots: depots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Extents[0].Replicas[0].ReadCap = "poisoned"
+	start := time.Now()
+	_, stats, err := Download(context.Background(), ex, DownloadOptions{
+		Retries:     3,
+		BackoffBase: 40 * time.Millisecond,
+		BackoffMax:  time.Second,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("poisoned download succeeded")
+	}
+	if stats.ReplicaTries != 3 {
+		t.Errorf("tries = %d, want 3 passes", stats.ReplicaTries)
+	}
+	// Two backoffs with jitter in [d/2, d): pass 2 waits >= 20ms, pass 3
+	// waits >= 40ms.
+	if elapsed < 60*time.Millisecond {
+		t.Errorf("3 passes finished in %v; backoff not applied", elapsed)
+	}
+}
+
+func TestDownloadBackoffHonorsCancellation(t *testing.T) {
+	depots := depotFarm(t, 1, 1<<20)
+	data := testPayload(4*1024, 24)
+	ex, err := Upload(context.Background(), "backoff-cancel", data, UploadOptions{Depots: depots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Extents[0].Replicas[0].ReadCap = "poisoned"
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err = Download(ctx, ex, DownloadOptions{
+		Retries:     10,
+		BackoffBase: 10 * time.Second, // would take ~ forever without ctx
+	})
+	if err == nil {
+		t.Fatal("cancelled download succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; backoff ignored ctx", elapsed)
+	}
+}
+
+func TestDownloadCircuitBreakerSkipsOpenDepot(t *testing.T) {
+	depots := depotFarm(t, 3, 1<<22)
+	data := testPayload(96*1024, 25)
+	ex, err := Upload(context.Background(), "breaker", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 16 * 1024,
+		Replicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Now()
+	health := NewHealthTracker(HealthConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Hour,
+		Now:              func() time.Time { return clock },
+	})
+	fd := netsim.NewFaultDialer(nil, 3)
+	fd.Kill(depots[0])
+	opts := DownloadOptions{Dialer: fd, Health: health, Rand: rand.New(rand.NewSource(1))}
+	got, _, err := Download(context.Background(), ex, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("download mismatch with one dead depot")
+	}
+	if !health.Open(depots[0]) {
+		t.Fatal("dead depot's circuit never opened")
+	}
+	// With the circuit open, further downloads send zero requests to the
+	// dead depot for the whole cooldown.
+	before := fd.Dials(depots[0])
+	for i := 0; i < 5; i++ {
+		got, stats, err := Download(context.Background(), ex, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("download mismatch during cooldown")
+		}
+		if stats.Skipped == 0 {
+			t.Errorf("run %d: stats = %+v, expected skipped replicas", i, stats)
+		}
+	}
+	if after := fd.Dials(depots[0]); after != before {
+		t.Errorf("circuit-open depot dialed %d times during cooldown", after-before)
+	}
+	// After the cooldown the depot is probed again (half-open) and, being
+	// healthy again, closes its circuit.
+	fd.Revive(depots[0])
+	clock = clock.Add(2 * time.Hour)
+	if !health.Allow(depots[0]) {
+		t.Fatal("cooldown expiry did not re-admit the depot")
+	}
+	if _, _, err := Download(context.Background(), ex, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaceReplicasSkipsOpenCircuits(t *testing.T) {
+	depots := depotFarm(t, 3, 1<<22)
+	data := testPayload(32*1024, 26)
+	ex, err := Upload(context.Background(), "race-breaker", data, UploadOptions{
+		Depots:   depots,
+		Replicas: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := NewHealthTracker(HealthConfig{FailureThreshold: 1, Cooldown: time.Hour})
+	health.ReportFailure(depots[0]) // opens immediately at threshold 1
+	fd := netsim.NewFaultDialer(nil, 4)
+	got, stats, err := Download(context.Background(), ex, DownloadOptions{
+		Dialer:       fd,
+		RaceReplicas: true,
+		Health:       health,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("raced download mismatch")
+	}
+	if stats.Skipped == 0 {
+		t.Errorf("stats = %+v, expected the open-circuit replica skipped", stats)
+	}
+	if n := fd.Dials(depots[0]); n != 0 {
+		t.Errorf("open-circuit depot dialed %d times by the race", n)
+	}
+}
+
+// storeFailDialer passes connections through but kills any whose request
+// starts with STORE — allocations succeed, stores fail, FREEs succeed.
+type storeFailDialer struct{}
+
+func (storeFailDialer) Dial(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &storeFailConn{Conn: c}, nil
+}
+
+type storeFailConn struct {
+	net.Conn
+	decided bool
+	allow   bool
+}
+
+func (c *storeFailConn) Write(b []byte) (int, error) {
+	if !c.decided {
+		c.decided = true
+		c.allow = !bytes.HasPrefix(b, []byte("STORE"))
+	}
+	if !c.allow {
+		c.Conn.Close()
+		return 0, errors.New("injected store failure")
+	}
+	return c.Conn.Write(b)
+}
+
+func TestUploadFreesOrphanedAllocationOnStoreFailure(t *testing.T) {
+	bad, badAddr, _ := depotRig(t, 1<<22)
+	_, goodAddr, _ := depotRig(t, 1<<22)
+	data := testPayload(8*1024, 27)
+	// Stores to the bad depot fail after its allocation succeeded; the
+	// stripe must free the orphan and place the replica on the good depot.
+	// Only the bad depot routes through the store-killing dialer.
+	fd := routeDialer{badAddr: storeFailDialer{}}
+	ex, err := Upload(context.Background(), "orphan", data, UploadOptions{
+		Depots: []string{badAddr, goodAddr},
+		Dialer: fd,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ex.Depots() {
+		if d == badAddr {
+			t.Error("replica recorded on the store-failing depot")
+		}
+	}
+	if st := bad.Stat(); st.Used != 0 || st.Allocations != 0 {
+		t.Errorf("orphaned allocation leaked: used=%d allocs=%d", st.Used, st.Allocations)
+	}
+}
+
+// routeDialer sends one address through a special dialer and everything
+// else over plain TCP.
+type routeDialer map[string]ibp.Dialer
+
+func (r routeDialer) Dial(addr string) (net.Conn, error) {
+	if d, ok := r[addr]; ok {
+		return d.Dial(addr)
+	}
+	return net.Dial("tcp", addr)
+}
+
+func TestDownloadCancellationMidDispatch(t *testing.T) {
+	depots := depotFarm(t, 2, 1<<24)
+	data := testPayload(512*1024, 28)
+	ex, err := Upload(context.Background(), "cancel-mid", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 16 * 1024, // 32 extents
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel while extents are still queued behind the parallelism gate;
+	// the dispatcher must drain and report ctx.Err(), not deadlock.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	var derr error
+	go func() {
+		defer close(done)
+		_, _, derr = Download(ctx, ex, DownloadOptions{Parallelism: 1})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled download never returned")
+	}
+	if derr == nil {
+		t.Skip("download finished before cancellation; nothing to assert")
+	}
+	if !errors.Is(derr, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", derr)
+	}
+}
+
+func TestRefreshDepotDown(t *testing.T) {
+	_, addr, srv := depotRig(t, 1<<20)
+	data := testPayload(4*1024, 29)
+	ex, err := Upload(context.Background(), "refresh-down", data, UploadOptions{Depots: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	n, err := Refresh(context.Background(), ex, time.Minute, nil)
+	if err == nil {
+		t.Error("refresh against a dead depot reported success")
+	}
+	if n != 0 {
+		t.Errorf("refreshed %d extents on a dead depot", n)
+	}
+}
+
+func TestRefreshMissingManageCaps(t *testing.T) {
+	depots := depotFarm(t, 1, 1<<20)
+	data := testPayload(4*1024, 30)
+	ex, err := Upload(context.Background(), "refresh-nomanage", data, UploadOptions{Depots: depots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ex.Extents {
+		for j := range ex.Extents[i].Replicas {
+			ex.Extents[i].Replicas[j].ManageCap = ""
+		}
+	}
+	// A read-only consumer's exNode has nothing to refresh: zero successes
+	// and no error.
+	n, err := Refresh(context.Background(), ex, time.Minute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("refreshed %d extents without manage caps", n)
+	}
+}
+
+func TestRefreshPartialSuccess(t *testing.T) {
+	_, liveAddr, _ := depotRig(t, 1<<22)
+	_, deadAddr, deadSrv := depotRig(t, 1<<22)
+	data := testPayload(16*1024, 31)
+	ex, err := Upload(context.Background(), "refresh-partial", data, UploadOptions{
+		Depots:     []string{liveAddr, deadAddr},
+		StripeSize: 8 * 1024,
+		Replicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadSrv.Close()
+	// 2 extents x 2 replicas; the 2 on the dead depot fail, the 2 on the
+	// live one succeed — partial success counts only the live ones and is
+	// not an error.
+	n, err := Refresh(context.Background(), ex, time.Minute, nil)
+	if err != nil {
+		t.Fatalf("partial refresh reported error: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("refreshed %d replicas, want 2", n)
+	}
+}
+
+func TestFreeDepotDownReportsError(t *testing.T) {
+	_, liveAddr, _ := depotRig(t, 1<<22)
+	_, deadAddr, deadSrv := depotRig(t, 1<<22)
+	data := testPayload(8*1024, 32)
+	ex, err := Upload(context.Background(), "free-partial", data, UploadOptions{
+		Depots:     []string{liveAddr, deadAddr},
+		StripeSize: 8 * 1024,
+		Replicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadSrv.Close()
+	if err := Free(context.Background(), ex, nil); err == nil {
+		t.Error("free with a dead depot reported total success")
+	}
+	// The live depot's replica must be gone despite the dead one failing.
+	live := 0
+	for _, ext := range ex.Extents {
+		for _, rep := range ext.Replicas {
+			if rep.Depot != liveAddr {
+				continue
+			}
+			live++
+			cl := &ibp.Client{Addr: rep.Depot, Timeout: 2 * time.Second}
+			if _, err := cl.Load(context.Background(), rep.ReadCap, rep.AllocOffset, 1); err == nil {
+				t.Error("replica still readable after Free")
+			}
+		}
+	}
+	if live == 0 {
+		t.Fatal("test built no replicas on the live depot")
+	}
+}
+
+func TestFreeMissingManageCapsIsNoop(t *testing.T) {
+	depots := depotFarm(t, 1, 1<<20)
+	data := testPayload(4*1024, 33)
+	ex, err := Upload(context.Background(), "free-nomanage", data, UploadOptions{Depots: depots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ex.Extents {
+		for j := range ex.Extents[i].Replicas {
+			ex.Extents[i].Replicas[j].ManageCap = ""
+		}
+	}
+	if err := Free(context.Background(), ex, nil); err != nil {
+		t.Errorf("free without manage caps errored: %v", err)
+	}
+	// Nothing was freed: data still downloads.
+	got, _, err := Download(context.Background(), ex, DownloadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("payload gone after no-op free")
 	}
 }

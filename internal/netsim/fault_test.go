@@ -1,0 +1,262 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and writes payload to each, then closes.
+func echoServer(t *testing.T, payload []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write(payload)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestFaultDialerPassthrough(t *testing.T) {
+	addr := echoServer(t, []byte("OK 2\nhi"))
+	fd := NewFaultDialer(nil, 1)
+	conn, err := fd.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "OK 2\nhi" {
+		t.Errorf("passthrough read %q", got)
+	}
+	if fd.Dials(addr) != 1 || fd.Refused(addr) != 0 {
+		t.Errorf("dials=%d refused=%d", fd.Dials(addr), fd.Refused(addr))
+	}
+}
+
+func TestFaultDialerKillRevive(t *testing.T) {
+	addr := echoServer(t, []byte("x"))
+	fd := NewFaultDialer(nil, 2)
+	fd.Kill(addr)
+	for i := 0; i < 3; i++ {
+		if _, err := fd.Dial(addr); !errors.Is(err, ErrInjectedRefusal) {
+			t.Fatalf("dial %d: err = %v, want injected refusal", i, err)
+		}
+	}
+	if fd.Dials(addr) != 3 || fd.Refused(addr) != 3 {
+		t.Errorf("dials=%d refused=%d, want 3/3", fd.Dials(addr), fd.Refused(addr))
+	}
+	fd.Revive(addr)
+	conn, err := fd.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial after revive: %v", err)
+	}
+	conn.Close()
+	if fd.Refused(addr) != 3 {
+		t.Errorf("revived dial counted as refused")
+	}
+}
+
+func TestFaultDialerSeedDeterminism(t *testing.T) {
+	addr := echoServer(t, []byte("x"))
+	outcomes := func(seed int64) []bool {
+		fd := NewFaultDialer(nil, seed)
+		fd.SetFault(addr, FaultProfile{RefuseProb: 0.5})
+		out := make([]bool, 32)
+		for i := range out {
+			conn, err := fd.Dial(addr)
+			out[i] = err == nil
+			if conn != nil {
+				conn.Close()
+			}
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at dial %d", i)
+		}
+	}
+	c := outcomes(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 32-dial sequences")
+	}
+}
+
+func TestFaultDialerCorruptsOnePayloadByte(t *testing.T) {
+	payload := append([]byte("OK 64\n"), bytes.Repeat([]byte{0x41}, 64)...)
+	addr := echoServer(t, payload)
+	fd := NewFaultDialer(nil, 3)
+	fd.SetFault(addr, FaultProfile{CorruptProb: 1})
+	conn, err := fd.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(payload))
+	}
+	// The status line must survive untouched; exactly one later byte flips.
+	if !bytes.Equal(got[:6], payload[:6]) {
+		t.Errorf("status line corrupted: %q", got[:6])
+	}
+	diffs := 0
+	for i := 6; i < len(got); i++ {
+		if got[i] != payload[i] {
+			diffs++
+			if got[i] != payload[i]^0x80 {
+				t.Errorf("byte %d changed %#x -> %#x, not a single bit-flip", i, payload[i], got[i])
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Errorf("%d payload bytes corrupted, want exactly 1", diffs)
+	}
+}
+
+func TestFaultDialerStallHonorsDeadline(t *testing.T) {
+	addr := echoServer(t, []byte("never delivered"))
+	fd := NewFaultDialer(nil, 4)
+	fd.SetFault(addr, FaultProfile{StallProb: 1, StallMax: 10 * time.Second})
+	conn, err := fd.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	elapsed := time.Since(start)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read err = %v, want deadline exceeded", err)
+	}
+	if elapsed < 40*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("stall lasted %v, want ~50ms", elapsed)
+	}
+}
+
+func TestFaultDialerStallCapWithoutDeadline(t *testing.T) {
+	addr := echoServer(t, []byte("never delivered"))
+	fd := NewFaultDialer(nil, 5)
+	fd.SetFault(addr, FaultProfile{StallProb: 1, StallMax: 30 * time.Millisecond})
+	conn, err := fd.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline-less stall ran %v despite 30ms cap", elapsed)
+	}
+}
+
+func TestFaultDialerDropClosesConn(t *testing.T) {
+	addr := echoServer(t, bytes.Repeat([]byte{1}, 1024))
+	fd := NewFaultDialer(nil, 6)
+	fd.SetFault(addr, FaultProfile{DropProb: 1})
+	conn, err := fd.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Read(make([]byte, 16)); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("read err = %v, want injected drop", err)
+	}
+	// The underlying socket is dead: subsequent reads keep failing.
+	if _, err := conn.Read(make([]byte, 16)); err == nil {
+		t.Error("read after drop succeeded")
+	}
+}
+
+func TestFaultDialerSpikeDelaysFirstRead(t *testing.T) {
+	addr := echoServer(t, []byte("data"))
+	fd := NewFaultDialer(nil, 7)
+	fd.SetFault(addr, FaultProfile{SpikeProb: 1, Spike: 60 * time.Millisecond})
+	conn, err := fd.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("first read returned in %v; spike not applied", elapsed)
+	}
+	// The spike fires once: later reads are not delayed.
+	start = time.Now()
+	conn.Read(make([]byte, 4)) // EOF, immaterial
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Errorf("second read delayed %v; spike re-fired", elapsed)
+	}
+}
+
+func TestFaultDialerFallbackProfile(t *testing.T) {
+	addr := echoServer(t, []byte("x"))
+	fd := NewFaultDialer(nil, 8)
+	fd.SetFallback(FaultProfile{RefuseProb: 1})
+	if _, err := fd.Dial(addr); !errors.Is(err, ErrInjectedRefusal) {
+		t.Fatalf("fallback profile not applied: %v", err)
+	}
+	// A per-address profile overrides the fallback.
+	fd.SetFault(addr, FaultProfile{})
+	conn, err := fd.Dial(addr)
+	if err != nil {
+		t.Fatalf("per-address override not applied: %v", err)
+	}
+	conn.Close()
+}
+
+func TestFaultDialerWrapsInnerDialer(t *testing.T) {
+	addr := echoServer(t, []byte("via inner"))
+	inner := NewDialer(LinkProfile{Name: "lan"})
+	fd := NewFaultDialer(inner, 9)
+	conn, err := fd.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "via inner" {
+		t.Errorf("read %q through inner dialer", got)
+	}
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Pre-merge gate: formatting, static analysis, the full test suite, and the
+# race detector (which also runs the chaos fault-injection soak).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "all checks passed"
