@@ -10,10 +10,13 @@ import (
 
 	"lonviz/internal/agent"
 	"lonviz/internal/dvs"
+	"lonviz/internal/exnode"
 	"lonviz/internal/ibp"
+	"lonviz/internal/lbone"
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
 	"lonviz/internal/netsim"
+	"lonviz/internal/steward"
 )
 
 // chaosRig is an in-process deployment for fault-injection soaks: three
@@ -256,6 +259,226 @@ func TestChaosBrowseUnderFaults(t *testing.T) {
 	st = wan.Stats()
 	if st.FailedAttempts == 0 || st.ReplicaTries == 0 {
 		t.Errorf("WAN agent stats = %+v; chaos left no failover trace", st)
+	}
+}
+
+// TestChaosStewardSelfHealing proves the full maintenance loop end to
+// end: a published database loses a depot while its leases march toward
+// expiry, and the steward — probing through the same fault layer the
+// failure happened on — renews every surviving lease, re-replicates every
+// under-replicated extent onto fresh depots from the L-Bone, prunes the
+// dead replicas, and republishes through the DVS. A client arriving after
+// the original leases would have expired must still download every view
+// set byte-identically.
+func TestChaosStewardSelfHealing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak; run without -short")
+	}
+
+	// Depots share one skewable clock so lease expiry is a test decision,
+	// not a sleep. The steward and health tracker run on the same clock.
+	var skew atomic.Int64
+	now := func() time.Time { return time.Now().Add(time.Duration(skew.Load())) }
+
+	params := lightfield.ScaledParams(45, 2, 6) // 2x4 sets
+	var depots []string
+	startDepot := func() string {
+		d, err := ibp.NewDepot(ibp.DepotConfig{Capacity: 1 << 24, MaxLease: time.Hour, Clock: now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := ibp.NewServer(d)
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return addr
+	}
+	for i := 0; i < 4; i++ {
+		depots = append(depots, startDepot())
+	}
+	wan, spare := depots[:3], depots[3]
+	_ = spare
+
+	dvsServer := dvs.NewServer("")
+	dvsAddr, err := dvsServer.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dvsServer.Close() })
+	dvsClient := &dvs.Client{Addr: dvsAddr}
+
+	// The L-Bone knows all four depots; the steward discovers repair
+	// targets through it, never from a hard-coded list.
+	dir := lbone.NewServer()
+	dirAddr, err := dir.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dir.Close() })
+	for i, d := range depots {
+		if err := dir.Register(lbone.DepotRecord{Addr: d, X: float64(i), Capacity: 1 << 24, Free: 1 << 24}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gen, err := lightfield.NewProceduralGenerator(params, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := agent.NewServerAgent(agent.ServerAgentConfig{
+		Dataset:  "neghip",
+		Gen:      gen,
+		Depots:   wan,
+		DVS:      dvsClient,
+		Replicas: 2,
+		Lease:    10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sa.Close() })
+	published, err := sa.PrecomputeAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth, fetched over a clean connection.
+	clean, err := agent.NewClientAgent(agent.ClientAgentConfig{
+		Dataset: "neghip", Params: params, DVS: dvsClient, CacheBytes: 1 << 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := make(map[lightfield.ViewSetID][]byte)
+	for _, id := range params.AllViewSets() {
+		frame, _, err := clean.GetViewSet(context.Background(), id)
+		if err != nil {
+			t.Fatalf("clean fetch of %v: %v", id, err)
+		}
+		reference[id] = frame
+	}
+	clean.Close()
+
+	// The steward dials through the fault layer, like everything else.
+	fd := netsim.NewFaultDialer(nil, 4243)
+	health := lors.NewHealthTracker(lors.HealthConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Millisecond, // retry quickly; liveness is the prune policy's job here
+		Now:              now,
+	})
+	stw := steward.New(steward.Config{
+		ReplicationTarget: 2,
+		RenewalWindow:     5 * time.Minute,
+		LeaseTerm:         10 * time.Minute,
+		PruneAfter:        2,
+		VerifyPerCycle:    1,
+		Clock:             now,
+		Dialer:            fd,
+		Health:            health,
+		Locate:            steward.LBoneLocator(&lbone.Client{BaseURL: "http://" + dirAddr}, 0, 0),
+		Publish: func(ctx context.Context, name string, ex *exnode.ExNode) error {
+			xml, err := ex.Marshal()
+			if err != nil {
+				return err
+			}
+			return dvsClient.Replace(ctx, dvs.Key{Dataset: "neghip", ViewSet: name}, xml)
+		},
+	})
+	for id, xml := range published {
+		ex, err := exnode.Unmarshal(xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stw.Adopt(id.String(), ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase A — healthy baseline: fresh leases, full replication, nothing
+	// for the steward to do.
+	rep, err := stw.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullyReplicated || rep.LeasesRenewed != 0 || rep.RepairsAttempted != 0 || rep.ReplicasPruned != 0 {
+		t.Fatalf("baseline cycle did work: %+v", rep)
+	}
+
+	// Phase B — the incident: a depot dies while 7 of the leases' 10
+	// minutes burn down, putting every survivor inside the renewal window.
+	dead := wan[0]
+	fd.Kill(dead)
+	skew.Store(int64(7 * time.Minute))
+
+	converged := false
+	for cycle := 0; cycle < 6; cycle++ {
+		rep, err = stw.RunCycle(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.FullyReplicated {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatalf("steward never converged; last cycle %+v", rep)
+	}
+
+	st := stw.Stats()
+	numObjects := len(published)
+	if st.LeasesRenewed == 0 {
+		t.Error("no leases renewed despite expiring survivors")
+	}
+	if st.RepairsSucceeded < int64(numObjects) {
+		t.Errorf("repairs = %d, want >= %d (one per under-replicated object)", st.RepairsSucceeded, numObjects)
+	}
+	if st.ReplicasPruned < int64(numObjects) {
+		t.Errorf("pruned = %d, want >= %d", st.ReplicasPruned, numObjects)
+	}
+	if st.Republishes == 0 {
+		t.Error("no repaired exNode was republished")
+	}
+	for _, name := range stw.Objects() {
+		ex := stw.ExNode(name)
+		if got := ex.ReplicationFactor(); got < 2 {
+			t.Errorf("%s: replication factor %d after healing", name, got)
+		}
+		for _, d := range ex.Depots() {
+			if d == dead {
+				t.Errorf("%s: still references dead depot", name)
+			}
+		}
+	}
+
+	// Phase C — the proof: past the original leases' expiry, a brand-new
+	// client resolving from the DVS sees only renewed/repaired replicas and
+	// downloads everything byte-identically, through the same fault layer
+	// that killed the depot.
+	skew.Store(int64(12 * time.Minute))
+	late, err := agent.NewClientAgent(agent.ClientAgentConfig{
+		Dataset:    "neghip",
+		Params:     params,
+		DVS:        dvsClient,
+		Dialer:     fd,
+		CacheBytes: 1 << 22,
+		Retries:    4,
+		Rand:       rand.New(rand.NewSource(99)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(late.Close)
+	for _, id := range params.AllViewSets() {
+		frame, _, err := late.GetViewSet(context.Background(), id)
+		if err != nil {
+			t.Fatalf("post-healing GetViewSet(%v): %v", id, err)
+		}
+		if !bytes.Equal(frame, reference[id]) {
+			t.Fatalf("post-healing GetViewSet(%v) returned different bytes", id)
+		}
 	}
 }
 

@@ -19,7 +19,11 @@ import (
 
 	"lonviz/internal/agent"
 	"lonviz/internal/dvs"
+	"lonviz/internal/exnode"
+	"lonviz/internal/lbone"
 	"lonviz/internal/lightfield"
+	"lonviz/internal/lors"
+	"lonviz/internal/steward"
 	"lonviz/internal/volume"
 )
 
@@ -37,6 +41,10 @@ func main() {
 	storeDir := flag.String("store", "", "serve/cache view sets from this lfgen-compatible directory")
 	replicas := flag.Int("replicas", 1, "replicas per stripe across depots")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
+	runSteward := flag.Bool("steward", false, "run a background steward over the precomputed database (renews leases, repairs replicas)")
+	stewardInterval := flag.Duration("steward-interval", time.Minute, "steward scan cycle interval")
+	stewardLease := flag.Duration("steward-lease", 30*time.Minute, "lease term for steward renewals and repairs")
+	lboneURL := flag.String("lbone", "", "L-Bone base URL for steward repair depot discovery; empty restricts repair to -depots")
 	flag.Parse()
 
 	if *depots == "" || *dvsAddr == "" {
@@ -101,13 +109,78 @@ func main() {
 		log.Printf("lfserve: DVS agent registration failed: %v", err)
 	}
 
+	var published map[lightfield.ViewSetID][]byte
 	if *precompute {
 		start := time.Now()
 		out, err := sa.PrecomputeAll(context.Background())
 		if err != nil {
 			log.Fatalf("lfserve: precompute: %v", err)
 		}
+		published = out
 		fmt.Printf("lfserve: published %d view sets in %v\n", len(out), time.Since(start).Round(time.Millisecond))
+	}
+
+	// With -steward, adopt everything just published and keep it healthy in
+	// the background: lease renewal, replica repair, republication.
+	var stw *steward.Steward
+	if *runSteward {
+		if len(published) == 0 {
+			log.Fatalf("lfserve: -steward requires -precompute (nothing to adopt)")
+		}
+		cfg := steward.Config{
+			ReplicationTarget: *replicas,
+			LeaseTerm:         *stewardLease,
+			ScanInterval:      *stewardInterval,
+			Health:            lors.NewHealthTracker(lors.HealthConfig{}),
+			Publish: func(ctx context.Context, name string, ex *exnode.ExNode) error {
+				xml, err := ex.Marshal()
+				if err != nil {
+					return err
+				}
+				return dvsClient.Replace(ctx, dvs.Key{Dataset: *dataset, ViewSet: name}, xml)
+			},
+			OnEvent: func(ev steward.Event) {
+				if ev.Type != steward.EventRenew {
+					log.Printf("lfserve: steward: %s", ev)
+				}
+			},
+		}
+		if *lboneURL != "" {
+			cfg.Locate = steward.LBoneLocator(&lbone.Client{BaseURL: *lboneURL}, 0, 0)
+		} else {
+			// No directory: repair within the configured depot pool.
+			cfg.Locate = func(_ context.Context, n int, _ int64, exclude map[string]bool) ([]string, error) {
+				var out []string
+				for _, d := range depotList {
+					if !exclude[d] {
+						out = append(out, d)
+					}
+				}
+				if n > 0 && len(out) > n {
+					out = out[:n]
+				}
+				return out, nil
+			}
+		}
+		stw = steward.New(cfg)
+		for id, xml := range published {
+			ex, err := exnode.Unmarshal(xml)
+			if err != nil {
+				log.Fatalf("lfserve: steward adopt %s: %v", id, err)
+			}
+			if err := stw.Adopt(id.String(), ex); err != nil {
+				log.Fatalf("lfserve: steward adopt %s: %v", id, err)
+			}
+		}
+		stewCtx, stewCancel := context.WithCancel(context.Background())
+		defer stewCancel()
+		go func() {
+			if err := stw.Run(stewCtx); err != nil && stewCtx.Err() == nil {
+				log.Printf("lfserve: steward stopped: %v", err)
+			}
+		}()
+		fmt.Printf("lfserve: steward managing %d view sets (interval %v, target replication %d)\n",
+			len(published), *stewardInterval, *replicas)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -116,4 +189,9 @@ func main() {
 	st := sa.Stats()
 	fmt.Printf("lfserve: shutting down; rendered %d, uploaded %d (%d bytes), %d DVS updates\n",
 		st.Rendered, st.Uploaded, st.BytesSent, st.DVSUpdates)
+	if stw != nil {
+		ss := stw.Stats()
+		fmt.Printf("lfserve: steward: %d cycles, %d renewals, %d/%d repairs, %d pruned, %d republished\n",
+			ss.Cycles, ss.LeasesRenewed, ss.RepairsSucceeded, ss.RepairsAttempted, ss.ReplicasPruned, ss.Republishes)
+	}
 }

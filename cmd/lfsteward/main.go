@@ -1,0 +1,159 @@
+// Command lfsteward runs the maintenance daemon for a published
+// light-field database. It resolves every view set's exNode from the DVS,
+// adopts them, and then keeps the database healthy: probing replica
+// allocations, renewing leases before they expire, repairing
+// under-replicated extents onto fresh depots from the L-Bone, pruning
+// dead replicas, and republishing repaired exNodes through the DVS so
+// browsing clients pick up the new layout.
+//
+// Without a steward, an IBP-hosted database silently decays as leases run
+// out and depots fail; with one, the paper's "publish once, browse from
+// the network" model keeps working indefinitely.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/dvs"
+	"lonviz/internal/exnode"
+	"lonviz/internal/lbone"
+	"lonviz/internal/lightfield"
+	"lonviz/internal/lors"
+	"lonviz/internal/steward"
+)
+
+func main() {
+	dvsAddr := flag.String("dvs", "", "DVS address (required)")
+	dataset := flag.String("dataset", "neghip", "dataset name")
+	res := flag.Int("res", 64, "sample view resolution (must match the published database)")
+	step := flag.Float64("step", 10, "lattice step in degrees (must match the published database)")
+	l := flag.Int("l", 3, "view set side length (must match the published database)")
+	lboneURL := flag.String("lbone", "", "L-Bone base URL for repair depot discovery (e.g. http://host:port); empty disables repair")
+	x := flag.Float64("x", 0, "network coordinate for depot selection")
+	y := flag.Float64("y", 0, "network coordinate for depot selection")
+	replicas := flag.Int("replicas", 2, "target replicas per extent")
+	interval := flag.Duration("interval", time.Minute, "scan cycle interval")
+	renewWindow := flag.Duration("renew-window", 5*time.Minute, "renew leases expiring within this window")
+	lease := flag.Duration("lease", 30*time.Minute, "lease term for renewals and repairs")
+	budget := flag.Int("repair-budget", 16, "max repair copies per cycle")
+	verbose := flag.Bool("v", false, "log every steward event")
+	once := flag.Bool("once", false, "run a single scan cycle and exit")
+	flag.Parse()
+
+	if *dvsAddr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p := lightfield.ScaledParams(*step, *l, *res)
+	if err := p.Validate(); err != nil {
+		log.Fatalf("lfsteward: %v", err)
+	}
+
+	dvsClient := &dvs.Client{Addr: *dvsAddr}
+	cfg := steward.Config{
+		ReplicationTarget: *replicas,
+		RenewalWindow:     *renewWindow,
+		LeaseTerm:         *lease,
+		ScanInterval:      *interval,
+		RepairBudget:      *budget,
+		Health:            lors.NewHealthTracker(lors.HealthConfig{}),
+		Publish: func(ctx context.Context, name string, ex *exnode.ExNode) error {
+			xml, err := ex.Marshal()
+			if err != nil {
+				return err
+			}
+			return dvsClient.Replace(ctx, dvs.Key{Dataset: *dataset, ViewSet: name}, xml)
+		},
+	}
+	if *lboneURL != "" {
+		cfg.Locate = steward.LBoneLocator(&lbone.Client{BaseURL: *lboneURL}, *x, *y)
+	}
+	if *verbose {
+		cfg.OnEvent = func(ev steward.Event) { log.Printf("lfsteward: %s", ev) }
+	} else {
+		cfg.OnEvent = func(ev steward.Event) {
+			switch ev.Type {
+			case steward.EventRenew:
+			default:
+				log.Printf("lfsteward: %s", ev)
+			}
+		}
+	}
+	s := steward.New(cfg)
+
+	// Adopt every view set the lattice defines; sets the DVS does not know
+	// (not yet published, or published at different parameters) are skipped
+	// with a warning.
+	ctx := context.Background()
+	adopted, missing := 0, 0
+	for _, id := range p.AllViewSets() {
+		key := dvs.Key{Dataset: *dataset, ViewSet: id.String()}
+		docs, err := dvsClient.Get(ctx, key)
+		if err != nil {
+			if errors.Is(err, dvs.ErrMiss) {
+				missing++
+				continue
+			}
+			log.Fatalf("lfsteward: DVS get %s: %v", key, err)
+		}
+		ex, err := exnode.Unmarshal(docs[0])
+		if err != nil {
+			log.Printf("lfsteward: bad exNode for %s: %v", key, err)
+			continue
+		}
+		if err := s.Adopt(id.String(), ex); err != nil {
+			log.Printf("lfsteward: adopt %s: %v", key, err)
+			continue
+		}
+		adopted++
+	}
+	if adopted == 0 {
+		log.Fatalf("lfsteward: no exNodes to manage (%d view sets missing from DVS %s)", missing, *dvsAddr)
+	}
+	fmt.Printf("lfsteward: managing %d view sets of %q (%d not in DVS), target replication %d\n",
+		adopted, *dataset, missing, *replicas)
+
+	// ParseViewSetKey round-trips the names we adopt; assert early so a
+	// lattice/DVS mismatch is a startup error, not a runtime surprise.
+	for _, name := range s.Objects() {
+		if _, err := agent.ParseViewSetKey(name); err != nil {
+			log.Fatalf("lfsteward: unparseable view set name %q: %v", name, err)
+		}
+	}
+
+	if *once {
+		rep, err := s.RunCycle(ctx)
+		if err != nil {
+			log.Fatalf("lfsteward: %v", err)
+		}
+		fmt.Printf("lfsteward: cycle: %+v\n", rep)
+		printStats(s.Stats())
+		return
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() { <-sig; cancel() }()
+	if err := s.Run(runCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("lfsteward: %v", err)
+	}
+	printStats(s.Stats())
+}
+
+func printStats(st steward.Stats) {
+	fmt.Printf("lfsteward: %d cycles, %d extents audited, %d probes, %d renewals (%d failed), "+
+		"%d verified (%d failed), %d/%d repairs, %d pruned, %d lost, %d republished (%d failed)\n",
+		st.Cycles, st.ExtentsAudited, st.ReplicasProbed, st.LeasesRenewed, st.RenewFailures,
+		st.PayloadsVerified, st.VerifyFailures, st.RepairsSucceeded, st.RepairsAttempted,
+		st.ReplicasPruned, st.ExtentsLost, st.Republishes, st.PublishFailures)
+}

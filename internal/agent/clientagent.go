@@ -120,6 +120,13 @@ type ClientAgentConfig struct {
 	// (default 2 so a transient fault gets one backed-off second chance).
 	Retries int
 	// Rand seeds replica choices; nil uses a time-seeded source.
+	//
+	// Thread-safety: *rand.Rand is not safe for concurrent use, and the
+	// agent's download workers and prestage goroutines run concurrently.
+	// That is fine here because this value is only ever handed to
+	// lors.DownloadOptions.Rand, and lors serializes every use of it under
+	// a package-level mutex. Do not read from this Rand anywhere else in
+	// the agent without adding equivalent locking.
 	Rand *rand.Rand
 }
 

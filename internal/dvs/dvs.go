@@ -101,6 +101,25 @@ func (s *Server) Put(key Key, exnodeXML []byte) error {
 	return nil
 }
 
+// Replace overwrites every recorded exNode replica for key with the single
+// given document. Maintenance tooling uses it after lease renewal or
+// replica repair so browsing clients resolve the updated layout instead of
+// an accumulating list of stale ones. (Parents and children in the
+// hierarchy may still hold cached copies until they refresh.)
+func (s *Server) Replace(key Key, exnodeXML []byte) error {
+	if key.Dataset == "" || key.ViewSet == "" {
+		return fmt.Errorf("dvs: empty key %+v", key)
+	}
+	if len(exnodeXML) == 0 || len(exnodeXML) > maxEntry {
+		return fmt.Errorf("dvs: exnode size %d out of range", len(exnodeXML))
+	}
+	cp := append([]byte{}, exnodeXML...)
+	s.mu.Lock()
+	s.exnodes[key] = [][]byte{cp}
+	s.mu.Unlock()
+	return nil
+}
+
 // RegisterAgent records the server agent responsible for dataset.
 func (s *Server) RegisterAgent(dataset, agentAddr string) error {
 	if dataset == "" || agentAddr == "" {
@@ -172,6 +191,7 @@ func (s *Server) Resolve(ctx context.Context, key Key) ([][]byte, error) {
 //
 //	GET <dataset> <viewset>            -> OK <n> then n x (<len>\n<xml>) | MISS
 //	PUT <dataset> <viewset> <len>\n<xml> -> OK
+//	REPLACE <dataset> <viewset> <len>\n<xml> -> OK   (drops prior replicas)
 //	REGAGENT <dataset> <addr>          -> OK
 //	AGENT <dataset>                    -> OK <addr> | MISS
 
@@ -250,7 +270,7 @@ func (s *Server) dispatch(br *bufio.Reader, bw *bufio.Writer, f []string) bool {
 			}
 		}
 		return true
-	case len(f) == 4 && f[0] == "PUT":
+	case len(f) == 4 && (f[0] == "PUT" || f[0] == "REPLACE"):
 		n, err := strconv.Atoi(f[3])
 		if err != nil || n <= 0 || n > maxEntry {
 			fmt.Fprintf(bw, "ERR bad length\n")
@@ -260,7 +280,11 @@ func (s *Server) dispatch(br *bufio.Reader, bw *bufio.Writer, f []string) bool {
 		if _, err := io.ReadFull(br, body); err != nil {
 			return false
 		}
-		if err := s.Put(Key{Dataset: f[1], ViewSet: f[2]}, body); err != nil {
+		record := s.Put
+		if f[0] == "REPLACE" {
+			record = s.Replace
+		}
+		if err := record(Key{Dataset: f[1], ViewSet: f[2]}, body); err != nil {
 			fmt.Fprintf(bw, "ERR %s\n", oneLine(err.Error()))
 			return true
 		}
@@ -367,6 +391,16 @@ func (c *Client) Get(ctx context.Context, key Key) ([][]byte, error) {
 
 // Put registers an exNode replica for key.
 func (c *Client) Put(ctx context.Context, key Key, exnodeXML []byte) error {
+	return c.record(ctx, "PUT", key, exnodeXML)
+}
+
+// Replace overwrites every recorded exNode replica for key with one
+// document (see Server.Replace).
+func (c *Client) Replace(ctx context.Context, key Key, exnodeXML []byte) error {
+	return c.record(ctx, "REPLACE", key, exnodeXML)
+}
+
+func (c *Client) record(ctx context.Context, verb string, key Key, exnodeXML []byte) error {
 	conn, err := c.dial()
 	if err != nil {
 		return err
@@ -375,7 +409,7 @@ func (c *Client) Put(ctx context.Context, key Key, exnodeXML []byte) error {
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = conn.SetDeadline(deadline)
 	}
-	fmt.Fprintf(conn, "PUT %s %s %d\n", key.Dataset, key.ViewSet, len(exnodeXML))
+	fmt.Fprintf(conn, "%s %s %s %d\n", verb, key.Dataset, key.ViewSet, len(exnodeXML))
 	if _, err := conn.Write(exnodeXML); err != nil {
 		return err
 	}

@@ -210,3 +210,50 @@ func TestConcurrentPutsAndGets(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestReplaceDropsPriorReplicas(t *testing.T) {
+	_, cl := startDVS(t, "")
+	key := Key{Dataset: "neghip", ViewSet: "r01c02"}
+	old := []byte("<exnode name=\"old\" length=\"0\"></exnode>")
+	older := []byte("<exnode name=\"older\" length=\"0\"></exnode>")
+	for _, xml := range [][]byte{older, old} {
+		if err := cl.Put(context.Background(), key, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Replace must leave exactly one replica: the new document. This is
+	// the republish path after replica repair — resolvers use the first
+	// replica, so appending a repaired exNode would leave them on the
+	// stale layout forever.
+	repaired := []byte("<exnode name=\"repaired\" length=\"0\"></exnode>")
+	if err := cl.Replace(context.Background(), key, repaired); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := cl.Get(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || string(reps[0]) != string(repaired) {
+		t.Errorf("after replace: %d replicas, first %q", len(reps), reps[0])
+	}
+
+	// Replace on a key that never existed behaves like a first Put.
+	fresh := Key{Dataset: "neghip", ViewSet: "r09c09"}
+	if err := cl.Replace(context.Background(), fresh, repaired); err != nil {
+		t.Fatal(err)
+	}
+	if reps, err := cl.Get(context.Background(), fresh); err != nil || len(reps) != 1 {
+		t.Errorf("replace-as-first-put: %d replicas, err %v", len(reps), err)
+	}
+}
+
+func TestReplaceValidation(t *testing.T) {
+	s := NewServer("")
+	if err := s.Replace(Key{Dataset: "d", ViewSet: "v"}, nil); err == nil {
+		t.Error("empty document accepted")
+	}
+	if err := s.Replace(Key{}, []byte("<exnode/>")); err == nil {
+		t.Error("empty key accepted")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+	"time"
 )
 
 // Replica locates one copy of an extent on a depot.
@@ -27,6 +28,31 @@ type Replica struct {
 	ManageCap string `xml:"manage,attr,omitempty"`
 	// AllocOffset is where the extent's bytes start within the allocation.
 	AllocOffset int64 `xml:"allocOffset,attr"`
+	// ExpiresMs is the allocation's lease expiry in Unix milliseconds,
+	// recorded at upload time and updated on every renewal. Zero means
+	// unknown (exNodes published before lease tracking existed). It is
+	// advisory — the depot's clock is authoritative — but it lets
+	// maintenance tooling see renewal deadlines without probing every
+	// depot on every scan.
+	ExpiresMs int64 `xml:"expires,attr,omitempty"`
+}
+
+// Expiry returns the recorded lease expiry, or the zero time when the
+// replica predates lease tracking.
+func (r *Replica) Expiry() time.Time {
+	if r.ExpiresMs == 0 {
+		return time.Time{}
+	}
+	return time.UnixMilli(r.ExpiresMs)
+}
+
+// SetExpiry records a lease expiry (the zero time clears it).
+func (r *Replica) SetExpiry(t time.Time) {
+	if t.IsZero() {
+		r.ExpiresMs = 0
+		return
+	}
+	r.ExpiresMs = t.UnixMilli()
 }
 
 // Extent maps [Offset, Offset+Length) of the logical file to replicas.
@@ -142,6 +168,38 @@ func (e *ExNode) ReplicationFactor() int {
 		}
 	}
 	return minReps
+}
+
+// LeaseHorizon returns the earliest recorded replica lease expiry, or the
+// zero time when no replica records one. A maintenance pass whose horizon
+// is comfortably in the future can skip per-depot probing.
+func (e *ExNode) LeaseHorizon() time.Time {
+	var horizon time.Time
+	for _, x := range e.Extents {
+		for _, r := range x.Replicas {
+			exp := r.Expiry()
+			if exp.IsZero() {
+				continue
+			}
+			if horizon.IsZero() || exp.Before(horizon) {
+				horizon = exp
+			}
+		}
+	}
+	return horizon
+}
+
+// Clone returns a deep copy sharing no slices with the receiver, so one
+// copy can be mutated (lease renewals, replica repair) while the other is
+// read concurrently.
+func (e *ExNode) Clone() *ExNode {
+	out := *e
+	out.Extents = make([]Extent, len(e.Extents))
+	for i, x := range e.Extents {
+		out.Extents[i] = x
+		out.Extents[i].Replicas = append([]Replica(nil), x.Replicas...)
+	}
+	return &out
 }
 
 // Depots returns the distinct depot addresses referenced, sorted.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func sampleExNode() *ExNode {
@@ -181,6 +182,96 @@ func TestStripedExNodeQuick(t *testing.T) {
 		return got.Length == e.Length && len(got.Extents) == stripes && got.ReplicationFactor() == reps
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpiryRoundTrip(t *testing.T) {
+	e := sampleExNode()
+	exp := time.Now().Add(30 * time.Minute).Truncate(time.Millisecond)
+	e.Extents[0].Replicas[0].SetExpiry(exp)
+
+	data, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Extents[0].Replicas[0].Expiry().Equal(exp) {
+		t.Errorf("expiry = %v, want %v", got.Extents[0].Replicas[0].Expiry(), exp)
+	}
+	// Replicas without a recorded lease stay unknown after the round trip.
+	if !got.Extents[0].Replicas[1].Expiry().IsZero() {
+		t.Errorf("unset expiry round-tripped to %v", got.Extents[0].Replicas[1].Expiry())
+	}
+}
+
+func TestExpiryBackwardCompat(t *testing.T) {
+	// exNodes published before lease tracking existed have no expires
+	// attribute; they must parse and report an unknown expiry.
+	xml := `<exnode name="old" length="10">
+  <extent offset="0" length="10">
+    <replica depot="d:1" read="r" manage="m" allocOffset="0"></replica>
+  </extent>
+</exnode>`
+	e, err := Unmarshal([]byte(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Extents[0].Replicas[0].Expiry().IsZero() {
+		t.Errorf("legacy replica reports expiry %v", e.Extents[0].Replicas[0].Expiry())
+	}
+	// And marshalling a lease-free replica must not emit the attribute, so
+	// older consumers see byte-identical structure.
+	out, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "expires") {
+		t.Errorf("marshal of legacy exNode emitted expires attribute:\n%s", out)
+	}
+}
+
+func TestSetExpiryZeroClears(t *testing.T) {
+	var r Replica
+	r.SetExpiry(time.UnixMilli(1234))
+	if r.ExpiresMs != 1234 {
+		t.Fatalf("ExpiresMs = %d", r.ExpiresMs)
+	}
+	r.SetExpiry(time.Time{})
+	if r.ExpiresMs != 0 || !r.Expiry().IsZero() {
+		t.Errorf("zero time did not clear expiry: %d", r.ExpiresMs)
+	}
+}
+
+func TestLeaseHorizon(t *testing.T) {
+	e := sampleExNode()
+	if !e.LeaseHorizon().IsZero() {
+		t.Errorf("horizon with no recorded leases = %v", e.LeaseHorizon())
+	}
+	late := time.Now().Add(time.Hour)
+	early := time.Now().Add(10 * time.Minute)
+	e.Extents[0].Replicas[0].SetExpiry(late)
+	e.Extents[2].Replicas[0].SetExpiry(early)
+	if got := e.LeaseHorizon(); !got.Equal(time.UnixMilli(early.UnixMilli())) {
+		t.Errorf("horizon = %v, want earliest %v", got, early)
+	}
+}
+
+func TestClone(t *testing.T) {
+	e := sampleExNode()
+	c := e.Clone()
+	c.Extents[0].Replicas[0].Depot = "mutated:1"
+	c.Extents[1].Replicas = append(c.Extents[1].Replicas, Replica{Depot: "new:1", ReadCap: "x"})
+	if e.Extents[0].Replicas[0].Depot != "ca1:6714" {
+		t.Error("clone shares replica storage with original")
+	}
+	if len(e.Extents[1].Replicas) != 1 {
+		t.Error("append to clone grew the original")
+	}
+	if err := e.Validate(); err != nil {
 		t.Error(err)
 	}
 }

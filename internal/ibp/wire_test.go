@@ -263,3 +263,101 @@ func TestConcurrentWireClients(t *testing.T) {
 		}
 	}
 }
+
+// TestWireExtendErrorPaths exercises the lease-maintenance failure modes a
+// steward must distinguish over the wire: a lease that already ran out, a
+// renewal beyond the depot's maximum, and a capability the depot never
+// issued.
+func TestWireExtendErrorPaths(t *testing.T) {
+	clk := newFakeClock()
+	d, err := NewDepot(DepotConfig{Capacity: 1 << 16, MaxLease: time.Hour, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl := &Client{Addr: addr}
+
+	caps, err := cl.Allocate(context.Background(), 64, time.Minute, Stable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over-max renewal is refused while the allocation is still alive.
+	if _, err := cl.Extend(context.Background(), caps.Manage, 2*time.Hour); !errors.Is(err, ErrDuration) {
+		t.Errorf("over-max extend: %v", err)
+	}
+	// Probe and Extend on an expired allocation: first touch reports the
+	// expiry, and the allocation is then gone for good.
+	clk.Advance(2 * time.Minute)
+	if _, err := cl.Extend(context.Background(), caps.Manage, time.Minute); !errors.Is(err, ErrExpired) {
+		t.Errorf("extend after expiry: %v", err)
+	}
+	if _, err := cl.Probe(context.Background(), caps.Manage); !errors.Is(err, ErrNoCap) {
+		t.Errorf("probe after expired extend: %v", err)
+	}
+	// A capability the depot never issued.
+	if _, err := cl.Extend(context.Background(), "bogus-cap", time.Minute); !errors.Is(err, ErrNoCap) {
+		t.Errorf("bogus manage cap: %v", err)
+	}
+	if _, err := cl.Probe(context.Background(), "bogus-cap"); !errors.Is(err, ErrNoCap) {
+		t.Errorf("bogus probe cap: %v", err)
+	}
+}
+
+// fakeDepotServer answers every request on a real TCP listener with a
+// canned response line, for driving the client's response parser through
+// shapes no honest depot produces.
+func fakeDepotServer(t *testing.T, response string) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 256)
+				c.Read(buf)
+				c.Write([]byte(response))
+			}(c)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestWireMalformedResponses(t *testing.T) {
+	cases := []struct {
+		name       string
+		response   string
+		skipExtend bool // "OK 1" is a well-formed Extend reply but a short Probe one
+	}{
+		{name: "missing fields", response: "OK\n"},
+		{name: "non-numeric expiry", response: "OK abc\n"},
+		{name: "unknown status word", response: "BOGUS 1 2 3\n"},
+		{name: "err without code", response: "ERR\n"},
+		{name: "probe short field count", response: "OK 1\n", skipExtend: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cl := &Client{Addr: fakeDepotServer(t, tc.response), Timeout: 2 * time.Second}
+			if !tc.skipExtend {
+				if _, err := cl.Extend(context.Background(), "cap", time.Minute); !errors.Is(err, ErrProto) {
+					t.Errorf("Extend on %q: %v", tc.response, err)
+				}
+			}
+			if _, err := cl.Probe(context.Background(), "cap"); !errors.Is(err, ErrProto) {
+				t.Errorf("Probe on %q: %v", tc.response, err)
+			}
+		})
+	}
+}

@@ -17,8 +17,10 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -78,9 +80,39 @@ func (s *Server) Register(rec DepotRecord) error {
 	return nil
 }
 
+// Sweep drops every record whose heartbeat is older than TTL and returns
+// how many were dropped. Lookup sweeps implicitly; a directory serving a
+// maintenance service (the steward's repair path) can also sweep on a
+// timer so dead depots age out even between queries.
+func (s *Server) Sweep() int {
+	cutoff := s.now().Add(-s.TTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for addr, rec := range s.records {
+		if rec.LastSeen.Before(cutoff) {
+			delete(s.records, addr)
+			dropped++
+		}
+	}
+	return dropped
+}
+
 // Lookup returns up to n live depots with at least minFree bytes free,
 // sorted by distance from (x, y). n <= 0 means all.
 func (s *Server) Lookup(x, y float64, n int, minFree int64) []DepotRecord {
+	return s.LookupExcluding(x, y, n, minFree, nil)
+}
+
+// LookupExcluding is Lookup with an exclusion list: depots whose address
+// appears in exclude are never returned. Repair tooling uses it to ask
+// for fresh depots that do not already hold a replica of the extent being
+// re-replicated.
+func (s *Server) LookupExcluding(x, y float64, n int, minFree int64, exclude []string) []DepotRecord {
+	excluded := make(map[string]bool, len(exclude))
+	for _, addr := range exclude {
+		excluded[addr] = true
+	}
 	cutoff := s.now().Add(-s.TTL)
 	s.mu.Lock()
 	out := make([]DepotRecord, 0, len(s.records))
@@ -89,7 +121,7 @@ func (s *Server) Lookup(x, y float64, n int, minFree int64) []DepotRecord {
 			delete(s.records, addr)
 			continue
 		}
-		if rec.Free >= minFree {
+		if rec.Free >= minFree && !excluded[addr] {
 			out = append(out, rec)
 		}
 	}
@@ -129,8 +161,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		y, _ := strconv.ParseFloat(q.Get("y"), 64)
 		n, _ := strconv.Atoi(q.Get("n"))
 		minFree, _ := strconv.ParseInt(q.Get("minfree"), 10, 64)
+		var exclude []string
+		if ex := q.Get("exclude"); ex != "" {
+			exclude = strings.Split(ex, ",")
+		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(s.Lookup(x, y, n, minFree)); err != nil {
+		if err := json.NewEncoder(w).Encode(s.LookupExcluding(x, y, n, minFree, exclude)); err != nil {
 			// Too late to change the status; the client's decoder will fail.
 			return
 		}
@@ -193,8 +229,17 @@ func (c *Client) Register(rec DepotRecord) error {
 
 // Lookup queries the nearest live depots.
 func (c *Client) Lookup(x, y float64, n int, minFree int64) ([]DepotRecord, error) {
-	url := fmt.Sprintf("%s/lookup?x=%g&y=%g&n=%d&minfree=%d", c.BaseURL, x, y, n, minFree)
-	resp, err := c.httpClient().Get(url)
+	return c.LookupExcluding(x, y, n, minFree, nil)
+}
+
+// LookupExcluding queries the nearest live depots whose address is not in
+// exclude (server-side filtering, so n counts usable results).
+func (c *Client) LookupExcluding(x, y float64, n int, minFree int64, exclude []string) ([]DepotRecord, error) {
+	u := fmt.Sprintf("%s/lookup?x=%g&y=%g&n=%d&minfree=%d", c.BaseURL, x, y, n, minFree)
+	if len(exclude) > 0 {
+		u += "&exclude=" + url.QueryEscape(strings.Join(exclude, ","))
+	}
+	resp, err := c.httpClient().Get(u)
 	if err != nil {
 		return nil, fmt.Errorf("lbone: lookup: %w", err)
 	}

@@ -154,3 +154,76 @@ func TestHeartbeatLoop(t *testing.T) {
 	close(stop)
 	<-done
 }
+
+func TestSweepDropsStaleRecords(t *testing.T) {
+	clk := &stubClock{now: time.Unix(0, 0)}
+	s := NewServer()
+	s.Clock = clk.Now
+	s.TTL = 10 * time.Second
+	s.Register(DepotRecord{Addr: "a:1", Capacity: 10, Free: 10})
+	clk.Advance(6 * time.Second)
+	s.Register(DepotRecord{Addr: "b:1", Capacity: 10, Free: 10})
+
+	if n := s.Sweep(); n != 0 {
+		t.Errorf("premature sweep dropped %d", n)
+	}
+	clk.Advance(6 * time.Second) // a is 12s stale, b 6s
+	if n := s.Sweep(); n != 1 {
+		t.Errorf("sweep dropped %d, want 1", n)
+	}
+	if got := s.Lookup(0, 0, 0, 0); len(got) != 1 || got[0].Addr != "b:1" {
+		t.Errorf("after sweep = %+v", got)
+	}
+	// Idempotent: nothing left to drop.
+	if n := s.Sweep(); n != 0 {
+		t.Errorf("second sweep dropped %d", n)
+	}
+}
+
+func TestLookupExcluding(t *testing.T) {
+	s := NewServer()
+	for i, a := range []string{"a:1", "b:1", "c:1"} {
+		if err := s.Register(DepotRecord{Addr: a, X: float64(i), Capacity: 10, Free: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.LookupExcluding(0, 0, 0, 0, []string{"a:1", "c:1"})
+	if len(got) != 1 || got[0].Addr != "b:1" {
+		t.Errorf("exclusion = %+v", got)
+	}
+	// n counts usable results: excluding the nearest still yields n others.
+	got = s.LookupExcluding(0, 0, 2, 0, []string{"a:1"})
+	if len(got) != 2 || got[0].Addr != "b:1" || got[1].Addr != "c:1" {
+		t.Errorf("n after exclusion = %+v", got)
+	}
+}
+
+func TestHTTPLookupExcluding(t *testing.T) {
+	s := NewServer()
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cl := &Client{BaseURL: "http://" + addr}
+	for i, a := range []string{"a:1", "b:1", "c:1"} {
+		if err := cl.Register(DepotRecord{Addr: a, X: float64(i), Capacity: 10, Free: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := cl.LookupExcluding(0, 0, 2, 0, []string{"a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Addr != "b:1" || got[1].Addr != "c:1" {
+		t.Errorf("HTTP exclusion = %+v", got)
+	}
+	// No exclusions behaves like plain Lookup.
+	got, err = cl.LookupExcluding(0, 0, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Addr != "a:1" {
+		t.Errorf("empty exclusion = %+v", got)
+	}
+}

@@ -192,6 +192,9 @@ func uploadStripe(ctx context.Context, chunk []byte, j struct {
 	}
 	placed := 0
 	tried := map[string]bool{}
+	// Recorded lease expiry for the replicas placed below. Measured before
+	// the allocations, so it never overstates what the depot granted.
+	expiry := time.Now().Add(opts.Lease)
 	// Start each stripe on a different depot for balance, then walk.
 	for step := 0; placed < opts.Replicas && step < 2*len(opts.Depots); step++ {
 		if err := ctx.Err(); err != nil {
@@ -214,11 +217,13 @@ func uploadStripe(ctx context.Context, chunk []byte, j struct {
 			_ = cl.Free(context.WithoutCancel(ctx), caps.Manage)
 			continue
 		}
-		ext.Replicas = append(ext.Replicas, exnode.Replica{
+		rep := exnode.Replica{
 			Depot:     addr,
 			ReadCap:   caps.Read,
 			ManageCap: caps.Manage,
-		})
+		}
+		rep.SetExpiry(expiry)
+		ext.Replicas = append(ext.Replicas, rep)
 		placed++
 	}
 	if placed < opts.Replicas {
@@ -484,16 +489,18 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 }
 
 // Refresh extends the lease on every replica allocation that carries a
-// manage capability, returning the number of successful extensions. The
-// client agent uses it to keep cached-on-depot view sets alive.
+// manage capability, returning the number of successful extensions and
+// recording each renewed expiry on the replica. The client agent uses it
+// to keep cached-on-depot view sets alive.
 func Refresh(ctx context.Context, ex *exnode.ExNode, lease time.Duration, dialer ibp.Dialer) (int, error) {
 	if err := ex.Validate(); err != nil {
 		return 0, err
 	}
 	ok := 0
 	var lastErr error
-	for _, ext := range ex.Extents {
-		for _, rep := range ext.Replicas {
+	for i := range ex.Extents {
+		for j := range ex.Extents[i].Replicas {
+			rep := &ex.Extents[i].Replicas[j]
 			if rep.ManageCap == "" {
 				continue
 			}
@@ -501,10 +508,12 @@ func Refresh(ctx context.Context, ex *exnode.ExNode, lease time.Duration, dialer
 				return ok, err
 			}
 			cl := &ibp.Client{Addr: rep.Depot, Dialer: dialer}
-			if _, err := cl.Extend(ctx, rep.ManageCap, lease); err != nil {
+			exp, err := cl.Extend(ctx, rep.ManageCap, lease)
+			if err != nil {
 				lastErr = err
 				continue
 			}
+			rep.SetExpiry(exp)
 			ok++
 		}
 	}

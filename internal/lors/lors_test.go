@@ -786,3 +786,61 @@ func TestFreeMissingManageCapsIsNoop(t *testing.T) {
 		t.Error("payload gone after no-op free")
 	}
 }
+
+func TestUploadRecordsLeaseExpiry(t *testing.T) {
+	depots := depotFarm(t, 2, 1<<22)
+	data := testPayload(32*1024, 21)
+	before := time.Now()
+	ex, err := Upload(context.Background(), "obj21", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 16 * 1024,
+		Replicas:   2,
+		Lease:      10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every placed replica carries a recorded expiry near now+lease (the
+	// client-side estimate is conservative: taken before allocation).
+	lo := before.Add(9 * time.Minute)
+	hi := time.Now().Add(11 * time.Minute)
+	for _, x := range ex.Extents {
+		for _, r := range x.Replicas {
+			exp := r.Expiry()
+			if exp.IsZero() {
+				t.Fatalf("replica on %s has no recorded expiry", r.Depot)
+			}
+			if exp.Before(lo) || exp.After(hi) {
+				t.Errorf("replica expiry %v outside [%v, %v]", exp, lo, hi)
+			}
+		}
+	}
+	if h := ex.LeaseHorizon(); h.IsZero() || h.Before(lo) {
+		t.Errorf("lease horizon = %v", h)
+	}
+}
+
+func TestRefreshUpdatesRecordedExpiry(t *testing.T) {
+	depots := depotFarm(t, 2, 1<<22)
+	data := testPayload(16*1024, 22)
+	ex, err := Upload(context.Background(), "obj22", data, UploadOptions{
+		Depots: depots,
+		Lease:  2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldHorizon := ex.LeaseHorizon()
+	if _, err := Refresh(context.Background(), ex, 30*time.Minute, nil); err != nil {
+		t.Fatal(err)
+	}
+	h := ex.LeaseHorizon()
+	if !h.After(oldHorizon) {
+		t.Errorf("refresh did not advance horizon: %v -> %v", oldHorizon, h)
+	}
+	// The depot granted the requested term, so the recorded expiry must be
+	// the depot's answer (~now+30m), not a client guess.
+	if h.Before(time.Now().Add(29 * time.Minute)) {
+		t.Errorf("horizon %v does not reflect the 30m renewal", h)
+	}
+}

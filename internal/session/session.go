@@ -41,6 +41,8 @@ func StandardScript(p lightfield.Params, n int, seed int64) (Script, error) {
 	if n <= 0 {
 		return Script{}, fmt.Errorf("session: non-positive access count %d", n)
 	}
+	// Function-local and never shared, so the unsynchronized *rand.Rand is
+	// safe even when scripts are generated from concurrent tests.
 	rng := rand.New(rand.NewSource(seed))
 	cur := lightfield.ViewSetID{R: p.SetRows() / 2, C: p.SetCols() / 2}
 	// Momentum: keep moving the same direction with probability 0.6.

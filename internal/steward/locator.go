@@ -1,0 +1,30 @@
+package steward
+
+import (
+	"context"
+
+	"lonviz/internal/lbone"
+)
+
+// LBoneLocator adapts an L-Bone directory client into a LocateFunc: repair
+// candidates are the nearest live depots to (x, y) with enough free space,
+// excluding depots that already hold a replica. This is the standard
+// locator for production stewards; tests usually supply a closure over a
+// fixed depot list instead.
+func LBoneLocator(cl *lbone.Client, x, y float64) LocateFunc {
+	return func(ctx context.Context, n int, minFree int64, exclude map[string]bool) ([]string, error) {
+		ex := make([]string, 0, len(exclude))
+		for addr := range exclude {
+			ex = append(ex, addr)
+		}
+		recs, err := cl.LookupExcluding(x, y, n, minFree, ex)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, 0, len(recs))
+		for _, r := range recs {
+			out = append(out, r.Addr)
+		}
+		return out, nil
+	}
+}
