@@ -15,6 +15,7 @@ import (
 
 	"lonviz/internal/ibp"
 	"lonviz/internal/lbone"
+	"lonviz/internal/obs"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	x := flag.Float64("x", 0, "network coordinate X for L-Bone proximity")
 	y := flag.Float64("y", 0, "network coordinate Y for L-Bone proximity")
 	heartbeat := flag.Duration("heartbeat", 10*time.Second, "L-Bone heartbeat interval")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	depot, err := ibp.NewDepot(ibp.DepotConfig{Capacity: *capacity, MaxLease: *maxLease, Dir: *dir})
@@ -39,6 +41,24 @@ func main() {
 		log.Fatalf("depotd: listen: %v", err)
 	}
 	fmt.Printf("depotd: serving IBP on %s (capacity %d bytes, max lease %v)\n", bound, *capacity, *maxLease)
+
+	if *metricsAddr != "" {
+		obs.Default().RegisterSnapshot("depot", func() map[string]float64 {
+			st := depot.Stat()
+			return map[string]float64{
+				"capacity":    float64(st.Capacity),
+				"used":        float64(st.Used),
+				"allocations": float64(st.Allocations),
+				"expirations": float64(st.Expirations),
+				"revocations": float64(st.Revocations),
+			}
+		})
+		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatalf("depotd: metrics listen: %v", err)
+		}
+		fmt.Printf("depotd: metrics on http://%s/metrics\n", mbound)
+	}
 
 	stop := make(chan struct{})
 	if *lboneURL != "" {

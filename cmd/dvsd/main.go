@@ -13,12 +13,14 @@ import (
 
 	"lonviz/internal/agent"
 	"lonviz/internal/dvs"
+	"lonviz/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6800", "listen address")
 	parent := flag.String("parent", "", "parent DVS address (empty for the root)")
 	generate := flag.Bool("generate", false, "forward full-hierarchy misses to registered server agents")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	srv := dvs.NewServer(*parent)
@@ -34,6 +36,14 @@ func main() {
 		role = "child of " + *parent
 	}
 	fmt.Printf("dvsd: serving DVS on %s (%s, on-demand generation %v)\n", bound, role, *generate)
+
+	if *metricsAddr != "" {
+		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatalf("dvsd: metrics listen: %v", err)
+		}
+		fmt.Printf("dvsd: metrics on http://%s/metrics\n", mbound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -12,11 +12,13 @@ import (
 	"time"
 
 	"lonviz/internal/lbone"
+	"lonviz/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6767", "listen address")
 	ttl := flag.Duration("ttl", 30*time.Second, "registration freshness window")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	srv := lbone.NewServer()
@@ -26,6 +28,14 @@ func main() {
 		log.Fatalf("lboned: %v", err)
 	}
 	fmt.Printf("lboned: serving directory on http://%s (TTL %v)\n", bound, *ttl)
+
+	if *metricsAddr != "" {
+		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatalf("lboned: metrics listen: %v", err)
+		}
+		fmt.Printf("lboned: metrics on http://%s/metrics\n", mbound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -11,19 +11,26 @@
 //	lfbench -fig fps    in-text: client rendering frame rate
 //	lfbench -fig rates  in-text 4.3: WAN access & hit rates, cases 2 vs 3
 //	lfbench -fig all    everything
+//	lfbench -quick      small smoke run; writes BENCH_quick.json and exits
 //
-// -csv DIR writes each series as CSV next to the printed tables.
+// -csv DIR writes each series as CSV next to the printed tables. -json DIR
+// writes a machine-readable BENCH_<name>.json (frames/sec, fetch-latency
+// percentiles, cache hit rate) for the latency figures and -quick.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
+	"lonviz/internal/agent"
 	"lonviz/internal/experiments"
+	"lonviz/internal/obs"
 	"lonviz/internal/session"
 )
 
@@ -34,6 +41,9 @@ func main() {
 	accesses := flag.Int("accesses", session.PaperAccessCount, "session length in view set accesses")
 	think := flag.Duration("think", 0, "cursor think time (0 = config default)")
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
+	jsonDir := flag.String("json", ".", "directory to write BENCH_*.json reports into")
+	quick := flag.Bool("quick", false, "run a short smoke benchmark, write BENCH_quick.json, verify it parses, and exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the benchmark runs (empty disables)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -50,8 +60,22 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *metricsAddr != "" {
+		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lfbench: metrics on http://%s/metrics\n", mbound)
+	}
 
 	ctx := context.Background()
+
+	if *quick {
+		if err := runQuick(ctx, cfg, *jsonDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	run := func(name string, f func() error) {
 		start := time.Now()
 		fmt.Printf("==== %s ====\n", name)
@@ -75,7 +99,7 @@ func main() {
 	}{{"9", 200}, {"10", 300}, {"11", 500}} {
 		if want(fr.name) {
 			name := fmt.Sprintf("Figure %s: client latency per access, %dx%d", fr.name, fr.paperRes, fr.paperRes)
-			run(name, func() error { return figLatency(ctx, cfg, fr.name, fr.paperRes, *csvDir) })
+			run(name, func() error { return figLatency(ctx, cfg, fr.name, fr.paperRes, *csvDir, *jsonDir) })
 		}
 	}
 	if want("12") {
@@ -121,6 +145,161 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// benchPercentiles are exact order statistics over one latency series.
+type benchPercentiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// benchCase is one deployment case's results inside a bench report.
+type benchCase struct {
+	Case            string           `json:"case"`
+	Accesses        int              `json:"accesses"`
+	FramesPerSecond float64          `json:"frames_per_second"`
+	FetchLatencyMs  benchPercentiles `json:"fetch_latency_ms"`
+	CommLatencyMs   benchPercentiles `json:"comm_latency_ms"`
+	CacheHitRate    float64          `json:"cache_hit_rate"`
+	Classes         map[string]int   `json:"classes"`
+}
+
+// benchReport is the machine-readable BENCH_<name>.json document.
+type benchReport struct {
+	Name        string      `json:"name"`
+	GeneratedAt string      `json:"generated_at"`
+	Cases       []benchCase `json:"cases"`
+}
+
+var caseNames = map[experiments.Case]string{
+	experiments.Case1LAN:    "case1_lan",
+	experiments.Case2WAN:    "case2_wan",
+	experiments.Case3Staged: "case3_landepot",
+}
+
+// exactPercentile returns the q-quantile (0..1) by nearest-rank over a
+// sorted copy of xs.
+func exactPercentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func percentilesMs(seconds []float64) benchPercentiles {
+	sorted := append([]float64(nil), seconds...)
+	sort.Float64s(sorted)
+	return benchPercentiles{
+		P50: exactPercentile(sorted, 0.50) * 1e3,
+		P95: exactPercentile(sorted, 0.95) * 1e3,
+		P99: exactPercentile(sorted, 0.99) * 1e3,
+	}
+}
+
+func summarizeCase(r experiments.CaseRun) benchCase {
+	total := session.TotalSeconds(r.Records)
+	sum := 0.0
+	for _, s := range total {
+		sum += s
+	}
+	fps := 0.0
+	if sum > 0 {
+		fps = float64(len(r.Records)) / sum
+	}
+	counts := session.ClassCounts(r.Records)
+	classes := make(map[string]int, len(counts))
+	for class, n := range counts {
+		classes[class.String()] = n
+	}
+	hitRate := 0.0
+	if len(r.Records) > 0 {
+		hitRate = float64(counts[agent.AccessHit]) / float64(len(r.Records))
+	}
+	return benchCase{
+		Case:            caseNames[r.Case],
+		Accesses:        len(r.Records),
+		FramesPerSecond: fps,
+		FetchLatencyMs:  percentilesMs(total),
+		CommLatencyMs:   percentilesMs(session.CommSeconds(r.Records)),
+		CacheHitRate:    hitRate,
+		Classes:         classes,
+	}
+}
+
+// writeBenchJSON renders runs into BENCH_<name>.json under dir and returns
+// the file path.
+func writeBenchJSON(dir, name string, runs []experiments.CaseRun) (string, error) {
+	report := benchReport{
+		Name:        name,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, r := range runs {
+		report.Cases = append(report.Cases, summarizeCase(r))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	fmt.Printf("lfbench: wrote %s\n", path)
+	return path, nil
+}
+
+// runQuick is the CI smoke mode: a short three-case run at one resolution,
+// reported as BENCH_quick.json and re-read to prove the file parses.
+func runQuick(ctx context.Context, cfg experiments.Config, jsonDir string) error {
+	if jsonDir == "" {
+		jsonDir = "."
+	}
+	// Keep the smoke run short regardless of the -accesses default.
+	if cfg.Accesses > 24 {
+		cfg.Accesses = 24
+	}
+	cfg.ThinkTime = 0
+	start := time.Now()
+	runs, err := experiments.LatencyExperiment(ctx, cfg, 200)
+	if err != nil {
+		return err
+	}
+	path, err := writeBenchJSON(jsonDir, "quick", runs)
+	if err != nil {
+		return err
+	}
+	// Self-verify: the emitted report must round-trip and carry the keys
+	// scripts/check.sh depends on.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var back benchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		return fmt.Errorf("BENCH_quick.json does not parse: %w", err)
+	}
+	if len(back.Cases) == 0 {
+		return fmt.Errorf("BENCH_quick.json has no cases")
+	}
+	for _, c := range back.Cases {
+		if c.Accesses == 0 || c.FramesPerSecond <= 0 {
+			return fmt.Errorf("BENCH_quick.json case %q is empty", c.Case)
+		}
+	}
+	fmt.Printf("lfbench: quick run ok: %d cases, %d accesses each, %.1fs total\n",
+		len(back.Cases), back.Cases[0].Accesses, time.Since(start).Seconds())
+	return nil
+}
+
 func fig7(ctx context.Context, cfg experiments.Config, csvDir string) error {
 	rows, err := experiments.Fig7(ctx, cfg)
 	if err != nil {
@@ -164,7 +343,7 @@ func fig8(ctx context.Context, cfg experiments.Config, csvDir string) error {
 	return nil
 }
 
-func figLatency(ctx context.Context, cfg experiments.Config, figName string, paperRes int, csvDir string) error {
+func figLatency(ctx context.Context, cfg experiments.Config, figName string, paperRes int, csvDir, jsonDir string) error {
 	runs, err := experiments.LatencyExperiment(ctx, cfg, paperRes)
 	if err != nil {
 		return err
@@ -176,6 +355,11 @@ func figLatency(ctx context.Context, cfg experiments.Config, figName string, pap
 	}
 	printCaseSeries(headers, series)
 	summarizeCases(headers, runs)
+	if jsonDir != "" {
+		if _, err := writeBenchJSON(jsonDir, "fig"+figName, runs); err != nil {
+			return err
+		}
+	}
 	if csvDir != "" {
 		f, err := os.Create(filepath.Join(csvDir, "fig"+figName+".csv"))
 		if err != nil {

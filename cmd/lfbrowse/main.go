@@ -18,6 +18,7 @@ import (
 	"lonviz/internal/agent"
 	"lonviz/internal/dvs"
 	"lonviz/internal/lightfield"
+	"lonviz/internal/obs"
 	"lonviz/internal/session"
 )
 
@@ -35,6 +36,7 @@ func main() {
 	frames := flag.String("frames", "", "directory to write rendered PNG frames into")
 	display := flag.Int("display", 200, "display resolution for rendered frames")
 	serve := flag.String("serve", "", "also expose the client agent to remote clients on this address")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	if *dvsAddr == "" {
@@ -61,6 +63,15 @@ func main() {
 		log.Fatalf("lfbrowse: %v", err)
 	}
 	defer ca.Close()
+
+	if *metricsAddr != "" {
+		ca.RegisterMetrics(nil)
+		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatalf("lfbrowse: metrics listen: %v", err)
+		}
+		fmt.Printf("lfbrowse: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", mbound)
+	}
 
 	if *serve != "" {
 		srv, err := agent.NewClientAgentServer(ca, *dataset)

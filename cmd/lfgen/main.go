@@ -17,6 +17,7 @@ import (
 
 	"lonviz/internal/codec"
 	"lonviz/internal/lightfield"
+	"lonviz/internal/obs"
 	"lonviz/internal/volume"
 )
 
@@ -30,11 +31,19 @@ func main() {
 	procedural := flag.Bool("procedural", false, "use the fast procedural generator instead of ray casting")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel generation workers")
 	seed := flag.Int64("seed", 1, "seed for synthetic data")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	p := lightfield.ScaledParams(*step, *l, *res)
 	if err := p.Validate(); err != nil {
 		log.Fatalf("lfgen: %v", err)
+	}
+	if *metricsAddr != "" {
+		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatalf("lfgen: metrics listen: %v", err)
+		}
+		fmt.Printf("lfgen: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", mbound)
 	}
 	fmt.Printf("lfgen: lattice %dx%d, %d view sets of %dx%d views at %dx%d px\n",
 		p.Rows(), p.Cols(), p.NumViewSets(), *l, *l, *res, *res)

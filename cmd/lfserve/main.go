@@ -23,6 +23,7 @@ import (
 	"lonviz/internal/lbone"
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
+	"lonviz/internal/obs"
 	"lonviz/internal/steward"
 	"lonviz/internal/volume"
 )
@@ -45,6 +46,7 @@ func main() {
 	stewardInterval := flag.Duration("steward-interval", time.Minute, "steward scan cycle interval")
 	stewardLease := flag.Duration("steward-lease", 30*time.Minute, "lease term for steward renewals and repairs")
 	lboneURL := flag.String("lbone", "", "L-Bone base URL for steward repair depot discovery; empty restricts repair to -depots")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	if *depots == "" || *dvsAddr == "" {
@@ -102,6 +104,15 @@ func main() {
 	}
 	fmt.Printf("lfserve: server agent for %q on %s, %d depots, DVS %s\n",
 		*dataset, bound, len(depotList), *dvsAddr)
+
+	if *metricsAddr != "" {
+		sa.RegisterMetrics(nil)
+		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatalf("lfserve: metrics listen: %v", err)
+		}
+		fmt.Printf("lfserve: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", mbound)
+	}
 
 	// Register with the DVS so it can forward misses here.
 	dvsClient := &dvs.Client{Addr: *dvsAddr}
@@ -163,6 +174,9 @@ func main() {
 			}
 		}
 		stw = steward.New(cfg)
+		if *metricsAddr != "" {
+			stw.RegisterMetrics(nil)
+		}
 		for id, xml := range published {
 			ex, err := exnode.Unmarshal(xml)
 			if err != nil {

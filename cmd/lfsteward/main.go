@@ -28,6 +28,7 @@ import (
 	"lonviz/internal/lbone"
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
+	"lonviz/internal/obs"
 	"lonviz/internal/steward"
 )
 
@@ -47,6 +48,7 @@ func main() {
 	budget := flag.Int("repair-budget", 16, "max repair copies per cycle")
 	verbose := flag.Bool("v", false, "log every steward event")
 	once := flag.Bool("once", false, "run a single scan cycle and exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	if *dvsAddr == "" {
@@ -89,6 +91,15 @@ func main() {
 		}
 	}
 	s := steward.New(cfg)
+
+	if *metricsAddr != "" {
+		s.RegisterMetrics(nil)
+		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatalf("lfsteward: metrics listen: %v", err)
+		}
+		fmt.Printf("lfsteward: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", mbound)
+	}
 
 	// Adopt every view set the lattice defines; sets the DVS does not know
 	// (not yet published, or published at different parameters) are skipped

@@ -4,6 +4,12 @@
 // client agent, which serves clients from an LRU cache, prefetches along
 // the quadrant policy, and aggressively prestages the database to a LAN
 // depot with third-party copies.
+//
+// Both agents are instrumented through internal/obs: the client agent
+// wraps every fetch in an agent.getviewset span with resolve/download/
+// stage children and records per-class latency, cache hit/miss, and
+// prefetch-usefulness metrics; RegisterMetrics bridges the per-instance
+// Stats counters onto a registry for the /metrics endpoint.
 package agent
 
 import (

@@ -15,6 +15,7 @@ import (
 	"lonviz/internal/ibp"
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
+	"lonviz/internal/obs"
 )
 
 // AccessClass classifies where a view set request was satisfied from —
@@ -119,6 +120,15 @@ type ClientAgentConfig struct {
 	// Retries is how many replica-list passes each extent download makes
 	// (default 2 so a transient fault gets one backed-off second chance).
 	Retries int
+	// Obs receives the agent.* metric families (fetch latency per access
+	// class, cache hits/misses, prefetch and staging counters) and is
+	// threaded through to the lors transfer layer; nil records into
+	// obs.Default().
+	Obs *obs.Registry
+	// Tracer records one span tree per GetViewSet (agent.getviewset with
+	// resolve/download/stage children); nil records into
+	// obs.DefaultTracer(), visible at /debug/traces.
+	Tracer *obs.Tracer
 	// Rand seeds replica choices; nil uses a time-seeded source.
 	//
 	// Thread-safety: *rand.Rand is not safe for concurrent use, and the
@@ -162,6 +172,10 @@ type ClientAgent struct {
 	inflight map[lightfield.ViewSetID]chan struct{}
 	wanBusy  int // outstanding client-facing WAN fetches
 	stats    ClientAgentStats
+	// prefetched marks frames a prefetch loaded into the cache but no user
+	// request has consumed yet; a later hit on one counts as prefetch-useful
+	// (and clears the mark, so each prefetch is credited at most once).
+	prefetched map[string]bool
 
 	stageWake chan struct{}
 	stopOnce  sync.Once
@@ -211,15 +225,66 @@ func NewClientAgent(cfg ClientAgentConfig) (*ClientAgent, error) {
 		return nil, err
 	}
 	return &ClientAgent{
-		cfg:       cfg,
-		cache:     cache,
-		excach:    excach,
-		staged:    make(map[lightfield.ViewSetID]*exnode.ExNode),
-		staging:   make(map[lightfield.ViewSetID]bool),
-		inflight:  make(map[lightfield.ViewSetID]chan struct{}),
-		stageWake: make(chan struct{}, 1),
-		stopCh:    make(chan struct{}),
+		cfg:        cfg,
+		cache:      cache,
+		excach:     excach,
+		staged:     make(map[lightfield.ViewSetID]*exnode.ExNode),
+		staging:    make(map[lightfield.ViewSetID]bool),
+		inflight:   make(map[lightfield.ViewSetID]chan struct{}),
+		prefetched: make(map[string]bool),
+		stageWake:  make(chan struct{}, 1),
+		stopCh:     make(chan struct{}),
 	}, nil
+}
+
+// registry resolves the metrics destination.
+func (ca *ClientAgent) registry() *obs.Registry {
+	if ca.cfg.Obs != nil {
+		return ca.cfg.Obs
+	}
+	return obs.Default()
+}
+
+// tracer resolves the span destination.
+func (ca *ClientAgent) tracer() *obs.Tracer {
+	if ca.cfg.Tracer != nil {
+		return ca.cfg.Tracer
+	}
+	return obs.DefaultTracer()
+}
+
+// RegisterMetrics bridges this agent's per-instance counters into reg
+// (scraped as agent.* at /metrics), including the cache hit rate. Daemons
+// call it once after constructing the agent; passing nil bridges into
+// obs.Default().
+func (ca *ClientAgent) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.RegisterSnapshot("agent", func() map[string]float64 {
+		st := ca.Stats()
+		cs := ca.CacheStats()
+		hitRate := 0.0
+		if total := cs.Hits + cs.Misses; total > 0 {
+			hitRate = float64(cs.Hits) / float64(total)
+		}
+		return map[string]float64{
+			"hits":            float64(st.Hits),
+			"lan_fetches":     float64(st.LANFetches),
+			"wan_fetches":     float64(st.WANFetches),
+			"prefetches":      float64(st.Prefetches),
+			"staged":          float64(st.Staged),
+			"stage_errors":    float64(st.StageErrors),
+			"replica_tries":   float64(st.ReplicaTries),
+			"failed_attempts": float64(st.FailedAttempts),
+			"checksum_errors": float64(st.ChecksumErrors),
+			"cache.hit_rate":  hitRate,
+			"cache.used":      float64(cs.Used),
+			"cache.entries":   float64(cs.Entries),
+			"cache.evictions": float64(cs.Evictions),
+			"staged_count":    float64(ca.StagedCount()),
+		}
+	})
 }
 
 // Close stops background work.
@@ -257,12 +322,37 @@ func (ca *ClientAgent) copyOpts() lors.CopyOptions {
 		Policy: ibp.Volatile,
 		Dialer: ca.cfg.Dialer,
 		Health: ca.cfg.Health,
+		Obs:    ca.cfg.Obs,
 	}
+}
+
+// stage runs one third-party staging copy under its own span.
+func (ca *ClientAgent) stage(ctx context.Context, ex *exnode.ExNode) (*exnode.ExNode, error) {
+	_, span := ca.tracer().StartSpan(ctx, obs.SpanStage)
+	defer span.Finish()
+	staged, err := lors.CopyToStriped(ctx, ex, ca.cfg.LANDepots, ca.copyOpts())
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	return staged, err
+}
+
+// download runs one lors download under its own span.
+func (ca *ClientAgent) download(ctx context.Context, ex *exnode.ExNode, dl lors.DownloadOptions) ([]byte, lors.DownloadStats, error) {
+	_, span := ca.tracer().StartSpan(ctx, obs.SpanDownload)
+	defer span.Finish()
+	frame, st, err := lors.Download(ctx, ex, dl)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	return frame, st, err
 }
 
 // resolveExNodes returns the exNode replicas for a view set, consulting
 // the exNode cache before the DVS.
 func (ca *ClientAgent) resolveExNodes(ctx context.Context, id lightfield.ViewSetID) ([]*exnode.ExNode, error) {
+	ctx, span := ca.tracer().StartSpan(ctx, obs.SpanResolve)
+	defer span.Finish()
 	key := id.String()
 	if xml, ok := ca.excach.Get(key); ok {
 		ex, err := exnode.Unmarshal(xml)
@@ -301,11 +391,31 @@ func mustMarshal(ex *exnode.ExNode) []byte {
 // GetViewSet returns the compressed frame of a view set, serving from the
 // cache, the LAN depot (if prestaged), or the WAN, in that order.
 func (ca *ClientAgent) GetViewSet(ctx context.Context, id lightfield.ViewSetID) ([]byte, AccessReport, error) {
+	return ca.getViewSet(ctx, id, false)
+}
+
+// getViewSet is GetViewSet plus provenance: viaPrefetch marks requests the
+// prefetcher issues on its own, so their loads can be credited when a user
+// request later hits them.
+func (ca *ClientAgent) getViewSet(ctx context.Context, id lightfield.ViewSetID, viaPrefetch bool) (frame []byte, rep AccessReport, err error) {
 	if !ca.cfg.Params.ValidID(id) {
 		return nil, AccessReport{}, fmt.Errorf("agent: view set %v outside database", id)
 	}
 	start := time.Now()
-	rep := AccessReport{ID: id}
+	rep = AccessReport{ID: id}
+	reg := ca.registry()
+	ctx, span := ca.tracer().StartSpan(ctx, obs.SpanGetViewSet)
+	span.SetAttr("id", id.String())
+	defer func() {
+		if err == nil {
+			span.SetAttr("class", rep.Class.String())
+			reg.Histogram(obs.Label(obs.MAgentFetchMs, "class", rep.Class.String()), obs.LatencyBucketsMs...).
+				Observe(float64(rep.Comm) / 1e6)
+		} else {
+			span.SetAttr("error", err.Error())
+		}
+		span.Finish()
+	}()
 
 	// Collapse duplicate concurrent fetches (e.g. prefetch racing a user
 	// request) into one transfer.
@@ -314,8 +424,13 @@ func (ca *ClientAgent) GetViewSet(ctx context.Context, id lightfield.ViewSetID) 
 			rep.Class = AccessHit
 			rep.Comm = time.Since(start)
 			rep.Bytes = len(frame)
+			reg.Counter(obs.MAgentHits).Inc()
 			ca.mu.Lock()
 			ca.stats.Hits++
+			if !viaPrefetch && ca.prefetched[id.String()] {
+				delete(ca.prefetched, id.String())
+				reg.Counter(obs.MAgentPrefetchUseful).Inc()
+			}
 			ca.mu.Unlock()
 			return frame, rep, nil
 		}
@@ -325,10 +440,14 @@ func (ca *ClientAgent) GetViewSet(ctx context.Context, id lightfield.ViewSetID) 
 			done := make(chan struct{})
 			ca.inflight[id] = done
 			ca.mu.Unlock()
+			reg.Counter(obs.MAgentMisses).Inc()
 			frame, class, err := ca.fetch(ctx, id)
 			ca.mu.Lock()
 			delete(ca.inflight, id)
 			close(done)
+			if err == nil && viaPrefetch {
+				ca.prefetched[id.String()] = true
+			}
 			ca.mu.Unlock()
 			if err != nil {
 				return nil, rep, err
@@ -359,9 +478,10 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 		Retries:     ca.cfg.Retries,
 		Health:      ca.cfg.Health,
 		Rand:        ca.cfg.Rand,
+		Obs:         ca.cfg.Obs,
 	}
 	if stagedEx != nil {
-		frame, st, err := lors.Download(ctx, stagedEx, dl)
+		frame, st, err := ca.download(ctx, stagedEx, dl)
 		ca.addTransferStats(st)
 		if err == nil {
 			_ = ca.cache.Put(id.String(), frame)
@@ -393,11 +513,12 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 	if ca.cfg.RouteMissesThroughDepot && len(ca.cfg.LANDepots) > 0 {
 		// Stage first, then read locally: the WAN crossing becomes a
 		// third-party copy whose result stays cached on the depot.
-		staged, err := lors.CopyToStriped(ctx, exs[0], ca.cfg.LANDepots, ca.copyOpts())
+		staged, err := ca.stage(ctx, exs[0])
 		if err == nil {
-			frame, st, err := lors.Download(ctx, staged, dl)
+			frame, st, err := ca.download(ctx, staged, dl)
 			ca.addTransferStats(st)
 			if err == nil {
+				ca.registry().Counter(obs.MAgentStaged).Inc()
 				ca.mu.Lock()
 				ca.staged[id] = staged
 				ca.stats.Staged++
@@ -412,7 +533,7 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 
 	var lastErr error
 	for _, ex := range exs {
-		frame, st, err := lors.Download(ctx, ex, dl)
+		frame, st, err := ca.download(ctx, ex, dl)
 		ca.addTransferStats(st)
 		if err != nil {
 			lastErr = err
@@ -457,13 +578,14 @@ func (ca *ClientAgent) OnUserMove(sp geom.Spherical) {
 		if busy {
 			continue
 		}
+		ca.registry().Counter(obs.MAgentPrefetches).Inc()
 		ca.mu.Lock()
 		ca.stats.Prefetches++
 		ca.mu.Unlock()
 		go func(id lightfield.ViewSetID) {
 			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 			defer cancel()
-			_, _, _ = ca.GetViewSet(ctx, id)
+			_, _, _ = ca.getViewSet(ctx, id, true)
 		}(id)
 	}
 }
@@ -576,6 +698,7 @@ func (ca *ClientAgent) stageWorker(ctx context.Context) {
 		ca.mu.Lock()
 		delete(ca.staging, id)
 		if err != nil {
+			ca.registry().Counter(obs.MAgentStageErrors).Inc()
 			ca.stats.StageErrors++
 			// Record a tombstone so the loop terminates; the fetch path
 			// ignores nil entries.
@@ -591,10 +714,11 @@ func (ca *ClientAgent) stageOne(ctx context.Context, id lightfield.ViewSetID) er
 	if err != nil {
 		return err
 	}
-	staged, err := lors.CopyToStriped(ctx, exs[0], ca.cfg.LANDepots, ca.copyOpts())
+	staged, err := ca.stage(ctx, exs[0])
 	if err != nil {
 		return err
 	}
+	ca.registry().Counter(obs.MAgentStaged).Inc()
 	ca.mu.Lock()
 	ca.staged[id] = staged
 	ca.stats.Staged++

@@ -16,6 +16,7 @@ import (
 	"lonviz/internal/ibp"
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
+	"lonviz/internal/obs"
 )
 
 // ServerAgentConfig wires a server agent to its generator and
@@ -43,6 +44,9 @@ type ServerAgentConfig struct {
 	// Workers is the generator parallelism for PrecomputeAll (0 =
 	// GOMAXPROCS), standing in for the paper's 32-processor cluster.
 	Workers int
+	// Obs receives upload timings via the lors layer; nil records into
+	// obs.Default().
+	Obs *obs.Registry
 }
 
 // ServerAgent renders view sets on request, compresses them, uploads them
@@ -134,7 +138,26 @@ func (sa *ServerAgent) uploadOpts() lors.UploadOptions {
 		Lease:      sa.cfg.Lease,
 		Policy:     ibp.Stable,
 		Dialer:     sa.cfg.Dialer,
+		Obs:        sa.cfg.Obs,
 	}
+}
+
+// RegisterMetrics bridges this agent's counters into reg (scraped as
+// agent.server.* at /metrics). Passing nil bridges into obs.Default().
+func (sa *ServerAgent) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.RegisterSnapshot("agent.server", func() map[string]float64 {
+		st := sa.Stats()
+		return map[string]float64{
+			"requests":    float64(st.Requests),
+			"rendered":    float64(st.Rendered),
+			"uploaded":    float64(st.Uploaded),
+			"bytes_sent":  float64(st.BytesSent),
+			"dvs_updates": float64(st.DVSUpdates),
+		}
+	})
 }
 
 // renderAndPublish does the full pipeline for one view set: generate,

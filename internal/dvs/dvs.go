@@ -20,6 +20,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"lonviz/internal/obs"
 )
 
 // Key identifies a view set within a dataset.
@@ -317,6 +319,24 @@ type Client struct {
 	Addr    string
 	Dialer  Dialer
 	Timeout time.Duration
+	// Obs receives per-operation latency histograms and error counters
+	// (dvs.op.*); nil records into obs.Default().
+	Obs *obs.Registry
+}
+
+// observeOp records one client operation's latency and outcome.
+func (c *Client) observeOp(op string, start time.Time, err error) {
+	reg := c.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.Histogram(obs.Label(obs.MDVSOpMs, "op", op), obs.LatencyBucketsMs...).
+		Observe(float64(time.Since(start)) / 1e6)
+	// A miss is an expected outcome (it triggers on-demand generation),
+	// not an operational failure.
+	if err != nil && !errors.Is(err, ErrMiss) {
+		reg.Counter(obs.Label(obs.MDVSOpErrors, "op", op)).Inc()
+	}
 }
 
 func (c *Client) dial() (net.Conn, error) {
@@ -338,7 +358,8 @@ func (c *Client) dial() (net.Conn, error) {
 
 // Get fetches all known exNode replicas for key. A pure miss returns
 // ErrMiss.
-func (c *Client) Get(ctx context.Context, key Key) ([][]byte, error) {
+func (c *Client) Get(ctx context.Context, key Key) (reps [][]byte, err error) {
+	defer func(start time.Time) { c.observeOp("GET", start, err) }(time.Now())
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -400,7 +421,8 @@ func (c *Client) Replace(ctx context.Context, key Key, exnodeXML []byte) error {
 	return c.record(ctx, "REPLACE", key, exnodeXML)
 }
 
-func (c *Client) record(ctx context.Context, verb string, key Key, exnodeXML []byte) error {
+func (c *Client) record(ctx context.Context, verb string, key Key, exnodeXML []byte) (err error) {
+	defer func(start time.Time) { c.observeOp(verb, start, err) }(time.Now())
 	conn, err := c.dial()
 	if err != nil {
 		return err
@@ -417,7 +439,8 @@ func (c *Client) record(ctx context.Context, verb string, key Key, exnodeXML []b
 }
 
 // RegisterAgent records the server agent for a dataset.
-func (c *Client) RegisterAgent(ctx context.Context, dataset, agentAddr string) error {
+func (c *Client) RegisterAgent(ctx context.Context, dataset, agentAddr string) (err error) {
+	defer func(start time.Time) { c.observeOp("REGAGENT", start, err) }(time.Now())
 	conn, err := c.dial()
 	if err != nil {
 		return err
@@ -428,7 +451,8 @@ func (c *Client) RegisterAgent(ctx context.Context, dataset, agentAddr string) e
 }
 
 // AgentFor queries the server-agent table.
-func (c *Client) AgentFor(ctx context.Context, dataset string) (string, error) {
+func (c *Client) AgentFor(ctx context.Context, dataset string) (addr string, err error) {
+	defer func(start time.Time) { c.observeOp("AGENT", start, err) }(time.Now())
 	conn, err := c.dial()
 	if err != nil {
 		return "", err

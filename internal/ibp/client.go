@@ -7,7 +7,10 @@ import (
 	"io"
 	"net"
 	"strconv"
+	"strings"
 	"time"
+
+	"lonviz/internal/obs"
 )
 
 // Client performs IBP operations against one depot address. Each operation
@@ -24,6 +27,33 @@ type Client struct {
 	// Timeout bounds one whole operation (default 30s). The effective
 	// deadline is min(ctx deadline, now+Timeout).
 	Timeout time.Duration
+	// Obs receives per-operation latency histograms, byte counters, and
+	// error counts; nil records into obs.Default(). See
+	// docs/OBSERVABILITY.md for the ibp.* metric catalog.
+	Obs *obs.Registry
+}
+
+// registry resolves the metrics destination.
+func (c *Client) registry() *obs.Registry {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Default()
+}
+
+// observeOp records one operation's outcome: latency into the per-verb
+// and per-depot histograms, payload bytes into the direction counters,
+// and failures into the per-verb error counter.
+func (c *Client) observeOp(verb string, elapsed time.Duration, sent, received int, err error) {
+	reg := c.registry()
+	ms := float64(elapsed) / 1e6
+	reg.Histogram(obs.Label(obs.MIBPOpMs, "op", verb), obs.LatencyBucketsMs...).Observe(ms)
+	reg.Histogram(obs.Label(obs.MIBPDepotMs, "depot", c.Addr), obs.LatencyBucketsMs...).Observe(ms)
+	reg.Counter(obs.MIBPBytesOut).Add(int64(sent))
+	reg.Counter(obs.MIBPBytesIn).Add(int64(received))
+	if err != nil {
+		reg.Counter(obs.Label(obs.MIBPOpErrors, "op", verb)).Inc()
+	}
 }
 
 // dial connects and arms the operation deadline. The dial itself runs in a
@@ -78,6 +108,14 @@ func (c *Client) dial(ctx context.Context) (net.Conn, error) {
 // connection deadline into the past, which unblocks any in-flight read or
 // write; the operation then reports ctx.Err().
 func (c *Client) roundTrip(ctx context.Context, req string, payload []byte) (fields []string, body []byte, err error) {
+	verb := req
+	if i := strings.IndexAny(req, " \n"); i >= 0 {
+		verb = req[:i]
+	}
+	start := time.Now()
+	defer func() {
+		c.observeOp(verb, time.Since(start), len(payload), len(body), err)
+	}()
 	conn, err := c.dial(ctx)
 	if err != nil {
 		return nil, nil, err

@@ -8,8 +8,11 @@ import (
 	"log"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"lonviz/internal/obs"
 )
 
 // Server exposes a Depot over the wire protocol.
@@ -23,6 +26,9 @@ type Server struct {
 	CopyDialer Dialer
 	// Logf logs server events; nil disables logging.
 	Logf func(format string, args ...interface{})
+	// Obs receives per-verb service-time histograms and error counters;
+	// nil records into obs.Default().
+	Obs *obs.Registry
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -113,21 +119,57 @@ func (s *Server) handle(c net.Conn) {
 			log.Printf("ibp: panic handling %v: %v", c.RemoteAddr(), r)
 		}
 	}()
+	reg := s.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
 	br := bufio.NewReaderSize(c, 64*1024)
-	bw := bufio.NewWriterSize(c, 64*1024)
+	// The response-sniffing writer sits under the bufio.Writer: the first
+	// chunk flushed per request always begins with the status line, so it
+	// can classify the outcome without threading a result through every
+	// verb handler.
+	ew := &respSniffer{w: c}
+	bw := bufio.NewWriterSize(ew, 64*1024)
 	for {
 		line, err := readLine(br)
 		if err != nil {
 			return // client hung up or sent an overlong line
 		}
-		if keep := s.dispatch(br, bw, line); !keep {
-			bw.Flush()
-			return
+		verb := line
+		if i := strings.IndexAny(verb, " \r\n"); i >= 0 {
+			verb = verb[:i]
 		}
-		if err := bw.Flush(); err != nil {
+		ew.reset()
+		start := time.Now()
+		keep := s.dispatch(br, bw, line)
+		flushErr := bw.Flush()
+		reg.Histogram(obs.Label(obs.MIBPServerOpMs, "op", verb), obs.LatencyBucketsMs...).
+			Observe(float64(time.Since(start)) / 1e6)
+		if ew.sawErr {
+			reg.Counter(obs.Label(obs.MIBPServerErrors, "op", verb)).Inc()
+		}
+		if !keep || flushErr != nil {
 			return
 		}
 	}
+}
+
+// respSniffer classifies each response by its first flushed chunk (which
+// always starts with the "OK"/"ERR" status line).
+type respSniffer struct {
+	w      io.Writer
+	wrote  bool
+	sawErr bool
+}
+
+func (w *respSniffer) reset() { w.wrote, w.sawErr = false, false }
+
+func (w *respSniffer) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.wrote = true
+		w.sawErr = strings.HasPrefix(string(p[:min(3, len(p))]), "ERR")
+	}
+	return w.w.Write(p)
 }
 
 // readLine reads one \n-terminated line with a length cap.

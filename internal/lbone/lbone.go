@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"lonviz/internal/obs"
 )
 
 // DepotRecord describes one registered depot.
@@ -201,6 +203,9 @@ type Client struct {
 	BaseURL string
 	// HTTP is the client to use; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Obs receives per-operation latency histograms and error counters
+	// (lbone.op.*); nil records into obs.Default().
+	Obs *obs.Registry
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -210,8 +215,22 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// observeOp records one directory operation's latency and outcome.
+func (c *Client) observeOp(op string, start time.Time, err error) {
+	reg := c.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.Histogram(obs.Label(obs.MLBoneOpMs, "op", op), obs.LatencyBucketsMs...).
+		Observe(float64(time.Since(start)) / 1e6)
+	if err != nil {
+		reg.Counter(obs.Label(obs.MLBoneOpErrors, "op", op)).Inc()
+	}
+}
+
 // Register registers (or heartbeats) a depot record.
-func (c *Client) Register(rec DepotRecord) error {
+func (c *Client) Register(rec DepotRecord) (err error) {
+	defer func(start time.Time) { c.observeOp("register", start, err) }(time.Now())
 	body, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -234,7 +253,8 @@ func (c *Client) Lookup(x, y float64, n int, minFree int64) ([]DepotRecord, erro
 
 // LookupExcluding queries the nearest live depots whose address is not in
 // exclude (server-side filtering, so n counts usable results).
-func (c *Client) LookupExcluding(x, y float64, n int, minFree int64, exclude []string) ([]DepotRecord, error) {
+func (c *Client) LookupExcluding(x, y float64, n int, minFree int64, exclude []string) (recs []DepotRecord, err error) {
+	defer func(start time.Time) { c.observeOp("lookup", start, err) }(time.Now())
 	u := fmt.Sprintf("%s/lookup?x=%g&y=%g&n=%d&minfree=%d", c.BaseURL, x, y, n, minFree)
 	if len(exclude) > 0 {
 		u += "&exclude=" + url.QueryEscape(strings.Join(exclude, ","))

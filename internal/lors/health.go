@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"lonviz/internal/obs"
 )
 
 // HealthConfig tunes the depot circuit breaker.
@@ -17,6 +19,9 @@ type HealthConfig struct {
 	// Now overrides the clock; nil uses time.Now. Tests inject a fake
 	// clock to make cooldown expiry deterministic.
 	Now func() time.Time
+	// Obs receives circuit-trip counters and the open-circuit gauge
+	// (lors.circuit.*); nil records into obs.Default().
+	Obs *obs.Registry
 }
 
 func (c *HealthConfig) defaults() {
@@ -102,6 +107,9 @@ func (h *HealthTracker) ReportSuccess(addr string) {
 	st := h.state(addr)
 	st.successes++
 	st.consecFails = 0
+	if !st.openUntil.IsZero() {
+		registryOr(h.cfg.Obs).Gauge(obs.MLorsCircuitOpen).Add(-1)
+	}
 	st.openUntil = time.Time{}
 }
 
@@ -117,6 +125,13 @@ func (h *HealthTracker) ReportFailure(addr string) {
 	st.failures++
 	st.consecFails++
 	if st.consecFails >= h.cfg.FailureThreshold {
+		if st.openUntil.IsZero() {
+			// Closed -> open transition: count the trip and raise the gauge.
+			// A half-open probe failure merely extends the existing cooldown.
+			reg := registryOr(h.cfg.Obs)
+			reg.Counter(obs.MLorsCircuitTrips).Inc()
+			reg.Gauge(obs.MLorsCircuitOpen).Add(1)
+		}
 		st.openUntil = h.cfg.Now().Add(h.cfg.Cooldown)
 	}
 }

@@ -12,6 +12,12 @@
 // failover), replica-list passes are separated by bounded exponential
 // backoff with jitter, and an optional HealthTracker circuit breaker
 // steers traffic away from depots that keep failing.
+//
+// Every transfer records into an internal/obs registry (the Obs field on
+// the option structs; nil means the process-wide default): download,
+// upload, and staging latency histograms, byte counters, failover and
+// checksum counters, and circuit-breaker trip/open metrics — the
+// lors.* families of docs/OBSERVABILITY.md.
 package lors
 
 import (
@@ -25,7 +31,21 @@ import (
 
 	"lonviz/internal/exnode"
 	"lonviz/internal/ibp"
+	"lonviz/internal/obs"
 )
+
+// registryOr resolves the metrics destination for an options struct.
+func registryOr(reg *obs.Registry) *obs.Registry {
+	if reg != nil {
+		return reg
+	}
+	return obs.Default()
+}
+
+// observeMs records elapsed time into a named latency histogram.
+func observeMs(reg *obs.Registry, name string, elapsed time.Duration) {
+	reg.Histogram(name, obs.LatencyBucketsMs...).Observe(float64(elapsed) / 1e6)
+}
 
 // replicaRand orders replica attempts when DownloadOptions.Rand is nil. A
 // single package-level seeded source behind a mutex is cheaper than a
@@ -78,6 +98,9 @@ type UploadOptions struct {
 	Parallelism int
 	// Timeout bounds each IBP operation (0 uses the ibp default, 30s).
 	Timeout time.Duration
+	// Obs receives upload timings and byte counters (lors.upload.*); nil
+	// records into obs.Default().
+	Obs *obs.Registry
 }
 
 func (o *UploadOptions) defaults() error {
@@ -111,7 +134,7 @@ func (o *UploadOptions) defaults() error {
 }
 
 func (o *UploadOptions) client(addr string) *ibp.Client {
-	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout}
+	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout, Obs: o.Obs}
 }
 
 // Upload stripes data across depots and returns the exNode describing it.
@@ -122,6 +145,9 @@ func Upload(ctx context.Context, name string, data []byte, opts UploadOptions) (
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
+	defer func(start time.Time) {
+		observeMs(registryOr(opts.Obs), obs.MLorsUploadMs, time.Since(start))
+	}(time.Now())
 	ex := &exnode.ExNode{
 		Name:     name,
 		Length:   int64(len(data)),
@@ -185,6 +211,10 @@ func uploadStripe(ctx context.Context, chunk []byte, j struct {
 	idx         int
 	offset, end int64
 }, opts UploadOptions) (exnode.Extent, error) {
+	reg := registryOr(opts.Obs)
+	defer func(start time.Time) {
+		observeMs(reg, obs.MLorsStripeMs, time.Since(start))
+	}(time.Now())
 	ext := exnode.Extent{
 		Offset:   j.offset,
 		Length:   j.end - j.offset,
@@ -224,6 +254,7 @@ func uploadStripe(ctx context.Context, chunk []byte, j struct {
 		}
 		rep.SetExpiry(expiry)
 		ext.Replicas = append(ext.Replicas, rep)
+		reg.Counter(obs.MLorsUploadBytes).Add(ext.Length)
 		placed++
 	}
 	if placed < opts.Replicas {
@@ -262,6 +293,9 @@ type DownloadOptions struct {
 	// Rand orders replica attempts; nil uses the package-level seeded
 	// source.
 	Rand *rand.Rand
+	// Obs receives download timings and transfer counters
+	// (lors.download.*); nil records into obs.Default().
+	Obs *obs.Registry
 }
 
 func (o *DownloadOptions) defaults() {
@@ -280,7 +314,7 @@ func (o *DownloadOptions) defaults() {
 }
 
 func (o *DownloadOptions) client(addr string) *ibp.Client {
-	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout}
+	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout, Obs: o.Obs}
 }
 
 // backoff sleeps before retry pass attempt (1-based), ctx-aware.
@@ -323,6 +357,15 @@ func (s *DownloadStats) add(o DownloadStats) {
 func Download(ctx context.Context, ex *exnode.ExNode, opts DownloadOptions) ([]byte, DownloadStats, error) {
 	opts.defaults()
 	var stats DownloadStats
+	reg := registryOr(opts.Obs)
+	defer func(start time.Time) {
+		observeMs(reg, obs.MLorsDownloadMs, time.Since(start))
+		reg.Counter(obs.MLorsDownloadBytes).Add(stats.Bytes)
+		reg.Counter(obs.MLorsReplicaTries).Add(int64(stats.ReplicaTries))
+		reg.Counter(obs.MLorsFailedAttempts).Add(int64(stats.FailedAttempts))
+		reg.Counter(obs.MLorsChecksumErrors).Add(int64(stats.ChecksumErrors))
+		reg.Counter(obs.MLorsSkippedReplicas).Add(int64(stats.Skipped))
+	}(time.Now())
 	if err := ex.Validate(); err != nil {
 		return nil, stats, err
 	}
@@ -373,6 +416,10 @@ var errAllCircuitsOpen = errors.New("lors: every replica depot is circuit-open")
 // corrupted payload is a failed attempt, never returned data.
 func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts DownloadOptions) (DownloadStats, error) {
 	var stats DownloadStats
+	reg := registryOr(opts.Obs)
+	defer func(start time.Time) {
+		observeMs(reg, obs.MLorsExtentMs, time.Since(start))
+	}(time.Now())
 	replicas := append([]exnode.Replica{}, ext.Replicas...)
 	lockedShuffle(opts.Rand, replicas)
 
@@ -389,6 +436,7 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 	var lastErr error
 	for attempt := 0; attempt < opts.Retries; attempt++ {
 		if attempt > 0 {
+			reg.Counter(obs.MLorsRetryPasses).Inc()
 			if err := opts.backoff(ctx, attempt); err != nil {
 				return stats, err
 			}
@@ -557,10 +605,13 @@ type CopyOptions struct {
 	// Health steers source-replica choice away from circuit-open depots
 	// and records staging outcomes, like DownloadOptions.Health.
 	Health *HealthTracker
+	// Obs receives staging timings and counters (lors.stage.*); nil
+	// records into obs.Default().
+	Obs *obs.Registry
 }
 
 func (o *CopyOptions) client(addr string) *ibp.Client {
-	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout}
+	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout, Obs: o.Obs}
 }
 
 // CopyTo replicates the whole object onto the target depot with third-party
@@ -581,6 +632,10 @@ func CopyToStriped(ctx context.Context, ex *exnode.ExNode, targets []string, opt
 	if len(targets) == 0 {
 		return nil, errors.New("lors: no staging targets")
 	}
+	reg := registryOr(opts.Obs)
+	defer func(start time.Time) {
+		observeMs(reg, obs.MLorsStageMs, time.Since(start))
+	}(time.Now())
 	if err := ex.Validate(); err != nil {
 		return nil, err
 	}
@@ -622,6 +677,7 @@ func CopyToStriped(ctx context.Context, ex *exnode.ExNode, targets []string, opt
 		if !copied {
 			return nil, fmt.Errorf("lors: staging extent at %d failed: %w", ext.Offset, lastErr)
 		}
+		reg.Counter(obs.MLorsStageExtents).Inc()
 		out.Extents = append(out.Extents, exnode.Extent{
 			Offset:   ext.Offset,
 			Length:   ext.Length,

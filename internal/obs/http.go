@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the observability HTTP surface over a registry and
+// tracer (nil means the process defaults):
+//
+//	/metrics        registry snapshot as flat JSON
+//	/debug/vars     the same snapshot (expvar-compatible shape), plus
+//	                the stdlib expvar variables (cmdline, memstats)
+//	/debug/pprof/   net/http/pprof profiles (profile, heap, goroutine,
+//	                trace, ...)
+//	/debug/traces   recently completed spans, oldest first
+//	/healthz        200 "ok" liveness probe
+func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	if reg == nil {
+		reg = Default()
+	}
+	if tracer == nil {
+		tracer = DefaultTracer()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	// /debug/vars merges the stdlib expvar map (cmdline, memstats) with
+	// the registry, serving one flat JSON object like expvar does.
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value.String())
+		})
+		for name, val := range reg.Snapshot() {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", name, jsonValue(val))
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
+	mux.Handle("/debug/traces", tracer.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func jsonValue(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "null"
+	}
+	return string(b)
+}
+
+// Serve binds the observability mux on addr and serves it on a
+// background goroutine, returning the bound address (useful with ":0")
+// and a shutdown func. Pass nil reg/tracer for the process defaults.
+func Serve(addr string, reg *Registry, tracer *Tracer) (string, func() error, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{
+		Handler:           NewMux(reg, tracer),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(l) }()
+	return l.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,125 @@
+package obs
+
+// Canonical metric family names. Every metric the stack registers is
+// named here, in one place, so docs/OBSERVABILITY.md can be audited
+// against the source (scripts/docscheck.sh greps these constants) and so
+// instrumentation sites cannot drift apart on spelling. Label-bearing
+// families note their labels; Label folds them into the full name.
+const (
+	// --- ibp client (one per depot operation, recorded in Client.roundTrip) ---
+
+	// MIBPOpMs: histogram, ms. One per operation verb: {op=ALLOCATE|STORE|...}.
+	MIBPOpMs = "ibp.op.ms"
+	// MIBPDepotMs: histogram, ms. One per depot address: {depot=host:port}.
+	// The "which depot is slow" histogram of docs/OBSERVABILITY.md.
+	MIBPDepotMs = "ibp.depot.ms"
+	// MIBPOpErrors: counter. Failed operations, {op=...}.
+	MIBPOpErrors = "ibp.op.errors"
+	// MIBPBytesOut: counter. Payload bytes written to depots (STORE).
+	MIBPBytesOut = "ibp.bytes_out"
+	// MIBPBytesIn: counter. Payload bytes read from depots (LOAD).
+	MIBPBytesIn = "ibp.bytes_in"
+
+	// --- ibp server / depot (recorded by ibp.Server.dispatch) ---
+
+	// MIBPServerOpMs: histogram, ms per served verb: {op=...}.
+	MIBPServerOpMs = "ibp.server.op.ms"
+	// MIBPServerErrors: counter. Requests answered with ERR, {op=...}.
+	MIBPServerErrors = "ibp.server.errors"
+
+	// --- lors transfer layer ---
+
+	// MLorsDownloadMs: histogram, ms per whole-object Download.
+	MLorsDownloadMs = "lors.download.ms"
+	// MLorsExtentMs: histogram, ms per extent fetch (failover or race).
+	MLorsExtentMs = "lors.download.extent.ms"
+	// MLorsDownloadBytes: counter. Payload bytes assembled by Download.
+	MLorsDownloadBytes = "lors.download.bytes"
+	// MLorsReplicaTries: counter. Replica load attempts, incl. failures.
+	MLorsReplicaTries = "lors.download.replica_tries"
+	// MLorsFailedAttempts: counter. Failed replica loads.
+	MLorsFailedAttempts = "lors.download.failed_attempts"
+	// MLorsChecksumErrors: counter. Failed attempts that were CRC mismatches.
+	MLorsChecksumErrors = "lors.download.checksum_errors"
+	// MLorsSkippedReplicas: counter. Replicas skipped on open circuits.
+	MLorsSkippedReplicas = "lors.download.skipped_replicas"
+	// MLorsRetryPasses: counter. Replica-list retry passes beyond the first.
+	MLorsRetryPasses = "lors.download.retry_passes"
+	// MLorsUploadMs: histogram, ms per whole-object Upload.
+	MLorsUploadMs = "lors.upload.ms"
+	// MLorsStripeMs: histogram, ms per stripe placement (all replicas).
+	MLorsStripeMs = "lors.upload.stripe.ms"
+	// MLorsUploadBytes: counter. Payload bytes uploaded (once per stripe
+	// replica actually stored).
+	MLorsUploadBytes = "lors.upload.bytes"
+	// MLorsStageMs: histogram, ms per CopyToStriped staging transfer.
+	MLorsStageMs = "lors.stage.ms"
+	// MLorsStageExtents: counter. Extents staged by third-party copy.
+	MLorsStageExtents = "lors.stage.extents"
+	// MLorsCircuitTrips: counter. Depot circuits opened by the breaker.
+	MLorsCircuitTrips = "lors.circuit.trips"
+	// MLorsCircuitOpen: gauge. Depots whose circuit is currently open.
+	MLorsCircuitOpen = "lors.circuit.open"
+
+	// --- directory services ---
+
+	// MDVSOpMs: histogram, ms per DVS client op: {op=GET|PUT|REPLACE|...}.
+	MDVSOpMs = "dvs.op.ms"
+	// MDVSOpErrors: counter. Failed DVS client ops, {op=...}.
+	MDVSOpErrors = "dvs.op.errors"
+	// MLBoneOpMs: histogram, ms per L-Bone client op: {op=register|lookup}.
+	MLBoneOpMs = "lbone.op.ms"
+	// MLBoneOpErrors: counter. Failed L-Bone client ops, {op=...}.
+	MLBoneOpErrors = "lbone.op.errors"
+
+	// --- client agent (also mirrored per-instance by agent.Stats) ---
+
+	// MAgentFetchMs: histogram, ms end-to-end GetViewSet: {class=hit|lan-depot|wan}.
+	MAgentFetchMs = "agent.fetch.ms"
+	// MAgentHits: counter. View set requests served from the agent cache.
+	MAgentHits = "agent.cache.hits"
+	// MAgentMisses: counter. View set requests that missed the cache.
+	MAgentMisses = "agent.cache.misses"
+	// MAgentHitRate: gauge via snapshot, hits/(hits+misses) of the LRU.
+	MAgentHitRate = "agent.cache.hit_rate"
+	// MAgentPrefetches: counter. Prefetch fetches issued on cursor moves.
+	MAgentPrefetches = "agent.prefetch.issued"
+	// MAgentPrefetchUseful: counter. Cache hits that a prefetch had loaded
+	// (the prefetch-useful numerator; divide by agent.prefetch.issued).
+	MAgentPrefetchUseful = "agent.prefetch.useful"
+	// MAgentStaged: counter. View sets prestaged onto LAN depots.
+	MAgentStaged = "agent.stage.completed"
+	// MAgentStageErrors: counter. Failed prestaging transfers.
+	MAgentStageErrors = "agent.stage.errors"
+
+	// --- steward ---
+
+	// MStewardCycleMs: histogram, ms per scan cycle.
+	MStewardCycleMs = "steward.cycle.ms"
+	// MStewardCycles: counter. Completed scan cycles.
+	MStewardCycles = "steward.cycles"
+	// MStewardRepairMs: histogram, ms per successful extent repair copy.
+	MStewardRepairMs = "steward.repair.ms"
+	// MStewardRenewals: counter. Leases renewed.
+	MStewardRenewals = "steward.renewals"
+	// MStewardRepairs: counter. Repair copies that succeeded.
+	MStewardRepairs = "steward.repairs"
+	// MStewardRepairFailures: counter. Repair attempts that failed.
+	MStewardRepairFailures = "steward.repair_failures"
+	// MStewardPruned: counter. Dead replicas pruned from exNodes.
+	MStewardPruned = "steward.pruned"
+	// MStewardExtentsLost: counter. Extents left with zero healthy replicas.
+	MStewardExtentsLost = "steward.extents_lost"
+)
+
+// Span names used by the request-scoped traces at /debug/traces.
+const (
+	// SpanGetViewSet is the root span of one client-agent frame fetch.
+	SpanGetViewSet = "agent.getviewset"
+	// SpanResolve covers DVS exNode resolution inside a fetch.
+	SpanResolve = "agent.resolve"
+	// SpanDownload covers one lors.Download inside a fetch.
+	SpanDownload = "agent.download"
+	// SpanStage covers one staging third-party copy inside a fetch.
+	SpanStage = "agent.stage"
+)

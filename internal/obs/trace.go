@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed operation in a request-scoped trace. Spans form a
+// tree: StartSpan under a context carrying a span records that span's ID
+// as the parent. A span is completed by End (idempotent); completed
+// spans are retained in the tracer's bounded ring for /debug/traces.
+type Span struct {
+	tracer *Tracer
+
+	ID       uint64            `json:"id"`
+	ParentID uint64            `json:"parent_id,omitempty"`
+	TraceID  uint64            `json:"trace_id"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+
+	mu    sync.Mutex
+	ended bool
+}
+
+// SetAttr attaches a key=value annotation (access class, byte count,
+// error text). Call before Finish; later calls are dropped.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[key] = value
+}
+
+// Finish completes the span, stamps its end time, and hands it to the
+// tracer's ring. Safe on nil and idempotent.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.End = time.Now()
+	s.mu.Unlock()
+	if s.tracer != nil {
+		s.tracer.record(s)
+	}
+}
+
+// Duration reports the span's elapsed time (to now if still open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.End.Sub(s.Start)
+	}
+	return time.Since(s.Start)
+}
+
+type spanCtxKey struct{}
+
+// Tracer issues spans and retains the most recent completed ones in a
+// fixed ring. The zero value is unusable; use NewTracer or
+// DefaultTracer. A nil tracer issues nil (inert) spans, so call sites
+// never need guards.
+type Tracer struct {
+	capacity int
+	nextID   atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Span
+	pos  int
+	n    int
+}
+
+// NewTracer builds a tracer retaining up to capacity completed spans
+// (default 256).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{capacity: capacity, ring: make([]*Span, capacity)}
+}
+
+var (
+	defTracerOnce sync.Once
+	defTracer     *Tracer
+)
+
+// DefaultTracer returns the process-wide tracer, the one -metrics-addr
+// endpoints expose at /debug/traces.
+func DefaultTracer() *Tracer {
+	defTracerOnce.Do(func() { defTracer = NewTracer(512) })
+	return defTracer
+}
+
+// StartSpan opens a span named name. If ctx already carries a span, the
+// new span becomes its child (same trace ID, parent link); otherwise it
+// roots a new trace. The returned context carries the new span for
+// further nesting.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer: t,
+		ID:     t.nextID.Add(1),
+		Name:   name,
+		Start:  time.Now(),
+	}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		s.ParentID = parent.ID
+		s.TraceID = parent.TraceID
+	} else {
+		s.TraceID = s.ID
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SpanFromContext returns the span the context carries, if any.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.pos] = s
+	t.pos = (t.pos + 1) % t.capacity
+	if t.n < t.capacity {
+		t.n++
+	}
+}
+
+// Completed returns the retained completed spans, oldest first.
+func (t *Tracer) Completed() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, t.n)
+	start := t.pos - t.n
+	if start < 0 {
+		start += t.capacity
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%t.capacity])
+	}
+	return out
+}
+
+// Handler serves the completed-span ring as JSON, oldest first.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		spans := t.Completed()
+		type wireSpan struct {
+			ID       uint64            `json:"id"`
+			ParentID uint64            `json:"parent_id,omitempty"`
+			TraceID  uint64            `json:"trace_id"`
+			Name     string            `json:"name"`
+			Start    time.Time         `json:"start"`
+			DurMs    float64           `json:"duration_ms"`
+			Attrs    map[string]string `json:"attrs,omitempty"`
+		}
+		out := make([]wireSpan, 0, len(spans))
+		for _, s := range spans {
+			s.mu.Lock()
+			out = append(out, wireSpan{
+				ID: s.ID, ParentID: s.ParentID, TraceID: s.TraceID,
+				Name: s.Name, Start: s.Start,
+				DurMs: float64(s.End.Sub(s.Start)) / 1e6,
+				Attrs: s.Attrs,
+			})
+			s.mu.Unlock()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSpanParentChildOrdering(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := context.Background()
+
+	ctx, root := tr.StartSpan(ctx, "root")
+	cctx, child := tr.StartSpan(ctx, "child")
+	_, grand := tr.StartSpan(cctx, "grandchild")
+
+	if root.ParentID != 0 {
+		t.Fatalf("root parent = %d, want 0", root.ParentID)
+	}
+	if child.ParentID != root.ID || grand.ParentID != child.ID {
+		t.Fatalf("parent links wrong: root=%d child=%d->%d grand=%d->%d",
+			root.ID, child.ID, child.ParentID, grand.ID, grand.ParentID)
+	}
+	if child.TraceID != root.TraceID || grand.TraceID != root.TraceID {
+		t.Fatal("children must inherit the root trace ID")
+	}
+
+	grand.SetAttr("k", "v")
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+	root.Finish() // idempotent
+
+	done := tr.Completed()
+	if len(done) != 3 {
+		t.Fatalf("completed = %d spans, want 3", len(done))
+	}
+	// Completion order: innermost first.
+	if done[0].Name != "grandchild" || done[1].Name != "child" || done[2].Name != "root" {
+		t.Fatalf("order = %s,%s,%s", done[0].Name, done[1].Name, done[2].Name)
+	}
+	if done[0].Attrs["k"] != "v" {
+		t.Fatal("attr lost")
+	}
+	for _, s := range done {
+		if s.End.Before(s.Start) {
+			t.Fatalf("span %s ends before it starts", s.Name)
+		}
+	}
+	if !(done[2].End.After(done[0].End) || done[2].End.Equal(done[0].End)) {
+		t.Fatal("root must finish at or after grandchild")
+	}
+}
+
+func TestSpanFromContext(t *testing.T) {
+	tr := NewTracer(4)
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context must carry no span")
+	}
+	ctx, s := tr.StartSpan(context.Background(), "op")
+	if SpanFromContext(ctx) != s {
+		t.Fatal("context must carry the started span")
+	}
+	s.Finish()
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		_, s := tr.StartSpan(context.Background(), "s")
+		s.Finish()
+	}
+	done := tr.Completed()
+	if len(done) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(done))
+	}
+	// Oldest first, and the two oldest spans were evicted.
+	if done[0].ID != 3 || done[2].ID != 5 {
+		t.Fatalf("ring ids = %d..%d, want 3..5", done[0].ID, done[2].ID)
+	}
+}
+
+func TestNilTracerInert(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.StartSpan(context.Background(), "x")
+	if s != nil {
+		t.Fatal("nil tracer must issue nil spans")
+	}
+	s.SetAttr("a", "b")
+	s.Finish()
+	if s.Duration() != 0 {
+		t.Fatal("nil span duration must be 0")
+	}
+	if ctx == nil {
+		t.Fatal("context must survive")
+	}
+	if tr.Completed() != nil {
+		t.Fatal("nil tracer has no spans")
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	tr := NewTracer(4)
+	_, s := tr.StartSpan(context.Background(), "d")
+	time.Sleep(2 * time.Millisecond)
+	s.Finish()
+	if d := s.Duration(); d < 2*time.Millisecond {
+		t.Fatalf("duration %v too short", d)
+	}
+}

@@ -17,7 +17,11 @@
 //
 // Repair work runs in a bounded worker pool under a per-cycle budget so
 // maintenance never starves foreground traffic, and every consequential
-// action is surfaced as an Event and counted in Stats.
+// action is surfaced as an Event and counted in Stats. Cycle and repair
+// timings plus renewal/repair/prune/loss counters are also recorded to
+// an internal/obs registry (the steward.* metrics of
+// docs/OBSERVABILITY.md); RegisterMetrics bridges the full Stats struct
+// onto the /metrics endpoint.
 package steward
 
 import (
@@ -31,6 +35,7 @@ import (
 	"lonviz/internal/exnode"
 	"lonviz/internal/ibp"
 	"lonviz/internal/lors"
+	"lonviz/internal/obs"
 )
 
 // LocateFunc finds up to n candidate depot addresses with at least
@@ -178,6 +183,10 @@ type Config struct {
 	Timeout time.Duration
 	// Clock supplies time (for tests); nil means time.Now.
 	Clock func() time.Time
+	// Obs receives the steward.* metric families (cycle/repair timings,
+	// renewal/repair/prune counters) and is threaded into the steward's
+	// depot clients; nil records into obs.Default().
+	Obs *obs.Registry
 }
 
 func (c *Config) defaults() {
@@ -307,7 +316,43 @@ func (s *Steward) emit(ev Event) {
 }
 
 func (s *Steward) client(addr string) *ibp.Client {
-	return &ibp.Client{Addr: addr, Dialer: s.cfg.Dialer, Timeout: s.cfg.Timeout}
+	return &ibp.Client{Addr: addr, Dialer: s.cfg.Dialer, Timeout: s.cfg.Timeout, Obs: s.cfg.Obs}
+}
+
+// registry resolves the metrics destination.
+func (s *Steward) registry() *obs.Registry {
+	if s.cfg.Obs != nil {
+		return s.cfg.Obs
+	}
+	return obs.Default()
+}
+
+// RegisterMetrics bridges this steward's cumulative Stats into reg
+// (scraped as steward.* at /metrics). Passing nil bridges into
+// obs.Default().
+func (s *Steward) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.RegisterSnapshot("steward", func() map[string]float64 {
+		st := s.Stats()
+		return map[string]float64{
+			"cycles_total":      float64(st.Cycles),
+			"extents_audited":   float64(st.ExtentsAudited),
+			"replicas_probed":   float64(st.ReplicasProbed),
+			"leases_renewed":    float64(st.LeasesRenewed),
+			"renew_failures":    float64(st.RenewFailures),
+			"payloads_verified": float64(st.PayloadsVerified),
+			"verify_failures":   float64(st.VerifyFailures),
+			"repairs_attempted": float64(st.RepairsAttempted),
+			"repairs_succeeded": float64(st.RepairsSucceeded),
+			"replicas_pruned":   float64(st.ReplicasPruned),
+			"extents_lost_obj":  float64(st.ExtentsLost),
+			"republishes":       float64(st.Republishes),
+			"publish_failures":  float64(st.PublishFailures),
+			"last_cycle_ms":     float64(st.LastCycle) / 1e6,
+		}
+	})
 }
 
 // Run executes scan cycles every ScanInterval until ctx is cancelled.
@@ -391,6 +436,10 @@ func (s *Steward) RunCycle(ctx context.Context) (CycleReport, error) {
 		st.Cycles++
 		st.LastCycle = time.Since(start)
 	})
+	reg := s.registry()
+	reg.Counter(obs.MStewardCycles).Inc()
+	reg.Histogram(obs.MStewardCycleMs, obs.LatencyBucketsMs...).
+		Observe(float64(time.Since(start)) / 1e6)
 	return report, ctx.Err()
 }
 
@@ -502,6 +551,7 @@ func (s *Steward) auditObject(ctx context.Context, name string, ex *exnode.ExNod
 			for j, rep := range ext.Replicas {
 				if verdicts[j] == verdictDead {
 					s.emit(Event{Type: EventPrune, Object: name, Offset: ext.Offset, Depot: rep.Depot})
+					s.registry().Counter(obs.MStewardPruned).Inc()
 					s.addStats(func(st *Stats) { st.ReplicasPruned++ })
 					report.ReplicasPruned++
 					delete(unreach, replicaKey(rep))
@@ -513,6 +563,7 @@ func (s *Steward) auditObject(ctx context.Context, name string, ex *exnode.ExNod
 			ext.Replicas = kept
 		} else {
 			s.emit(Event{Type: EventExtentLost, Object: name, Offset: ext.Offset})
+			s.registry().Counter(obs.MStewardExtentsLost).Inc()
 			s.addStats(func(st *Stats) { st.ExtentsLost++ })
 			continue // no healthy source: nothing to repair from
 		}
@@ -628,6 +679,7 @@ func (s *Steward) auditReplica(ctx context.Context, name string, ext *exnode.Ext
 		*changed = true
 		s.emit(Event{Type: EventRenew, Object: name, Offset: ext.Offset, Depot: rep.Depot})
 		s.addStats(func(st *Stats) { st.LeasesRenewed++ })
+		s.registry().Counter(obs.MStewardRenewals).Inc()
 		report.LeasesRenewed++
 	}
 	report.Healthy++
@@ -688,13 +740,19 @@ func (s *Steward) repairExtent(ctx context.Context, name string, ext *exnode.Ext
 				continue
 			}
 			countAttempt()
+			repairStart := time.Now()
 			rep, err := s.copyOnto(ctx, ext, sources, addr)
 			if err != nil {
 				s.cfg.Health.ReportFailure(addr)
+				s.registry().Counter(obs.MStewardRepairFailures).Inc()
 				s.emit(Event{Type: EventRepairFailed, Object: name, Offset: ext.Offset, Depot: addr, Err: err})
 				continue
 			}
 			s.cfg.Health.ReportSuccess(addr)
+			reg := s.registry()
+			reg.Counter(obs.MStewardRepairs).Inc()
+			reg.Histogram(obs.MStewardRepairMs, obs.LatencyBucketsMs...).
+				Observe(float64(time.Since(repairStart)) / 1e6)
 			rep.SetExpiry(now.Add(s.cfg.LeaseTerm))
 			ext.Replicas = append(ext.Replicas, rep)
 			exclude[addr] = true

@@ -25,4 +25,23 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== docs audit"
+sh scripts/docscheck.sh
+
+echo "== lfbench -quick"
+benchdir=$(mktemp -d)
+trap 'rm -rf "$benchdir"' EXIT
+go run ./cmd/lfbench -quick -json "$benchdir"
+report="$benchdir/BENCH_quick.json"
+if [ ! -s "$report" ]; then
+	echo "lfbench -quick did not write $report" >&2
+	exit 1
+fi
+for key in p50 p95 p99 cache_hit_rate frames_per_second; do
+	if ! grep -q "\"$key\"" "$report"; then
+		echo "BENCH_quick.json missing \"$key\"" >&2
+		exit 1
+	fi
+done
+
 echo "all checks passed"

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Docs audit: the operator docs must not drift from the source.
+#
+#  1. Every command-line flag defined in cmd/*/main.go must appear in
+#     docs/OPERATIONS.md as `-flagname`.
+#  2. Every metric family and span name declared in
+#     internal/obs/names.go must appear in docs/OBSERVABILITY.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== flags vs docs/OPERATIONS.md"
+for main in cmd/*/main.go; do
+	cmdname=$(basename "$(dirname "$main")")
+	flags=$(grep -oE 'flag\.[A-Za-z0-9]+\("[^"]+"' "$main" | sed 's/.*("\([^"]*\)"/\1/' | sort -u)
+	for f in $flags; do
+		if ! grep -qE -- "(^|[\`| ])-$f(\`|,| |\$)" docs/OPERATIONS.md; then
+			echo "MISSING: flag -$f of $cmdname not documented in docs/OPERATIONS.md" >&2
+			fail=1
+		fi
+	done
+done
+
+echo "== metric names vs docs/OBSERVABILITY.md"
+names=$(grep -oE '= "[a-z][a-z0-9._]+"' internal/obs/names.go | sed 's/= "\(.*\)"/\1/' | sort -u)
+for n in $names; do
+	if ! grep -qF -- "$n" docs/OBSERVABILITY.md; then
+		echo "MISSING: metric/span name $n not documented in docs/OBSERVABILITY.md" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "docs audit failed" >&2
+	exit 1
+fi
+echo "docs audit passed"
