@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,8 +29,13 @@ func main() {
 	y := flag.Float64("y", 0, "network coordinate Y for L-Bone proximity")
 	heartbeat := flag.Duration("heartbeat", 10*time.Second, "L-Bone heartbeat interval")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
 
+	if err := obs.ConfigureDefaultLogger(*logLevel, *logFormat); err != nil {
+		log.Fatalf("depotd: %v", err)
+	}
 	depot, err := ibp.NewDepot(ibp.DepotConfig{Capacity: *capacity, MaxLease: *maxLease, Dir: *dir})
 	if err != nil {
 		log.Fatalf("depotd: %v", err)
@@ -42,6 +48,7 @@ func main() {
 	}
 	fmt.Printf("depotd: serving IBP on %s (capacity %d bytes, max lease %v)\n", bound, *capacity, *maxLease)
 
+	var obsSrv *obs.Server
 	if *metricsAddr != "" {
 		obs.Default().RegisterSnapshot("depot", func() map[string]float64 {
 			st := depot.Stat()
@@ -53,11 +60,11 @@ func main() {
 				"revocations": float64(st.Revocations),
 			}
 		})
-		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
 		if err != nil {
 			log.Fatalf("depotd: metrics listen: %v", err)
 		}
-		fmt.Printf("depotd: metrics on http://%s/metrics\n", mbound)
+		fmt.Printf("depotd: metrics on http://%s/metrics\n", obsSrv.Addr())
 	}
 
 	stop := make(chan struct{})
@@ -78,6 +85,9 @@ func main() {
 	<-sig
 	close(stop)
 	srv.Close()
+	closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	_ = obsSrv.Close(closeCtx)
+	cancel()
 	st := depot.Stat()
 	fmt.Printf("depotd: shutting down; %d allocations, %d/%d bytes used, %d expirations, %d revocations\n",
 		st.Allocations, st.Used, st.Capacity, st.Expirations, st.Revocations)

@@ -4,12 +4,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"lonviz/internal/agent"
 	"lonviz/internal/dvs"
@@ -21,7 +23,13 @@ func main() {
 	parent := flag.String("parent", "", "parent DVS address (empty for the root)")
 	generate := flag.Bool("generate", false, "forward full-hierarchy misses to registered server agents")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
+
+	if err := obs.ConfigureDefaultLogger(*logLevel, *logFormat); err != nil {
+		log.Fatalf("dvsd: %v", err)
+	}
 
 	srv := dvs.NewServer(*parent)
 	if *generate {
@@ -37,16 +45,20 @@ func main() {
 	}
 	fmt.Printf("dvsd: serving DVS on %s (%s, on-demand generation %v)\n", bound, role, *generate)
 
+	var obsSrv *obs.Server
 	if *metricsAddr != "" {
-		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
 		if err != nil {
 			log.Fatalf("dvsd: metrics listen: %v", err)
 		}
-		fmt.Printf("dvsd: metrics on http://%s/metrics\n", mbound)
+		fmt.Printf("dvsd: metrics on http://%s/metrics\n", obsSrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	srv.Close()
+	closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	_ = obsSrv.Close(closeCtx)
+	cancel()
 }

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,7 +20,13 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:6767", "listen address")
 	ttl := flag.Duration("ttl", 30*time.Second, "registration freshness window")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
+
+	if err := obs.ConfigureDefaultLogger(*logLevel, *logFormat); err != nil {
+		log.Fatalf("lboned: %v", err)
+	}
 
 	srv := lbone.NewServer()
 	srv.TTL = *ttl
@@ -29,16 +36,20 @@ func main() {
 	}
 	fmt.Printf("lboned: serving directory on http://%s (TTL %v)\n", bound, *ttl)
 
+	var obsSrv *obs.Server
 	if *metricsAddr != "" {
-		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
 		if err != nil {
 			log.Fatalf("lboned: metrics listen: %v", err)
 		}
-		fmt.Printf("lboned: metrics on http://%s/metrics\n", mbound)
+		fmt.Printf("lboned: metrics on http://%s/metrics\n", obsSrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	srv.Close()
+	closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	_ = obsSrv.Close(closeCtx)
+	cancel()
 }

@@ -43,8 +43,15 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
 	jsonDir := flag.String("json", ".", "directory to write BENCH_*.json reports into")
 	quick := flag.Bool("quick", false, "run a short smoke benchmark, write BENCH_quick.json, verify it parses, and exit")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to diff the -quick run against; warns on >20% regressions")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the benchmark runs (empty disables)")
+	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
+
+	if err := obs.ConfigureDefaultLogger(*logLevel, *logFormat); err != nil {
+		fatal(err)
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *full {
@@ -60,18 +67,25 @@ func main() {
 			fatal(err)
 		}
 	}
+	var obsSrv *obs.Server
 	if *metricsAddr != "" {
-		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		var err error
+		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("lfbench: metrics on http://%s/metrics\n", mbound)
+		fmt.Printf("lfbench: metrics on http://%s/metrics\n", obsSrv.Addr())
 	}
+	defer func() {
+		closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		_ = obsSrv.Close(closeCtx)
+		cancel()
+	}()
 
 	ctx := context.Background()
 
 	if *quick {
-		if err := runQuick(ctx, cfg, *jsonDir); err != nil {
+		if err := runQuick(ctx, cfg, *jsonDir, *compare); err != nil {
 			fatal(err)
 		}
 		return
@@ -258,8 +272,9 @@ func writeBenchJSON(dir, name string, runs []experiments.CaseRun) (string, error
 }
 
 // runQuick is the CI smoke mode: a short three-case run at one resolution,
-// reported as BENCH_quick.json and re-read to prove the file parses.
-func runQuick(ctx context.Context, cfg experiments.Config, jsonDir string) error {
+// reported as BENCH_quick.json and re-read to prove the file parses. With a
+// baseline it also diffs the fresh report against it (warn-only).
+func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline string) error {
 	if jsonDir == "" {
 		jsonDir = "."
 	}
@@ -297,6 +312,70 @@ func runQuick(ctx context.Context, cfg experiments.Config, jsonDir string) error
 	}
 	fmt.Printf("lfbench: quick run ok: %d cases, %d accesses each, %.1fs total\n",
 		len(back.Cases), back.Cases[0].Accesses, time.Since(start).Seconds())
+	if baseline != "" {
+		if err := compareReports(baseline, back); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compareReports diffs a fresh bench report against a committed baseline and
+// prints WARN lines for >20% regressions. It never fails the run: micro
+// benchmarks on shared CI machines are too noisy to gate on, but a persistent
+// warning in every run is hard to ignore.
+func compareReports(baselinePath string, current benchReport) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("compare baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("compare baseline %s does not parse: %w", baselinePath, err)
+	}
+	baseCases := make(map[string]benchCase, len(base.Cases))
+	for _, c := range base.Cases {
+		baseCases[c.Case] = c
+	}
+	const tolerance = 1.20 // warn past a 20% regression
+	regressions := 0
+	// warnSlower flags metrics where bigger is worse (latencies).
+	warnSlower := func(kase, metric string, baseV, curV float64) {
+		if baseV > 0 && curV > baseV*tolerance {
+			fmt.Printf("lfbench: WARN %s %s regressed %.1f%%: %.3f -> %.3f\n",
+				kase, metric, 100*(curV/baseV-1), baseV, curV)
+			regressions++
+		}
+	}
+	// warnFaster flags metrics where smaller is worse (throughput).
+	warnFaster := func(kase, metric string, baseV, curV float64) {
+		if baseV > 0 && curV < baseV/tolerance {
+			fmt.Printf("lfbench: WARN %s %s regressed %.1f%%: %.3f -> %.3f\n",
+				kase, metric, 100*(1-curV/baseV), baseV, curV)
+			regressions++
+		}
+	}
+	compared := 0
+	for _, c := range current.Cases {
+		b, ok := baseCases[c.Case]
+		if !ok {
+			fmt.Printf("lfbench: WARN case %q missing from baseline %s\n", c.Case, baselinePath)
+			continue
+		}
+		compared++
+		warnFaster(c.Case, "frames_per_second", b.FramesPerSecond, c.FramesPerSecond)
+		warnSlower(c.Case, "fetch_latency_ms.p50", b.FetchLatencyMs.P50, c.FetchLatencyMs.P50)
+		warnSlower(c.Case, "fetch_latency_ms.p95", b.FetchLatencyMs.P95, c.FetchLatencyMs.P95)
+		warnSlower(c.Case, "fetch_latency_ms.p99", b.FetchLatencyMs.P99, c.FetchLatencyMs.P99)
+	}
+	if compared == 0 {
+		return fmt.Errorf("compare: no cases in common with baseline %s", baselinePath)
+	}
+	if regressions == 0 {
+		fmt.Printf("lfbench: compare vs %s ok (%d cases within 20%%)\n", baselinePath, compared)
+	} else {
+		fmt.Printf("lfbench: compare vs %s: %d regression warning(s)\n", baselinePath, regressions)
+	}
 	return nil
 }
 

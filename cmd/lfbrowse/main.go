@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -37,11 +38,17 @@ func main() {
 	display := flag.Int("display", 200, "display resolution for rendered frames")
 	serve := flag.String("serve", "", "also expose the client agent to remote clients on this address")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	tracePeers := flag.String("trace-peers", "", "comma-separated peer observability endpoints (host:port) to pull depot-side trace halves from; prints merged end-to-end trees for the slowest accesses (requires -metrics-addr)")
+	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
 
 	if *dvsAddr == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := obs.ConfigureDefaultLogger(*logLevel, *logFormat); err != nil {
+		log.Fatalf("lfbrowse: %v", err)
 	}
 	p := lightfield.ScaledParams(*step, *l, *res)
 	if err := p.Validate(); err != nil {
@@ -64,14 +71,20 @@ func main() {
 	}
 	defer ca.Close()
 
+	var obsSrv *obs.Server
 	if *metricsAddr != "" {
 		ca.RegisterMetrics(nil)
-		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
 		if err != nil {
 			log.Fatalf("lfbrowse: metrics listen: %v", err)
 		}
-		fmt.Printf("lfbrowse: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", mbound)
+		fmt.Printf("lfbrowse: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", obsSrv.Addr())
 	}
+	defer func() {
+		closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		_ = obsSrv.Close(closeCtx)
+		cancel()
+	}()
 
 	if *serve != "" {
 		srv, err := agent.NewClientAgentServer(ca, *dataset)
@@ -141,4 +154,34 @@ func main() {
 	counts := session.ClassCounts(records)
 	fmt.Printf("\nlfbrowse: %d accesses, classes %v, initial phase %d, agent stats %+v\n",
 		len(records), counts, session.InitialPhaseLength(records), ca.Stats())
+
+	if *tracePeers != "" {
+		printMergedTraces(ctx, *tracePeers)
+	}
+}
+
+// printMergedTraces pulls the remote halves of this session's traces from
+// the named peer observability endpoints, merges them with the local span
+// ring, and renders the slowest end-to-end trees — the cross-host view
+// that per-process /debug/traces cannot give.
+func printMergedTraces(ctx context.Context, peers string) {
+	col := &obs.Collector{Local: obs.DefaultTracer(), Peers: strings.Split(peers, ",")}
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	spans, errs := col.Collect(cctx, 0)
+	for _, err := range errs {
+		log.Printf("lfbrowse: trace collection: %v", err)
+	}
+	trees := obs.BuildTrees(spans)
+	// Slowest first; cap the dump so a long session stays readable.
+	sort.Slice(trees, func(i, j int) bool { return trees[i].Duration() > trees[j].Duration() })
+	const maxTrees = 3
+	fmt.Printf("\nlfbrowse: %d merged traces from %d spans; slowest %d:\n",
+		len(trees), len(spans), min(maxTrees, len(trees)))
+	for i, tt := range trees {
+		if i >= maxTrees {
+			break
+		}
+		tt.Render(os.Stdout)
+	}
 }

@@ -32,19 +32,31 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel generation workers")
 	seed := flag.Int64("seed", 1, "seed for synthetic data")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
 
+	if err := obs.ConfigureDefaultLogger(*logLevel, *logFormat); err != nil {
+		log.Fatalf("lfgen: %v", err)
+	}
 	p := lightfield.ScaledParams(*step, *l, *res)
 	if err := p.Validate(); err != nil {
 		log.Fatalf("lfgen: %v", err)
 	}
+	var obsSrv *obs.Server
 	if *metricsAddr != "" {
-		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		srv, err := obs.Serve(*metricsAddr, nil, nil)
 		if err != nil {
 			log.Fatalf("lfgen: metrics listen: %v", err)
 		}
-		fmt.Printf("lfgen: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", mbound)
+		obsSrv = srv
+		fmt.Printf("lfgen: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", obsSrv.Addr())
 	}
+	defer func() {
+		closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		_ = obsSrv.Close(closeCtx)
+		cancel()
+	}()
 	fmt.Printf("lfgen: lattice %dx%d, %d view sets of %dx%d views at %dx%d px\n",
 		p.Rows(), p.Cols(), p.NumViewSets(), *l, *l, *res, *res)
 	fmt.Printf("lfgen: uncompressed database %d bytes\n", p.UncompressedDBBytes())

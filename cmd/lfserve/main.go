@@ -47,11 +47,16 @@ func main() {
 	stewardLease := flag.Duration("steward-lease", 30*time.Minute, "lease term for steward renewals and repairs")
 	lboneURL := flag.String("lbone", "", "L-Bone base URL for steward repair depot discovery; empty restricts repair to -depots")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
 
 	if *depots == "" || *dvsAddr == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := obs.ConfigureDefaultLogger(*logLevel, *logFormat); err != nil {
+		log.Fatalf("lfserve: %v", err)
 	}
 	depotList := strings.Split(*depots, ",")
 	p := lightfield.ScaledParams(*step, *l, *res)
@@ -105,13 +110,14 @@ func main() {
 	fmt.Printf("lfserve: server agent for %q on %s, %d depots, DVS %s\n",
 		*dataset, bound, len(depotList), *dvsAddr)
 
+	var obsSrv *obs.Server
 	if *metricsAddr != "" {
 		sa.RegisterMetrics(nil)
-		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
 		if err != nil {
 			log.Fatalf("lfserve: metrics listen: %v", err)
 		}
-		fmt.Printf("lfserve: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", mbound)
+		fmt.Printf("lfserve: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", obsSrv.Addr())
 	}
 
 	// Register with the DVS so it can forward misses here.
@@ -200,6 +206,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	closeCtx, closeCancel := context.WithTimeout(context.Background(), 3*time.Second)
+	_ = obsSrv.Close(closeCtx)
+	closeCancel()
 	st := sa.Stats()
 	fmt.Printf("lfserve: shutting down; rendered %d, uploaded %d (%d bytes), %d DVS updates\n",
 		st.Rendered, st.Uploaded, st.BytesSent, st.DVSUpdates)

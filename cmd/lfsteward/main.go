@@ -49,11 +49,16 @@ func main() {
 	verbose := flag.Bool("v", false, "log every steward event")
 	once := flag.Bool("once", false, "run a single scan cycle and exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
 
 	if *dvsAddr == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := obs.ConfigureDefaultLogger(*logLevel, *logFormat); err != nil {
+		log.Fatalf("lfsteward: %v", err)
 	}
 	p := lightfield.ScaledParams(*step, *l, *res)
 	if err := p.Validate(); err != nil {
@@ -92,14 +97,21 @@ func main() {
 	}
 	s := steward.New(cfg)
 
+	var obsSrv *obs.Server
 	if *metricsAddr != "" {
 		s.RegisterMetrics(nil)
-		mbound, _, err := obs.Serve(*metricsAddr, nil, nil)
+		var err error
+		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
 		if err != nil {
 			log.Fatalf("lfsteward: metrics listen: %v", err)
 		}
-		fmt.Printf("lfsteward: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", mbound)
+		fmt.Printf("lfsteward: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", obsSrv.Addr())
 	}
+	defer func() {
+		closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		_ = obsSrv.Close(closeCtx)
+		cancel()
+	}()
 
 	// Adopt every view set the lattice defines; sets the DVS does not know
 	// (not yet published, or published at different parameters) are skipped

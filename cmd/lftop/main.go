@@ -1,0 +1,350 @@
+// Command lftop is a live terminal dashboard over the stack's /metrics
+// and /debug/traces endpoints: the "top" for a Logistical Networking
+// deployment. Point it at one or more observability addresses (depotd,
+// lfserve, lfbrowse, dvsd, ... started with -metrics-addr) and it shows,
+// refreshed in place:
+//
+//   - per-depot IBP round-trip p50/p95/p99 and operation error counts
+//   - LoRS failover pressure and circuit-breaker state
+//   - client agent cache hit rate and fetch frame rate
+//   - the slowest recent traces, so "why was that frame slow" is one
+//     glance, not a log dig
+//
+// With -once it polls a single time and exits; with -json it emits the
+// summary as one machine-readable JSON document instead of the dashboard
+// (the CI smoke runs `lftop -once -json <addr>`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"lonviz/internal/obs"
+)
+
+func main() {
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "poll once, print, and exit")
+	asJSON := flag.Bool("json", false, "emit one JSON summary document instead of the dashboard")
+	nTraces := flag.Int("traces", 5, "slowest recent traces to show per target")
+	flag.Parse()
+	targets := flag.Args()
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lftop [-interval d] [-once] [-json] [-traces n] <host:port> [host:port ...]")
+		fmt.Fprintln(os.Stderr, "  each target is a -metrics-addr endpoint of depotd/dvsd/lboned/lfserve/lfbrowse/lfsteward")
+		os.Exit(2)
+	}
+
+	top := &lftop{
+		client:  &http.Client{Timeout: 5 * time.Second},
+		targets: targets,
+		nTraces: *nTraces,
+		prev:    make(map[string]frameSample, len(targets)),
+	}
+
+	if *once {
+		sums := top.poll()
+		if *asJSON {
+			if err := writeJSON(os.Stdout, sums); err != nil {
+				fmt.Fprintln(os.Stderr, "lftop:", err)
+				os.Exit(1)
+			}
+		} else {
+			render(os.Stdout, sums, false)
+		}
+		// Exit nonzero if nothing answered at all: a smoke run against a
+		// dead endpoint should fail loudly.
+		for _, s := range sums {
+			if s.Err == "" {
+				return
+			}
+		}
+		fmt.Fprintln(os.Stderr, "lftop: no target reachable")
+		os.Exit(1)
+	}
+
+	for {
+		sums := top.poll()
+		if *asJSON {
+			if err := writeJSON(os.Stdout, sums); err != nil {
+				fmt.Fprintln(os.Stderr, "lftop:", err)
+				os.Exit(1)
+			}
+		} else {
+			render(os.Stdout, sums, true)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func writeJSON(w io.Writer, sums []targetSummary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Targets []targetSummary `json:"targets"`
+	}{sums})
+}
+
+// lftop polls a fixed target list and remembers the previous frame count
+// per target so it can report a frames/sec rate between refreshes.
+type lftop struct {
+	client  *http.Client
+	targets []string
+	nTraces int
+	prev    map[string]frameSample
+}
+
+type frameSample struct {
+	frames int64
+	at     time.Time
+}
+
+// depotStat is one depot's round-trip latency line, from the
+// ibp.depot.ms{depot=...} histogram family.
+type depotStat struct {
+	Depot string  `json:"depot"`
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+}
+
+// traceLine is one root span from /debug/traces, slowest-first.
+type traceLine struct {
+	TraceID string  `json:"trace_id"`
+	Name    string  `json:"name"`
+	Ms      float64 `json:"ms"`
+	Spans   int     `json:"spans"`
+}
+
+// targetSummary is everything lftop shows for one endpoint; it doubles as
+// the -json schema.
+type targetSummary struct {
+	Endpoint        string             `json:"endpoint"`
+	Err             string             `json:"err,omitempty"`
+	Depots          []depotStat        `json:"depots,omitempty"`
+	OpErrors        map[string]float64 `json:"op_errors,omitempty"`
+	FailedAttempts  float64            `json:"failed_attempts"`
+	RetryPasses     float64            `json:"retry_passes"`
+	CircuitOpen     float64            `json:"circuit_open"`
+	CircuitTrips    float64            `json:"circuit_trips"`
+	CacheHitRate    float64            `json:"cache_hit_rate"`
+	Frames          int64              `json:"frames"`
+	FrameMeanMs     float64            `json:"frame_mean_ms"`
+	FramesPerSecond float64            `json:"frames_per_second"`
+	SlowTraces      []traceLine        `json:"slow_traces,omitempty"`
+}
+
+func (t *lftop) poll() []targetSummary {
+	out := make([]targetSummary, 0, len(t.targets))
+	for _, ep := range t.targets {
+		out = append(out, t.pollOne(ep))
+	}
+	return out
+}
+
+func (t *lftop) pollOne(ep string) targetSummary {
+	sum := targetSummary{Endpoint: ep}
+	base := ep
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	snap, err := t.fetchMetrics(base + "/metrics")
+	if err != nil {
+		sum.Err = err.Error()
+		return sum
+	}
+	summarizeMetrics(snap, &sum)
+
+	now := time.Now()
+	if prev, ok := t.prev[ep]; ok && now.After(prev.at) && sum.Frames >= prev.frames {
+		sum.FramesPerSecond = float64(sum.Frames-prev.frames) / now.Sub(prev.at).Seconds()
+	}
+	t.prev[ep] = frameSample{frames: sum.Frames, at: now}
+
+	// Traces are optional: a scrape target without a tracer still renders.
+	if spans, err := t.fetchTraces(base + "/debug/traces"); err == nil {
+		sum.SlowTraces = slowestTraces(spans, t.nTraces)
+	}
+	return sum
+}
+
+func (t *lftop) fetchMetrics(url string) (map[string]json.RawMessage, error) {
+	resp, err := t.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	return snap, nil
+}
+
+func (t *lftop) fetchTraces(url string) ([]obs.SpanRecord, error) {
+	resp, err := t.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	var spans []obs.SpanRecord
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// histoView mirrors the fields of obs.HistogramSnapshot that lftop reads.
+type histoView struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// splitLabeled breaks a folded metric name like "ibp.depot.ms{depot=x}"
+// into family and label value; plain names return ok=false.
+func splitLabeled(name, family string) (string, bool) {
+	if !strings.HasPrefix(name, family+"{") || !strings.HasSuffix(name, "}") {
+		return "", false
+	}
+	inner := name[len(family)+1 : len(name)-1]
+	if i := strings.IndexByte(inner, '='); i >= 0 {
+		return inner[i+1:], true
+	}
+	return inner, true
+}
+
+func summarizeMetrics(snap map[string]json.RawMessage, sum *targetSummary) {
+	num := func(name string) float64 {
+		var v float64
+		if raw, ok := snap[name]; ok {
+			_ = json.Unmarshal(raw, &v)
+		}
+		return v
+	}
+	for name, raw := range snap {
+		if depot, ok := splitLabeled(name, obs.MIBPDepotMs); ok {
+			var h histoView
+			if json.Unmarshal(raw, &h) == nil && h.Count > 0 {
+				sum.Depots = append(sum.Depots, depotStat{
+					Depot: depot, Count: h.Count, P50: h.P50, P95: h.P95, P99: h.P99,
+				})
+			}
+			continue
+		}
+		if op, ok := splitLabeled(name, obs.MIBPOpErrors); ok {
+			var v float64
+			if json.Unmarshal(raw, &v) == nil && v > 0 {
+				if sum.OpErrors == nil {
+					sum.OpErrors = make(map[string]float64)
+				}
+				sum.OpErrors[op] = v
+			}
+			continue
+		}
+		if _, ok := splitLabeled(name, obs.MAgentFetchMs); ok {
+			var h histoView
+			if json.Unmarshal(raw, &h) == nil {
+				sum.Frames += h.Count
+				sum.FrameMeanMs += h.Sum
+			}
+		}
+	}
+	if sum.Frames > 0 {
+		sum.FrameMeanMs /= float64(sum.Frames)
+	}
+	sort.Slice(sum.Depots, func(i, j int) bool { return sum.Depots[i].Depot < sum.Depots[j].Depot })
+	sum.FailedAttempts = num(obs.MLorsFailedAttempts)
+	sum.RetryPasses = num(obs.MLorsRetryPasses)
+	sum.CircuitOpen = num(obs.MLorsCircuitOpen)
+	sum.CircuitTrips = num(obs.MLorsCircuitTrips)
+	sum.CacheHitRate = num(obs.MAgentHitRate)
+}
+
+// slowestTraces reduces a span dump to its root spans, slowest first. A
+// root is a span with no parent, or whose parent is remote (the local
+// half of a cross-host trace).
+func slowestTraces(spans []obs.SpanRecord, n int) []traceLine {
+	perTrace := make(map[uint64]int, len(spans))
+	for _, s := range spans {
+		perTrace[s.TraceID]++
+	}
+	var roots []traceLine
+	for _, s := range spans {
+		if s.ParentID != 0 && !s.Remote {
+			continue
+		}
+		roots = append(roots, traceLine{
+			TraceID: fmt.Sprintf("%016x", s.TraceID),
+			Name:    s.Name,
+			Ms:      s.DurMs,
+			Spans:   perTrace[s.TraceID],
+		})
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Ms > roots[j].Ms })
+	if len(roots) > n {
+		roots = roots[:n]
+	}
+	return roots
+}
+
+func render(w io.Writer, sums []targetSummary, live bool) {
+	if live {
+		fmt.Fprint(w, "\x1b[2J\x1b[H") // clear screen, home cursor
+	}
+	fmt.Fprintf(w, "lftop — %s — %d target(s)\n", time.Now().Format("15:04:05"), len(sums))
+	for _, s := range sums {
+		fmt.Fprintf(w, "\n== %s ==\n", s.Endpoint)
+		if s.Err != "" {
+			fmt.Fprintf(w, "  UNREACHABLE: %s\n", s.Err)
+			continue
+		}
+		if len(s.Depots) > 0 {
+			fmt.Fprintf(w, "  %-24s %8s %9s %9s %9s\n", "depot", "ops", "p50(ms)", "p95(ms)", "p99(ms)")
+			for _, d := range s.Depots {
+				fmt.Fprintf(w, "  %-24s %8d %9.2f %9.2f %9.2f\n", d.Depot, d.Count, d.P50, d.P95, d.P99)
+			}
+		}
+		if len(s.OpErrors) > 0 {
+			ops := make([]string, 0, len(s.OpErrors))
+			for op := range s.OpErrors {
+				ops = append(ops, op)
+			}
+			sort.Strings(ops)
+			fmt.Fprint(w, "  errors:")
+			for _, op := range ops {
+				fmt.Fprintf(w, " %s=%.0f", op, s.OpErrors[op])
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "  transfer: failed_attempts=%.0f retry_passes=%.0f circuits_open=%.0f circuit_trips=%.0f\n",
+			s.FailedAttempts, s.RetryPasses, s.CircuitOpen, s.CircuitTrips)
+		fmt.Fprintf(w, "  client:   frames=%d mean=%.2fms rate=%.1f/s cache_hit_rate=%.0f%%\n",
+			s.Frames, s.FrameMeanMs, s.FramesPerSecond, 100*s.CacheHitRate)
+		if len(s.SlowTraces) > 0 {
+			fmt.Fprintln(w, "  slowest traces:")
+			for _, tl := range s.SlowTraces {
+				fmt.Fprintf(w, "    %8.2fms %-20s trace=%s (%d spans)\n", tl.Ms, tl.Name, tl.TraceID, tl.Spans)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -411,6 +412,9 @@ func (ca *ClientAgent) getViewSet(ctx context.Context, id lightfield.ViewSetID, 
 			span.SetAttr("class", rep.Class.String())
 			reg.Histogram(obs.Label(obs.MAgentFetchMs, "class", rep.Class.String()), obs.LatencyBucketsMs...).
 				Observe(float64(rep.Comm) / 1e6)
+			obs.DefaultLogger().Debug(ctx, obs.EvAgentFetch,
+				"viewset", id.String(), "class", rep.Class.String(),
+				"ms", strconv.FormatInt(rep.Comm.Milliseconds(), 10))
 		} else {
 			span.SetAttr("error", err.Error())
 		}
@@ -479,6 +483,7 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 		Health:      ca.cfg.Health,
 		Rand:        ca.cfg.Rand,
 		Obs:         ca.cfg.Obs,
+		Tracer:      ca.cfg.Tracer,
 	}
 	if stagedEx != nil {
 		frame, st, err := ca.download(ctx, stagedEx, dl)

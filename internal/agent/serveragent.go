@@ -340,7 +340,9 @@ func (sa *ServerAgent) handleConn(c net.Conn) {
 		if err != nil || len(line) > 1024 {
 			return
 		}
-		f := strings.Fields(strings.TrimSpace(line))
+		// Strip an optional trailing trace token before the strict
+		// 3-field check, and parent this render's span under the caller.
+		f, tc, traced := obs.StripTraceToken(strings.Fields(strings.TrimSpace(line)))
 		if len(f) != 3 || f[0] != "RENDER" || f[1] != sa.cfg.Dataset {
 			fmt.Fprintf(bw, "ERR bad request\n")
 			bw.Flush()
@@ -353,7 +355,13 @@ func (sa *ServerAgent) handleConn(c net.Conn) {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		var span *obs.Span
+		if traced {
+			ctx, span = obs.DefaultTracer().StartSpan(obs.ContextWithRemote(ctx, tc), obs.SpanRenderServe)
+			span.SetAttr("viewset", f[2])
+		}
 		xml, err := sa.Request(ctx, id)
+		span.Finish()
 		cancel()
 		if err != nil {
 			fmt.Fprintf(bw, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
@@ -385,7 +393,11 @@ func RequestRemote(ctx context.Context, dialer ibp.Dialer, agentAddr, dataset, v
 	} else {
 		_ = conn.SetDeadline(time.Now().Add(5 * time.Minute))
 	}
-	fmt.Fprintf(conn, "RENDER %s %s\n", dataset, viewSetKey)
+	if tok := obs.TraceToken(ctx); tok != "" {
+		fmt.Fprintf(conn, "RENDER %s %s %s\n", dataset, viewSetKey, tok)
+	} else {
+		fmt.Fprintf(conn, "RENDER %s %s\n", dataset, viewSetKey)
+	}
 	br := bufio.NewReader(conn)
 	line, err := br.ReadString('\n')
 	if err != nil {

@@ -71,6 +71,10 @@ type Server struct {
 	Generate GenerateFunc
 	// Timeout bounds upstream queries (default 30s).
 	Timeout time.Duration
+	// Tracer receives the server-side request spans opened for traced
+	// requests (those carrying a trace= token); nil records into
+	// obs.DefaultTracer().
+	Tracer *obs.Tracer
 
 	mu      sync.Mutex
 	exnodes map[Key][][]byte  // exNode table: replicas' XML documents
@@ -229,6 +233,13 @@ func (s *Server) Close() error {
 	return nil
 }
 
+func (s *Server) tracer() *obs.Tracer {
+	if s.Tracer != nil {
+		return s.Tracer
+	}
+	return obs.DefaultTracer()
+}
+
 func (s *Server) handle(c net.Conn) {
 	defer c.Close()
 	br := bufio.NewReaderSize(c, 64*1024)
@@ -238,7 +249,24 @@ func (s *Server) handle(c net.Conn) {
 		if err != nil || len(line) > maxLine {
 			return
 		}
-		if !s.dispatch(br, bw, strings.Fields(strings.TrimSpace(line))) {
+		// Strip a trailing trace=<tid>/<sid> token before the exact
+		// argument-count matching below, and parent this request's span
+		// under the calling client's. Token-less requests (pre-trace
+		// clients) skip the span entirely.
+		f, tc, traced := obs.StripTraceToken(strings.Fields(strings.TrimSpace(line)))
+		ctx := context.Background()
+		var span *obs.Span
+		if traced {
+			verb := ""
+			if len(f) > 0 {
+				verb = f[0]
+			}
+			ctx, span = s.tracer().StartSpan(obs.ContextWithRemote(ctx, tc), obs.SpanDVSServe)
+			span.SetAttr("op", verb)
+		}
+		keep := s.dispatch(ctx, br, bw, f)
+		span.Finish()
+		if !keep {
 			bw.Flush()
 			return
 		}
@@ -248,15 +276,17 @@ func (s *Server) handle(c net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(br *bufio.Reader, bw *bufio.Writer, f []string) bool {
+func (s *Server) dispatch(ctx context.Context, br *bufio.Reader, bw *bufio.Writer, f []string) bool {
 	switch {
 	case len(f) == 3 && f[0] == "GET":
-		// Queries may recurse upstream; bound them.
+		// Queries may recurse upstream; bound them. The span context rides
+		// along so hierarchy forwarding re-propagates the same trace to the
+		// parent DVS and to on-demand generation.
 		timeout := s.Timeout
 		if timeout == 0 {
 			timeout = 30 * time.Second
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		ctx, cancel := context.WithTimeout(ctx, timeout)
 		reps, err := s.Resolve(ctx, Key{Dataset: f[1], ViewSet: f[2]})
 		cancel()
 		switch {
@@ -324,6 +354,16 @@ type Client struct {
 	Obs *obs.Registry
 }
 
+// traceSuffix returns " trace=<tid>/<sid>" for the active span, or ""
+// when propagation is off — request lines stay byte-identical to
+// pre-trace ones unless a trace is actually being carried.
+func traceSuffix(ctx context.Context) string {
+	if tok := obs.TraceToken(ctx); tok != "" {
+		return " " + tok
+	}
+	return ""
+}
+
 // observeOp records one client operation's latency and outcome.
 func (c *Client) observeOp(op string, start time.Time, err error) {
 	reg := c.Obs
@@ -371,7 +411,7 @@ func (c *Client) Get(ctx context.Context, key Key) (reps [][]byte, err error) {
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = conn.SetDeadline(deadline)
 	}
-	fmt.Fprintf(conn, "GET %s %s\n", key.Dataset, key.ViewSet)
+	fmt.Fprintf(conn, "GET %s %s%s\n", key.Dataset, key.ViewSet, traceSuffix(ctx))
 	br := bufio.NewReaderSize(conn, 64*1024)
 	line, err := br.ReadString('\n')
 	if err != nil {
@@ -431,7 +471,7 @@ func (c *Client) record(ctx context.Context, verb string, key Key, exnodeXML []b
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = conn.SetDeadline(deadline)
 	}
-	fmt.Fprintf(conn, "%s %s %s %d\n", verb, key.Dataset, key.ViewSet, len(exnodeXML))
+	fmt.Fprintf(conn, "%s %s %s %d%s\n", verb, key.Dataset, key.ViewSet, len(exnodeXML), traceSuffix(ctx))
 	if _, err := conn.Write(exnodeXML); err != nil {
 		return err
 	}
@@ -446,7 +486,7 @@ func (c *Client) RegisterAgent(ctx context.Context, dataset, agentAddr string) (
 		return err
 	}
 	defer conn.Close()
-	fmt.Fprintf(conn, "REGAGENT %s %s\n", dataset, agentAddr)
+	fmt.Fprintf(conn, "REGAGENT %s %s%s\n", dataset, agentAddr, traceSuffix(ctx))
 	return expectOK(conn)
 }
 
@@ -458,7 +498,7 @@ func (c *Client) AgentFor(ctx context.Context, dataset string) (addr string, err
 		return "", err
 	}
 	defer conn.Close()
-	fmt.Fprintf(conn, "AGENT %s\n", dataset)
+	fmt.Fprintf(conn, "AGENT %s%s\n", dataset, traceSuffix(ctx))
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
 		return "", fmt.Errorf("%w: %v", ErrProto, err)

@@ -227,7 +227,7 @@ func Deploy(ctx context.Context, cfg Config, res int, cs Case) (*Deployment, err
 	d.addCloser(func() { lb.Close() })
 	lbClient := &lbone.Client{BaseURL: "http://" + lbAddr}
 	for i, addr := range d.WANDepots {
-		if err := lbClient.Register(lbone.DepotRecord{
+		if err := lbClient.Register(ctx, lbone.DepotRecord{
 			Addr: addr, X: 100 + float64(i), Y: 100,
 			Capacity: capacity, Free: capacity,
 		}); err != nil {
@@ -235,7 +235,7 @@ func Deploy(ctx context.Context, cfg Config, res int, cs Case) (*Deployment, err
 		}
 	}
 	for i, addr := range d.LANDepots {
-		if err := lbClient.Register(lbone.DepotRecord{
+		if err := lbClient.Register(ctx, lbone.DepotRecord{
 			Addr: addr, X: 0.5 + 0.1*float64(i), Y: 0,
 			Capacity: capacity, Free: capacity,
 		}); err != nil {
@@ -289,7 +289,7 @@ func Deploy(ctx context.Context, cfg Config, res int, cs Case) (*Deployment, err
 	// appropriate depots to serve as the network caches").
 	var lanForStaging []string
 	if cs == Case3Staged {
-		near, err := lbClient.Lookup(0, 0, cfg.NumLANDepots, 1)
+		near, err := lbClient.Lookup(ctx, 0, 0, cfg.NumLANDepots, 1)
 		if err != nil {
 			return nil, err
 		}

@@ -112,6 +112,15 @@ func (c *Client) roundTrip(ctx context.Context, req string, payload []byte) (fie
 	if i := strings.IndexAny(req, " \n"); i >= 0 {
 		verb = req[:i]
 	}
+	// Propagate the caller's trace context as an optional trailing
+	// trace=<tid>/<sid> token. TraceToken returns "" (no allocation) when
+	// propagation is off or ctx carries no span, so untraced deployments
+	// send byte-identical request lines to pre-trace ones.
+	if tok := obs.TraceToken(ctx); tok != "" {
+		if n := len(req); n > 0 && req[n-1] == '\n' {
+			req = req[:n-1] + " " + tok + "\n"
+		}
+	}
 	start := time.Now()
 	defer func() {
 		c.observeOp(verb, time.Since(start), len(payload), len(body), err)

@@ -29,6 +29,10 @@ type Server struct {
 	// Obs receives per-verb service-time histograms and error counters;
 	// nil records into obs.Default().
 	Obs *obs.Registry
+	// Tracer receives the server-side request spans opened for traced
+	// requests (those carrying a trace= token); nil records into
+	// obs.DefaultTracer().
+	Tracer *obs.Tracer
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -45,6 +49,13 @@ func (s *Server) logf(format string, args ...interface{}) {
 	if s.Logf != nil {
 		s.Logf(format, args...)
 	}
+}
+
+func (s *Server) tracer() *obs.Tracer {
+	if s.Tracer != nil {
+		return s.Tracer
+	}
+	return obs.DefaultTracer()
 }
 
 // Serve accepts connections on l until Close. It returns when the listener
@@ -135,19 +146,38 @@ func (s *Server) handle(c net.Conn) {
 		if err != nil {
 			return // client hung up or sent an overlong line
 		}
-		verb := line
-		if i := strings.IndexAny(verb, " \r\n"); i >= 0 {
-			verb = verb[:i]
+		// A trailing trace=<tid>/<sid> token names the calling client's
+		// active span; strip it before verb dispatch (argument-count checks
+		// must not see it) and parent this request's span under it, so the
+		// depot-side half of the work lands in the same trace as the
+		// client-side half. Requests without the token (all pre-trace
+		// clients) take the span-free path untouched.
+		f := parseFields(line)
+		f, tc, traced := obs.StripTraceToken(f)
+		verb := ""
+		if len(f) > 0 {
+			verb = f[0]
+		}
+		var span *obs.Span
+		sctx := context.Background()
+		if traced {
+			sctx, span = s.tracer().StartSpan(obs.ContextWithRemote(sctx, tc), obs.SpanIBPServe)
+			span.SetAttr("op", verb)
+			span.SetAttr("peer", c.RemoteAddr().String())
 		}
 		ew.reset()
 		start := time.Now()
-		keep := s.dispatch(br, bw, line)
+		keep := s.dispatch(br, bw, f)
 		flushErr := bw.Flush()
 		reg.Histogram(obs.Label(obs.MIBPServerOpMs, "op", verb), obs.LatencyBucketsMs...).
 			Observe(float64(time.Since(start)) / 1e6)
 		if ew.sawErr {
 			reg.Counter(obs.Label(obs.MIBPServerErrors, "op", verb)).Inc()
+			span.SetAttr("err", "1")
+			obs.DefaultLogger().Warn(sctx, obs.EvIBPServeErr,
+				"op", verb, "peer", c.RemoteAddr().String())
 		}
+		span.Finish()
 		if !keep || flushErr != nil {
 			return
 		}
@@ -184,10 +214,10 @@ func readLine(br *bufio.Reader) (string, error) {
 	return line, nil
 }
 
-// dispatch executes one request; the returned bool says whether to keep the
-// connection (false after protocol-fatal errors).
-func (s *Server) dispatch(br *bufio.Reader, bw *bufio.Writer, line string) bool {
-	f := parseFields(line)
+// dispatch executes one request (fields already parsed and trace-token
+// stripped); the returned bool says whether to keep the connection
+// (false after protocol-fatal errors).
+func (s *Server) dispatch(br *bufio.Reader, bw *bufio.Writer, f []string) bool {
 	if len(f) == 0 {
 		writeErr(bw, ErrProto, "empty request")
 		return false

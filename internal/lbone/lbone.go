@@ -12,6 +12,7 @@ package lbone
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -49,6 +50,10 @@ type Server struct {
 	TTL time.Duration
 	// Clock supplies time (for tests); nil means time.Now.
 	Clock func() time.Time
+	// Tracer receives the server-side request spans opened for traced
+	// requests (those carrying an X-Lonviz-Trace header); nil records into
+	// obs.DefaultTracer().
+	Tracer *obs.Tracer
 
 	mu      sync.Mutex
 	records map[string]DepotRecord
@@ -143,8 +148,19 @@ func (s *Server) LookupExcluding(x, y float64, n int, minFree int64, exclude []s
 }
 
 // ServeHTTP implements http.Handler with two endpoints:
-// POST /register (DepotRecord JSON body) and GET /lookup.
+// POST /register (DepotRecord JSON body) and GET /lookup. Requests
+// carrying an X-Lonviz-Trace header get a server-side span parented
+// under the calling client's span.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if tc, ok := obs.ExtractHTTP(r.Header); ok {
+		tracer := s.Tracer
+		if tracer == nil {
+			tracer = obs.DefaultTracer()
+		}
+		_, span := tracer.StartSpan(obs.ContextWithRemote(r.Context(), tc), obs.SpanLBoneServe)
+		span.SetAttr("op", strings.TrimPrefix(r.URL.Path, "/"))
+		defer span.Finish()
+	}
 	switch {
 	case r.Method == http.MethodPost && r.URL.Path == "/register":
 		var rec DepotRecord
@@ -228,14 +244,21 @@ func (c *Client) observeOp(op string, start time.Time, err error) {
 	}
 }
 
-// Register registers (or heartbeats) a depot record.
-func (c *Client) Register(rec DepotRecord) (err error) {
+// Register registers (or heartbeats) a depot record. The context's trace
+// context (if any) rides the X-Lonviz-Trace header.
+func (c *Client) Register(ctx context.Context, rec DepotRecord) (err error) {
 	defer func(start time.Time) { c.observeOp("register", start, err) }(time.Now())
 	body, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	resp, err := c.httpClient().Post(c.BaseURL+"/register", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	obs.InjectHTTP(ctx, req.Header)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("lbone: register: %w", err)
 	}
@@ -247,19 +270,24 @@ func (c *Client) Register(rec DepotRecord) (err error) {
 }
 
 // Lookup queries the nearest live depots.
-func (c *Client) Lookup(x, y float64, n int, minFree int64) ([]DepotRecord, error) {
-	return c.LookupExcluding(x, y, n, minFree, nil)
+func (c *Client) Lookup(ctx context.Context, x, y float64, n int, minFree int64) ([]DepotRecord, error) {
+	return c.LookupExcluding(ctx, x, y, n, minFree, nil)
 }
 
 // LookupExcluding queries the nearest live depots whose address is not in
 // exclude (server-side filtering, so n counts usable results).
-func (c *Client) LookupExcluding(x, y float64, n int, minFree int64, exclude []string) (recs []DepotRecord, err error) {
+func (c *Client) LookupExcluding(ctx context.Context, x, y float64, n int, minFree int64, exclude []string) (recs []DepotRecord, err error) {
 	defer func(start time.Time) { c.observeOp("lookup", start, err) }(time.Now())
 	u := fmt.Sprintf("%s/lookup?x=%g&y=%g&n=%d&minfree=%d", c.BaseURL, x, y, n, minFree)
 	if len(exclude) > 0 {
 		u += "&exclude=" + url.QueryEscape(strings.Join(exclude, ","))
 	}
-	resp, err := c.httpClient().Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	obs.InjectHTTP(ctx, req.Header)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("lbone: lookup: %w", err)
 	}
@@ -280,7 +308,7 @@ func (c *Client) Heartbeat(rec func() DepotRecord, interval time.Duration, stop 
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
-		if err := c.Register(rec()); err != nil {
+		if err := c.Register(context.Background(), rec()); err != nil {
 			// Best effort: the directory may be briefly unreachable.
 			_ = err
 		}

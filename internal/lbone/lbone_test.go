@@ -1,6 +1,7 @@
 package lbone
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -89,13 +90,13 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 	defer s.Close()
 	cl := &Client{BaseURL: "http://" + addr}
-	if err := cl.Register(DepotRecord{Addr: "depot1:6714", X: 3, Y: 4, Capacity: 500, Free: 400}); err != nil {
+	if err := cl.Register(context.Background(), DepotRecord{Addr: "depot1:6714", X: 3, Y: 4, Capacity: 500, Free: 400}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Register(DepotRecord{Addr: "depot2:6714", X: 30, Y: 40, Capacity: 500, Free: 400}); err != nil {
+	if err := cl.Register(context.Background(), DepotRecord{Addr: "depot2:6714", X: 30, Y: 40, Capacity: 500, Free: 400}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.Lookup(0, 0, 1, 100)
+	got, err := cl.Lookup(context.Background(), 0, 0, 1, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,12 +116,12 @@ func TestHTTPRejectsBadRequests(t *testing.T) {
 	}
 	defer s.Close()
 	cl := &Client{BaseURL: "http://" + addr}
-	if err := cl.Register(DepotRecord{}); err == nil {
+	if err := cl.Register(context.Background(), DepotRecord{}); err == nil {
 		t.Error("register without addr accepted over HTTP")
 	}
 	// Unknown path 404s; client Lookup reports non-200.
 	badClient := &Client{BaseURL: "http://" + addr + "/nope"}
-	if _, err := badClient.Lookup(0, 0, 1, 0); err == nil {
+	if _, err := badClient.Lookup(context.Background(), 0, 0, 1, 0); err == nil {
 		t.Error("lookup against bad path succeeded")
 	}
 }
@@ -207,11 +208,11 @@ func TestHTTPLookupExcluding(t *testing.T) {
 	defer s.Close()
 	cl := &Client{BaseURL: "http://" + addr}
 	for i, a := range []string{"a:1", "b:1", "c:1"} {
-		if err := cl.Register(DepotRecord{Addr: a, X: float64(i), Capacity: 10, Free: 10}); err != nil {
+		if err := cl.Register(context.Background(), DepotRecord{Addr: a, X: float64(i), Capacity: 10, Free: 10}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, err := cl.LookupExcluding(0, 0, 2, 0, []string{"a:1"})
+	got, err := cl.LookupExcluding(context.Background(), 0, 0, 2, 0, []string{"a:1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestHTTPLookupExcluding(t *testing.T) {
 		t.Errorf("HTTP exclusion = %+v", got)
 	}
 	// No exclusions behaves like plain Lookup.
-	got, err = cl.LookupExcluding(0, 0, 1, 0, nil)
+	got, err = cl.LookupExcluding(context.Background(), 0, 0, 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

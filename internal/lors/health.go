@@ -1,6 +1,7 @@
 package lors
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -131,6 +132,7 @@ func (h *HealthTracker) ReportFailure(addr string) {
 			reg := registryOr(h.cfg.Obs)
 			reg.Counter(obs.MLorsCircuitTrips).Inc()
 			reg.Gauge(obs.MLorsCircuitOpen).Add(1)
+			obs.DefaultLogger().Warn(context.Background(), obs.EvLorsCircuitOpen, "depot", addr)
 		}
 		st.openUntil = h.cfg.Now().Add(h.cfg.Cooldown)
 	}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -296,6 +297,10 @@ type DownloadOptions struct {
 	// Obs receives download timings and transfer counters
 	// (lors.download.*); nil records into obs.Default().
 	Obs *obs.Registry
+	// Tracer receives per-extent and per-attempt spans (lors.extent /
+	// lors.attempt) when the download runs under an active trace; nil
+	// records into obs.DefaultTracer().
+	Tracer *obs.Tracer
 }
 
 func (o *DownloadOptions) defaults() {
@@ -315,6 +320,24 @@ func (o *DownloadOptions) defaults() {
 
 func (o *DownloadOptions) client(addr string) *ibp.Client {
 	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout, Obs: o.Obs}
+}
+
+// span opens a child span when the download is actually being traced
+// (propagation on AND an active parent span in ctx); otherwise it returns
+// ctx unchanged and a nil (inert) span, so untraced downloads pay no
+// tracing allocations. The returned context carries the span, which is
+// what makes the ibp client stamp the attempt's own span ID onto the
+// wire token — a failover retry is then visible as sibling lors.attempt
+// spans in the merged tree, each with its depot-side ibp.serve child.
+func (o *DownloadOptions) span(ctx context.Context, name string) (context.Context, *obs.Span) {
+	if !obs.PropagationEnabled() || obs.SpanFromContext(ctx) == nil {
+		return ctx, nil
+	}
+	tr := o.Tracer
+	if tr == nil {
+		tr = obs.DefaultTracer()
+	}
+	return tr.StartSpan(ctx, name)
 }
 
 // backoff sleeps before retry pass attempt (1-based), ctx-aware.
@@ -420,6 +443,10 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 	defer func(start time.Time) {
 		observeMs(reg, obs.MLorsExtentMs, time.Since(start))
 	}(time.Now())
+	ctx, espan := opts.span(ctx, obs.SpanLorsExtent)
+	espan.SetAttr("offset", strconv.FormatInt(ext.Offset, 10))
+	espan.SetAttr("length", strconv.FormatInt(ext.Length, 10))
+	defer espan.Finish()
 	replicas := append([]exnode.Replica{}, ext.Replicas...)
 	lockedShuffle(opts.Rand, replicas)
 
@@ -453,7 +480,9 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 				return stats, err
 			}
 			stats.ReplicaTries++
-			data, err := opts.client(rep.Depot).Load(ctx, rep.ReadCap, rep.AllocOffset, ext.Length)
+			actx, aspan := opts.span(ctx, obs.SpanLorsAttempt)
+			aspan.SetAttr("depot", rep.Depot)
+			data, err := opts.client(rep.Depot).Load(actx, rep.ReadCap, rep.AllocOffset, ext.Length)
 			if err == nil {
 				if verr := ext.VerifyData(data); verr != nil {
 					stats.ChecksumErrors++
@@ -461,14 +490,20 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 				}
 			}
 			if err != nil {
+				aspan.SetAttr("err", err.Error())
+				aspan.Finish()
 				if ctxErr := ctx.Err(); ctxErr != nil {
 					return stats, ctxErr
 				}
 				stats.FailedAttempts++
 				opts.Health.ReportFailure(rep.Depot)
+				obs.DefaultLogger().Warn(actx, obs.EvLorsFailover,
+					"extent", strconv.FormatInt(ext.Offset, 10),
+					"replica", rep.Depot, "err", err.Error())
 				lastErr = err
 				continue
 			}
+			aspan.Finish()
 			opts.Health.ReportSuccess(rep.Depot)
 			copy(dst, data)
 			return stats, nil
@@ -499,17 +534,22 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 	for _, rep := range candidates {
 		stats.ReplicaTries++
 		go func(rep exnode.Replica) {
-			data, err := opts.client(rep.Depot).Load(cctx, rep.ReadCap, rep.AllocOffset, ext.Length)
+			actx, aspan := opts.span(cctx, obs.SpanLorsAttempt)
+			aspan.SetAttr("depot", rep.Depot)
+			aspan.SetAttr("race", "1")
+			data, err := opts.client(rep.Depot).Load(actx, rep.ReadCap, rep.AllocOffset, ext.Length)
 			if err == nil {
 				if verr := ext.VerifyData(data); verr != nil {
 					err = verr
 				}
 			}
 			if err != nil {
+				aspan.SetAttr("err", err.Error())
 				opts.Health.ReportFailure(rep.Depot)
 			} else {
 				opts.Health.ReportSuccess(rep.Depot)
 			}
+			aspan.Finish()
 			select {
 			case ch <- result{data, err}:
 			case <-cctx.Done():

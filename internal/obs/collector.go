@@ -1,0 +1,222 @@
+package obs
+
+// Collector: reassembling one end-to-end trace from many processes.
+//
+// Each process retains only its own completed spans (Tracer ring, served
+// at /debug/traces). A span created under a remote parent knows the
+// caller's trace and span IDs but the caller's spans live in the
+// caller's ring — so the full tree for one request exists nowhere until
+// someone joins the halves. The Collector is that someone: given a trace
+// ID and a set of peer /metrics-style endpoints, it pulls each peer's
+// /debug/traces?trace=<id>, merges the records with the local tracer's,
+// and renders one indented tree, client-side and depot-side spans
+// interleaved in parent order.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Collector pulls trace exports from peer observability endpoints.
+type Collector struct {
+	// Local, when non-nil, contributes the local tracer's spans under
+	// source "local".
+	Local *Tracer
+	// Peers are base endpoint addresses ("host:port" or "http://host:port")
+	// whose /debug/traces will be queried.
+	Peers []string
+	// Client is the HTTP client used for pulls (default: 5s timeout).
+	Client *http.Client
+}
+
+func (c *Collector) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// peerURL normalizes a peer address into its /debug/traces URL.
+func peerURL(peer string, traceID uint64) string {
+	base := peer
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	u := base + "/debug/traces"
+	if traceID != 0 {
+		u += "?trace=" + url.QueryEscape(strconv.FormatUint(traceID, 16))
+	}
+	return u
+}
+
+// Collect gathers every span of traceID (0 = all retained spans) from
+// the local tracer and all peers. Unreachable peers are skipped and
+// reported in errs; the merge proceeds with what answered — a partial
+// tree beats none when a depot died mid-request, which is exactly when
+// you want the trace.
+func (c *Collector) Collect(ctx context.Context, traceID uint64) (spans []SpanRecord, errs []error) {
+	if c.Local != nil {
+		for _, rec := range c.Local.Export(traceID) {
+			rec.Source = "local"
+			spans = append(spans, rec)
+		}
+	}
+	for _, peer := range c.Peers {
+		recs, err := c.fetch(ctx, peer, traceID)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("peer %s: %w", peer, err))
+			continue
+		}
+		for _, rec := range recs {
+			rec.Source = peer
+			spans = append(spans, rec)
+		}
+	}
+	return spans, errs
+}
+
+func (c *Collector) fetch(ctx context.Context, peer string, traceID uint64) ([]SpanRecord, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerURL(peer, traceID), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	var recs []SpanRecord
+	if err := json.Unmarshal(body, &recs); err != nil {
+		return nil, fmt.Errorf("decoding trace export: %w", err)
+	}
+	return recs, nil
+}
+
+// TraceTree is one merged trace: every collected span of a single trace
+// ID, indexed for tree traversal.
+type TraceTree struct {
+	TraceID uint64
+	Spans   []SpanRecord
+}
+
+// BuildTrees groups collected spans by trace ID, dropping duplicates
+// (the same span can arrive from two pulls), and returns the trees
+// sorted by earliest span start.
+func BuildTrees(spans []SpanRecord) []*TraceTree {
+	byTrace := make(map[uint64]*TraceTree)
+	seen := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		if s.TraceID == 0 || seen[s.ID] {
+			continue
+		}
+		seen[s.ID] = true
+		tt := byTrace[s.TraceID]
+		if tt == nil {
+			tt = &TraceTree{TraceID: s.TraceID}
+			byTrace[s.TraceID] = tt
+		}
+		tt.Spans = append(tt.Spans, s)
+	}
+	trees := make([]*TraceTree, 0, len(byTrace))
+	for _, tt := range byTrace {
+		sort.Slice(tt.Spans, func(i, j int) bool { return tt.Spans[i].Start.Before(tt.Spans[j].Start) })
+		trees = append(trees, tt)
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		return trees[i].Spans[0].Start.Before(trees[j].Spans[0].Start)
+	})
+	return trees
+}
+
+// Duration is the wall-clock extent of the tree (first start to last end).
+func (tt *TraceTree) Duration() time.Duration {
+	if len(tt.Spans) == 0 {
+		return 0
+	}
+	first := tt.Spans[0].Start
+	var last time.Time
+	for _, s := range tt.Spans {
+		if end := s.Start.Add(time.Duration(s.DurMs * float64(time.Millisecond))); end.After(last) {
+			last = end
+		}
+	}
+	return last.Sub(first)
+}
+
+// Render writes the trace as an indented ASCII tree, children under
+// parents in start order. Spans whose parent was not collected (e.g. an
+// unreachable peer) surface as extra roots rather than vanishing.
+func (tt *TraceTree) Render(w io.Writer) {
+	byID := make(map[uint64]SpanRecord, len(tt.Spans))
+	children := make(map[uint64][]SpanRecord)
+	for _, s := range tt.Spans {
+		byID[s.ID] = s
+	}
+	var roots []SpanRecord
+	for _, s := range tt.Spans {
+		if s.ParentID != 0 {
+			if _, ok := byID[s.ParentID]; ok {
+				children[s.ParentID] = append(children[s.ParentID], s)
+				continue
+			}
+		}
+		roots = append(roots, s)
+	}
+	fmt.Fprintf(w, "trace %x  (%d spans, %.1fms)\n",
+		tt.TraceID, len(tt.Spans), float64(tt.Duration())/float64(time.Millisecond))
+	var walk func(s SpanRecord, depth int)
+	walk = func(s SpanRecord, depth int) {
+		indent := strings.Repeat("  ", depth)
+		src := ""
+		if s.Source != "" && s.Source != "local" {
+			src = " @" + s.Source
+		}
+		attrs := renderAttrs(s.Attrs)
+		fmt.Fprintf(w, "%s%s  %.1fms%s%s\n", indent, s.Name, s.DurMs, src, attrs)
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+}
+
+func renderAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("  {")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(attrs[k])
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -10,8 +11,8 @@ import (
 	"time"
 )
 
-// NewMux builds the observability HTTP surface over a registry and
-// tracer (nil means the process defaults):
+// NewMux builds the observability HTTP surface over a registry, tracer,
+// and logger (nil means the process defaults):
 //
 //	/metrics        registry snapshot as flat JSON
 //	/debug/vars     the same snapshot (expvar-compatible shape), plus
@@ -19,6 +20,10 @@ import (
 //	/debug/pprof/   net/http/pprof profiles (profile, heap, goroutine,
 //	                trace, ...)
 //	/debug/traces   recently completed spans, oldest first
+//	                (?trace=<hex> filters to one trace — the collector's
+//	                pull path)
+//	/debug/events   recent structured log events, oldest first
+//	                (?trace=<hex> filters likewise)
 //	/healthz        200 "ok" liveness probe
 func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 	if reg == nil {
@@ -52,6 +57,7 @@ func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 		fmt.Fprintf(w, "\n}\n")
 	})
 	mux.Handle("/debug/traces", tracer.Handler())
+	mux.Handle("/debug/events", DefaultLogger().Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -71,18 +77,53 @@ func jsonValue(v any) string {
 	return string(b)
 }
 
+// Server is a running observability endpoint: the bound address plus a
+// graceful shutdown handle. Nil-safe, so commands can hold one
+// unconditionally and Close it on every exit path even when
+// -metrics-addr was off.
+type Server struct {
+	addr string
+	srv  *http.Server
+}
+
+// Addr returns the bound listen address (resolved, useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr
+}
+
+// Close gracefully drains the HTTP server: in-flight scrapes finish,
+// then the listener closes. The context bounds the drain; on expiry the
+// server is closed hard. Safe on nil.
+func (s *Server) Close(ctx context.Context) error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		_ = s.srv.Close()
+	}
+	return err
+}
+
 // Serve binds the observability mux on addr and serves it on a
-// background goroutine, returning the bound address (useful with ":0")
-// and a shutdown func. Pass nil reg/tracer for the process defaults.
-func Serve(addr string, reg *Registry, tracer *Tracer) (string, func() error, error) {
+// background goroutine. Pass nil reg/tracer for the process defaults.
+// Serving metrics also turns on cross-process trace propagation (the
+// trace=... line tokens and X-Lonviz-Trace headers) for this process:
+// the deployments that can receive a trace are exactly the ones that
+// export one.
+func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	srv := &http.Server{
 		Handler:           NewMux(reg, tracer),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { _ = srv.Serve(l) }()
-	return l.Addr().String(), srv.Close, nil
+	SetPropagation(true)
+	return &Server{addr: l.Addr().String(), srv: srv}, nil
 }

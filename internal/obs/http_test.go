@@ -80,13 +80,17 @@ func TestMetricsEndpointJSONShape(t *testing.T) {
 }
 
 func TestServeBindsAndCloses(t *testing.T) {
+	defer SetPropagation(false)
 	r := NewRegistry()
 	r.Counter("x").Inc()
-	addr, closeFn, err := Serve("127.0.0.1:0", r, NewTracer(4))
+	srv, err := Serve("127.0.0.1:0", r, NewTracer(4))
 	if err != nil {
 		t.Fatalf("Serve: %v", err)
 	}
-	body := get(t, "http://"+addr+"/metrics")
+	if !PropagationEnabled() {
+		t.Fatal("Serve must enable trace propagation")
+	}
+	body := get(t, "http://"+srv.Addr()+"/metrics")
 	var snap map[string]any
 	if err := json.Unmarshal(body, &snap); err != nil {
 		t.Fatalf("metrics not JSON: %v", err)
@@ -94,8 +98,13 @@ func TestServeBindsAndCloses(t *testing.T) {
 	if snap["x"] != 1.0 {
 		t.Fatalf("snapshot = %v", snap)
 	}
-	if err := closeFn(); err != nil {
+	if err := srv.Close(context.Background()); err != nil {
 		t.Fatalf("close: %v", err)
+	}
+	// Close is nil-safe so commands can hold a handle unconditionally.
+	var nilSrv *Server
+	if err := nilSrv.Close(context.Background()); err != nil {
+		t.Fatalf("nil close: %v", err)
 	}
 }
 

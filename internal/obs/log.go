@@ -1,0 +1,335 @@
+package obs
+
+// Structured, leveled event logging correlated with the active trace.
+//
+// Every event carries a monotonic sequence number, a level, a short
+// dotted event name (the "what"), free key=value fields (the "which"),
+// and — when the context carries a span — the active trace and span IDs,
+// so a log line can be joined against /debug/traces and against the other
+// hosts' logs sharing the trace. Events render to the writer as one line
+// each, either key=value (human tails) or JSON (machine shippers), and
+// are additionally retained in a bounded ring served at /debug/events,
+// NetLogger-style: ssh-less forensics for "what was this process doing
+// around the slow frame".
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders event severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel parses "debug" | "info" | "warn" | "error".
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// Log line formats.
+const (
+	// FormatKV renders events as space-separated key=value lines.
+	FormatKV = "kv"
+	// FormatJSON renders events as one JSON object per line.
+	FormatJSON = "json"
+)
+
+// Event is one recorded log event.
+type Event struct {
+	// Seq is a per-logger monotonic sequence number (gap-free while the
+	// process lives; readers use it to detect ring overwrites).
+	Seq uint64 `json:"seq"`
+	// Time is the event timestamp.
+	Time time.Time `json:"time"`
+	// Level is the severity.
+	Level string `json:"level"`
+	// Name is the dotted event name ("ibp.serve", "lors.failover", ...).
+	// Canonical names are declared in names.go next to the metrics.
+	Name string `json:"event"`
+	// TraceID/SpanID tie the event to the active span, zero when the
+	// context carried none.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
+	// Fields are the event's key=value pairs, in call order.
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// Field is one ordered key=value pair of an event.
+type Field struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Logger is a leveled, trace-correlated event log. The zero value is
+// unusable; use NewLogger or DefaultLogger. A nil logger drops every
+// event, so optional instrumentation needs no guards.
+type Logger struct {
+	level  atomic.Int32
+	format atomic.Value // string: FormatKV | FormatJSON
+	seq    atomic.Uint64
+
+	mu   sync.Mutex
+	w    io.Writer
+	ring []Event
+	pos  int
+	n    int
+}
+
+// NewLogger builds a logger writing to w (nil silences line output; the
+// ring still fills) retaining up to capacity events (default 1024).
+func NewLogger(w io.Writer, capacity int) *Logger {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	l := &Logger{w: w, ring: make([]Event, capacity)}
+	l.level.Store(int32(LevelInfo))
+	l.format.Store(FormatKV)
+	return l
+}
+
+var (
+	defLoggerOnce sync.Once
+	defLogger     *Logger
+)
+
+// DefaultLogger returns the process-wide logger (stderr, 1024-event
+// ring), the one -metrics-addr endpoints expose at /debug/events.
+func DefaultLogger() *Logger {
+	defLoggerOnce.Do(func() { defLogger = NewLogger(os.Stderr, 1024) })
+	return defLogger
+}
+
+// ConfigureDefaultLogger applies the -log-level/-log-format flag values to
+// the process-wide logger.
+func ConfigureDefaultLogger(level, format string) error {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case FormatKV, FormatJSON:
+	default:
+		return fmt.Errorf("obs: unknown log format %q (want kv|json)", format)
+	}
+	l := DefaultLogger()
+	l.SetLevel(lv)
+	l.SetFormat(format)
+	return nil
+}
+
+// SetLevel sets the minimum recorded level.
+func (l *Logger) SetLevel(lv Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(lv))
+}
+
+// Level returns the minimum recorded level.
+func (l *Logger) Level() Level {
+	if l == nil {
+		return LevelInfo
+	}
+	return Level(l.level.Load())
+}
+
+// SetFormat selects the line rendering (FormatKV or FormatJSON; anything
+// else is ignored).
+func (l *Logger) SetFormat(format string) {
+	if l == nil || (format != FormatKV && format != FormatJSON) {
+		return
+	}
+	l.format.Store(format)
+}
+
+// Enabled reports whether events at lv would be recorded — cheap enough
+// to guard expensive attribute construction.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= Level(l.level.Load())
+}
+
+// Debug records a debug event. kv is alternating key, value pairs (an odd
+// trailing key gets an empty value).
+func (l *Logger) Debug(ctx context.Context, name string, kv ...string) {
+	l.log(ctx, LevelDebug, name, kv)
+}
+
+// Info records an info event.
+func (l *Logger) Info(ctx context.Context, name string, kv ...string) {
+	l.log(ctx, LevelInfo, name, kv)
+}
+
+// Warn records a warning event.
+func (l *Logger) Warn(ctx context.Context, name string, kv ...string) {
+	l.log(ctx, LevelWarn, name, kv)
+}
+
+// Error records an error event.
+func (l *Logger) Error(ctx context.Context, name string, kv ...string) {
+	l.log(ctx, LevelError, name, kv)
+}
+
+func (l *Logger) log(ctx context.Context, lv Level, name string, kv []string) {
+	if !l.Enabled(lv) {
+		return
+	}
+	ev := Event{
+		Seq:   l.seq.Add(1),
+		Time:  time.Now(),
+		Level: lv.String(),
+		Name:  name,
+	}
+	if tc, ok := ContextFrom(ctx); ok {
+		ev.TraceID = tc.TraceID
+		ev.SpanID = tc.SpanID
+	}
+	if len(kv) > 0 {
+		if len(kv)%2 != 0 {
+			kv = append(kv, "")
+		}
+		ev.Fields = make([]Field, 0, len(kv)/2)
+		for i := 0; i < len(kv); i += 2 {
+			ev.Fields = append(ev.Fields, Field{Key: kv[i], Value: kv[i+1]})
+		}
+	}
+	line := l.render(ev)
+	l.mu.Lock()
+	l.ring[l.pos] = ev
+	l.pos = (l.pos + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	w := l.w
+	if w != nil {
+		_, _ = io.WriteString(w, line)
+	}
+	l.mu.Unlock()
+}
+
+// render produces the newline-terminated output line for an event.
+func (l *Logger) render(ev Event) string {
+	if f, _ := l.format.Load().(string); f == FormatJSON {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return ""
+		}
+		return string(b) + "\n"
+	}
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString("ts=")
+	b.WriteString(ev.Time.Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(ev.Level)
+	b.WriteString(" event=")
+	b.WriteString(ev.Name)
+	if ev.TraceID != 0 {
+		b.WriteString(" trace=")
+		b.WriteString(strconv.FormatUint(ev.TraceID, 16))
+		b.WriteString("/")
+		b.WriteString(strconv.FormatUint(ev.SpanID, 16))
+	}
+	for _, f := range ev.Fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(quoteIfNeeded(f.Value))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// quoteIfNeeded quotes values containing spaces, quotes, or control
+// characters so kv lines stay machine-splittable.
+func quoteIfNeeded(v string) string {
+	if strings.ContainsAny(v, " \t\n\r\"=") || v == "" {
+		return strconv.Quote(v)
+	}
+	return v
+}
+
+// Events returns the retained events, oldest first.
+func (l *Logger) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.n)
+	start := l.pos - l.n
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Handler serves the event ring as JSON, oldest first. The optional
+// ?trace=<hex trace id> query filters to events of one trace.
+func (l *Logger) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		events := l.Events()
+		if v := r.URL.Query().Get("trace"); v != "" {
+			id, err := strconv.ParseUint(v, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
+			}
+			kept := events[:0]
+			for _, ev := range events {
+				if ev.TraceID == id {
+					kept = append(kept, ev)
+				}
+			}
+			events = kept
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+}

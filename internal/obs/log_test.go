@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevelsAndRing(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, 4)
+	ctx := context.Background()
+	l.Debug(ctx, "dropped.event") // below default info level
+	l.Info(ctx, "kept.one", "k", "v")
+	l.Warn(ctx, "kept.two")
+	l.Error(ctx, "kept.three")
+
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring has %d events, want 3: %+v", len(evs), evs)
+	}
+	if evs[0].Name != "kept.one" || evs[0].Level != "info" {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if len(evs[0].Fields) != 1 || evs[0].Fields[0] != (Field{Key: "k", Value: "v"}) {
+		t.Errorf("fields = %+v", evs[0].Fields)
+	}
+	// Seq is monotonic even across the dropped event.
+	if evs[1].Seq <= evs[0].Seq || evs[2].Seq <= evs[1].Seq {
+		t.Errorf("seq not monotonic: %d %d %d", evs[0].Seq, evs[1].Seq, evs[2].Seq)
+	}
+	if !strings.Contains(buf.String(), "event=kept.one") {
+		t.Errorf("kv line output missing event: %q", buf.String())
+	}
+
+	l.SetLevel(LevelDebug)
+	l.Debug(ctx, "now.kept")
+	if evs := l.Events(); evs[len(evs)-1].Name != "now.kept" {
+		t.Error("debug event dropped after SetLevel(debug)")
+	}
+}
+
+func TestLoggerRingEviction(t *testing.T) {
+	l := NewLogger(nil, 3)
+	for i := 0; i < 5; i++ {
+		l.Info(context.Background(), "ev", "i", string(rune('a'+i)))
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring = %d events, want 3", len(evs))
+	}
+	// Oldest first, holding the 3 newest (c, d, e).
+	if evs[0].Fields[0].Value != "c" || evs[2].Fields[0].Value != "e" {
+		t.Errorf("ring order = %+v", evs)
+	}
+}
+
+func TestLoggerTraceStamping(t *testing.T) {
+	l := NewLogger(nil, 8)
+	tr := NewTracer(8)
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	l.Info(ctx, "traced.event")
+	l.Info(context.Background(), "untraced.event")
+	span.Finish()
+
+	evs := l.Events()
+	if evs[0].TraceID != span.TraceID || evs[0].SpanID != span.ID {
+		t.Errorf("traced event = %x/%x, want %x/%x", evs[0].TraceID, evs[0].SpanID, span.TraceID, span.ID)
+	}
+	if evs[1].TraceID != 0 || evs[1].SpanID != 0 {
+		t.Errorf("untraced event stamped %x/%x", evs[1].TraceID, evs[1].SpanID)
+	}
+}
+
+func TestLoggerJSONFormat(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, 8)
+	l.SetFormat(FormatJSON)
+	l.Info(context.Background(), "json.event", "key", "value with spaces")
+	var ev Event
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &ev); err != nil {
+		t.Fatalf("json line does not parse: %v (%q)", err, buf.String())
+	}
+	if ev.Name != "json.event" || ev.Fields[0].Value != "value with spaces" {
+		t.Errorf("decoded event = %+v", ev)
+	}
+}
+
+func TestLoggerKVQuoting(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, 8)
+	l.Info(context.Background(), "q.event", "msg", "has spaces", "plain", "bare")
+	line := buf.String()
+	if !strings.Contains(line, `msg="has spaces"`) {
+		t.Errorf("kv line did not quote spaced value: %q", line)
+	}
+	if !strings.Contains(line, "plain=bare") {
+		t.Errorf("kv line quoted a bare value: %q", line)
+	}
+}
+
+func TestNilLoggerInert(t *testing.T) {
+	var l *Logger
+	l.Info(context.Background(), "nothing") // must not panic
+	l.Error(context.Background(), "nothing")
+	if evs := l.Events(); evs != nil {
+		t.Errorf("nil logger events = %v", evs)
+	}
+}
+
+func TestLoggerHandlerTraceFilter(t *testing.T) {
+	l := NewLogger(nil, 8)
+	tr := NewTracer(8)
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	l.Info(ctx, "in.trace")
+	l.Info(context.Background(), "outside")
+	span.Finish()
+
+	req := httptest.NewRequest("GET", "/debug/events?trace="+
+		strings.ToLower(strings.TrimLeft(traceHex(span.TraceID), "0")), nil)
+	rr := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, req)
+	var evs []Event
+	if err := json.Unmarshal(rr.Body.Bytes(), &evs); err != nil {
+		t.Fatalf("handler body: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Name != "in.trace" {
+		t.Errorf("filtered events = %+v, want just in.trace", evs)
+	}
+
+	rr = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/events?trace=zzz", nil))
+	if rr.Code != 400 {
+		t.Errorf("bad trace filter -> HTTP %d, want 400", rr.Code)
+	}
+}
+
+func traceHex(id uint64) string {
+	const digits = "0123456789abcdef"
+	buf := make([]byte, 16)
+	for i := 15; i >= 0; i-- {
+		buf[i] = digits[id&0xf]
+		id >>= 4
+	}
+	return string(buf)
+}
+
+func TestConfigureDefaultLogger(t *testing.T) {
+	if err := ConfigureDefaultLogger("warn", "json"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ConfigureDefaultLogger("info", "kv") }()
+	if lv := DefaultLogger().Level(); lv != LevelWarn {
+		t.Errorf("default level = %v, want warn", lv)
+	}
+	if err := ConfigureDefaultLogger("nope", "kv"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if err := ConfigureDefaultLogger("info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}

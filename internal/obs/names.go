@@ -122,4 +122,47 @@ const (
 	SpanDownload = "agent.download"
 	// SpanStage covers one staging third-party copy inside a fetch.
 	SpanStage = "agent.stage"
+	// SpanIBPServe is a depot's server-side span for one IBP verb, parented
+	// under the calling client's span via the trace= line token: {op=...}.
+	SpanIBPServe = "ibp.serve"
+	// SpanDVSServe is the DVS server's span for one served verb: {op=...}.
+	SpanDVSServe = "dvs.serve"
+	// SpanLBoneServe is the L-Bone server's span for one HTTP request,
+	// parented via the X-Lonviz-Trace header: {op=register|lookup}.
+	SpanLBoneServe = "lbone.serve"
+	// SpanRenderServe is the server agent's span for one RENDER request.
+	SpanRenderServe = "render.serve"
+	// SpanLorsExtent covers one extent fetch (all failover passes) inside
+	// a lors.Download.
+	SpanLorsExtent = "lors.extent"
+	// SpanLorsAttempt covers one replica load attempt inside an extent
+	// fetch; failed attempts carry an "err" attribute, making the paper's
+	// mid-download depot failover visible in the merged tree.
+	SpanLorsAttempt = "lors.attempt"
+	// SpanStewardCycle covers one steward scan cycle.
+	SpanStewardCycle = "steward.cycle"
+	// SpanStewardRepair covers one steward repair copy.
+	SpanStewardRepair = "steward.repair"
+)
+
+// Event names used by the structured log at /debug/events. Events are
+// the narrative complement to spans: low-rate, high-signal moments
+// (failovers, trips, repairs) stamped with the active trace/span ID so
+// they join against /debug/traces across hosts.
+const (
+	// EvLorsFailover: warn. A replica load attempt failed and the download
+	// is moving to the next replica; fields: extent, replica, err.
+	EvLorsFailover = "lors.failover"
+	// EvLorsCircuitOpen: warn. The health tracker opened a depot's
+	// circuit; fields: depot.
+	EvLorsCircuitOpen = "lors.circuit_open"
+	// EvAgentFetch: debug (one per access is too chatty for info). One
+	// GetViewSet completed; fields: viewset, class, ms.
+	EvAgentFetch = "agent.fetch"
+	// EvIBPServeErr: warn. A depot answered a request with ERR; fields:
+	// op, err.
+	EvIBPServeErr = "ibp.serve_err"
+	// EvStewardRepairDone: info. A repair copy finished; fields: dataset,
+	// extent, depot, ok.
+	EvStewardRepairDone = "steward.repair_done"
 )

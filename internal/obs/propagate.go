@@ -1,0 +1,172 @@
+package obs
+
+// Trace-context propagation: the cross-process half of the tracing layer.
+//
+// A trace context is the pair (trace ID, span ID) of the caller's active
+// span. It crosses process boundaries in two encodings:
+//
+//   - line protocols (IBP, DVS, the server-agent RENDER verb) append one
+//     optional trailing token "trace=<traceid>/<spanid>" (both hex) to the
+//     request line. Servers that predate the token ignore unknown trailing
+//     fields only if they were built with this package, so the token is
+//     emitted ONLY when propagation is enabled (see below); a request
+//     without the token always parses, which keeps pre-propagation clients
+//     working against new servers.
+//   - HTTP protocols (L-Bone, the obs endpoints themselves) carry the same
+//     "<traceid>/<spanid>" value in the X-Lonviz-Trace header.
+//
+// The receiving side turns the pair into a remote parent: StartSpan under
+// ContextWithRemote records the caller's trace ID and parents the new span
+// under the caller's span ID, so a collector that fetches both rings can
+// reassemble one end-to-end tree.
+//
+// Propagation is off by default and enabled process-wide by Serve (the
+// -metrics-addr path) or explicitly with SetPropagation. With propagation
+// off the emit helpers return "" without allocating, so an untraced
+// deployment pays nothing on the wire or in the allocator —
+// TestTraceTokenDisabledAllocs pins that down.
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// TraceHeader is the HTTP header carrying "<traceid>/<spanid>" (hex).
+const TraceHeader = "X-Lonviz-Trace"
+
+// tokenPrefix marks the optional trailing field on line protocols.
+const tokenPrefix = "trace="
+
+var propagationOn atomic.Bool
+
+// SetPropagation turns cross-process trace propagation on or off
+// process-wide. Serve enables it; tests flip it directly.
+func SetPropagation(on bool) { propagationOn.Store(on) }
+
+// PropagationEnabled reports whether trace contexts are being emitted on
+// the wire.
+func PropagationEnabled() bool { return propagationOn.Load() }
+
+// TraceContext is a caller's identity as it crosses a process boundary.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a real trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 && tc.SpanID != 0 }
+
+// String renders the wire value "<traceid>/<spanid>" in hex (without the
+// token prefix or header name).
+func (tc TraceContext) String() string {
+	return strconv.FormatUint(tc.TraceID, 16) + "/" + strconv.FormatUint(tc.SpanID, 16)
+}
+
+// parseTraceValue parses "<traceid>/<spanid>" (hex).
+func parseTraceValue(v string) (TraceContext, bool) {
+	slash := strings.IndexByte(v, '/')
+	if slash <= 0 || slash == len(v)-1 {
+		return TraceContext{}, false
+	}
+	tid, err1 := strconv.ParseUint(v[:slash], 16, 64)
+	sid, err2 := strconv.ParseUint(v[slash+1:], 16, 64)
+	if err1 != nil || err2 != nil || tid == 0 || sid == 0 {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: tid, SpanID: sid}, true
+}
+
+// ContextFrom extracts the active span's trace context from ctx. ok is
+// false when ctx carries no span.
+func ContextFrom(ctx context.Context) (TraceContext, bool) {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: s.TraceID, SpanID: s.ID}, true
+}
+
+// TraceToken returns the request-line token "trace=<traceid>/<spanid>" for
+// the span ctx carries, or "" when propagation is disabled or there is no
+// active span. The "" path performs no allocation, so instrumented clients
+// may call it unconditionally on hot paths.
+func TraceToken(ctx context.Context) string {
+	if !propagationOn.Load() {
+		return ""
+	}
+	tc, ok := ContextFrom(ctx)
+	if !ok {
+		return ""
+	}
+	return tokenPrefix + tc.String()
+}
+
+// ParseTraceToken parses one request-line field. ok is true only for a
+// well-formed "trace=<hex>/<hex>" token; any other field (including a
+// malformed token, which is treated as opaque trailing data) returns false.
+func ParseTraceToken(field string) (TraceContext, bool) {
+	if !strings.HasPrefix(field, tokenPrefix) {
+		return TraceContext{}, false
+	}
+	return parseTraceValue(field[len(tokenPrefix):])
+}
+
+// StripTraceToken removes a trailing trace token from parsed request
+// fields, returning the remaining fields and the context (if present).
+// Line-protocol servers call it once per request before verb dispatch so
+// argument-count checks are unaffected by the optional token.
+func StripTraceToken(fields []string) ([]string, TraceContext, bool) {
+	if len(fields) == 0 {
+		return fields, TraceContext{}, false
+	}
+	tc, ok := ParseTraceToken(fields[len(fields)-1])
+	if !ok {
+		return fields, TraceContext{}, false
+	}
+	return fields[:len(fields)-1], tc, true
+}
+
+// InjectHTTP stamps the active span's trace context onto an outgoing HTTP
+// header. No-op when propagation is disabled or ctx carries no span.
+func InjectHTTP(ctx context.Context, h http.Header) {
+	if !propagationOn.Load() {
+		return
+	}
+	tc, ok := ContextFrom(ctx)
+	if !ok {
+		return
+	}
+	h.Set(TraceHeader, tc.String())
+}
+
+// ExtractHTTP reads a trace context from an incoming HTTP request's
+// headers. ok is false when the header is absent or malformed.
+func ExtractHTTP(h http.Header) (TraceContext, bool) {
+	v := h.Get(TraceHeader)
+	if v == "" {
+		return TraceContext{}, false
+	}
+	return parseTraceValue(v)
+}
+
+type remoteCtxKey struct{}
+
+// ContextWithRemote returns a context under which StartSpan parents the
+// new span to the remote caller described by tc: same trace ID, parent
+// span ID, Remote flag set. Server loops use it to root their per-request
+// span under the client's span.
+func ContextWithRemote(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, tc)
+}
+
+// remoteFromContext returns the remote parent ctx carries, if any.
+func remoteFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(remoteCtxKey{}).(TraceContext)
+	return tc, ok
+}

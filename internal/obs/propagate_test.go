@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"testing"
+)
+
+func TestTraceContextStringRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xDEADBEEF, SpanID: 0x42}
+	got, ok := parseTraceValue(tc.String())
+	if !ok || got != tc {
+		t.Errorf("round trip = %+v ok=%v, want %+v", got, ok, tc)
+	}
+	for _, bad := range []string{"", "/", "ab/", "/cd", "xyz/1", "1/xyz", "0/1", "1/0", "12"} {
+		if _, ok := parseTraceValue(bad); ok {
+			t.Errorf("parseTraceValue(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceTokenGatedOnPropagation(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	defer span.Finish()
+
+	if tok := TraceToken(ctx); tok != "" {
+		t.Errorf("token with propagation off = %q, want empty", tok)
+	}
+	SetPropagation(true)
+	defer SetPropagation(false)
+	tok := TraceToken(ctx)
+	if tok == "" {
+		t.Fatal("no token with propagation on and active span")
+	}
+	tc, ok := ParseTraceToken(tok)
+	if !ok || tc.TraceID != span.TraceID || tc.SpanID != span.ID {
+		t.Errorf("ParseTraceToken(%q) = %+v ok=%v, want %x/%x", tok, tc, ok, span.TraceID, span.ID)
+	}
+	// No active span: still empty even when enabled.
+	if tok := TraceToken(context.Background()); tok != "" {
+		t.Errorf("token without span = %q", tok)
+	}
+}
+
+func TestStripTraceToken(t *testing.T) {
+	fields := []string{"STATUS", "trace=ab/cd"}
+	rest, tc, ok := StripTraceToken(fields)
+	if !ok || len(rest) != 1 || rest[0] != "STATUS" || tc.TraceID != 0xab || tc.SpanID != 0xcd {
+		t.Errorf("strip = %v %+v %v", rest, tc, ok)
+	}
+	// Token-less lines come back untouched.
+	plain := []string{"STATUS"}
+	rest, _, ok = StripTraceToken(plain)
+	if ok || len(rest) != 1 {
+		t.Errorf("strip token-less = %v ok=%v", rest, ok)
+	}
+	// Malformed tokens are opaque trailing data, not an error.
+	mal := []string{"STORE", "cap", "trace=zz/1"}
+	rest, _, ok = StripTraceToken(mal)
+	if ok || len(rest) != 3 {
+		t.Errorf("strip malformed = %v ok=%v", rest, ok)
+	}
+	if _, _, ok := StripTraceToken(nil); ok {
+		t.Error("strip of empty fields claimed a token")
+	}
+}
+
+func TestInjectExtractHTTP(t *testing.T) {
+	SetPropagation(true)
+	defer SetPropagation(false)
+	tr := NewTracer(8)
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	defer span.Finish()
+
+	h := http.Header{}
+	InjectHTTP(ctx, h)
+	tc, ok := ExtractHTTP(h)
+	if !ok || tc.TraceID != span.TraceID || tc.SpanID != span.ID {
+		t.Errorf("extract = %+v ok=%v, want %x/%x", tc, ok, span.TraceID, span.ID)
+	}
+	if _, ok := ExtractHTTP(http.Header{}); ok {
+		t.Error("extract from empty header succeeded")
+	}
+	h2 := http.Header{}
+	h2.Set(TraceHeader, "not-a-trace")
+	if _, ok := ExtractHTTP(h2); ok {
+		t.Error("extract of malformed header succeeded")
+	}
+}
+
+func TestRemoteParenting(t *testing.T) {
+	tr := NewTracer(8)
+	tc := TraceContext{TraceID: 7, SpanID: 9}
+	_, span := tr.StartSpan(ContextWithRemote(context.Background(), tc), "server.op")
+	if span.TraceID != 7 || span.ParentID != 9 || !span.Remote {
+		t.Errorf("remote-parented span = trace %x parent %x remote %v", span.TraceID, span.ParentID, span.Remote)
+	}
+	span.Finish()
+	// Invalid remote context is ignored: the span roots a fresh trace.
+	_, span2 := tr.StartSpan(ContextWithRemote(context.Background(), TraceContext{}), "server.op")
+	if span2.Remote || span2.TraceID != span2.ID {
+		t.Errorf("invalid remote ctx produced %+v", span2)
+	}
+	span2.Finish()
+	// A local parent wins over a lingering remote context.
+	rctx := ContextWithRemote(context.Background(), tc)
+	pctx, parent := tr.StartSpan(rctx, "parent")
+	_, child := tr.StartSpan(pctx, "child")
+	if child.ParentID != parent.ID || child.Remote {
+		t.Errorf("child under local parent = parent %x remote %v", child.ParentID, child.Remote)
+	}
+	child.Finish()
+	parent.Finish()
+}
+
+// TestTraceTokenDisabledAllocs pins the acceptance contract: with
+// -metrics-addr off (propagation disabled) the emit helpers are zero-cost
+// even under an active span, so untraced deployments pay nothing.
+func TestTraceTokenDisabledAllocs(t *testing.T) {
+	if PropagationEnabled() {
+		t.Fatal("propagation unexpectedly on at test start")
+	}
+	tr := NewTracer(8)
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	defer span.Finish()
+	h := http.Header{}
+
+	if n := testing.AllocsPerRun(100, func() {
+		if TraceToken(ctx) != "" {
+			t.Fatal("token emitted while disabled")
+		}
+	}); n != 0 {
+		t.Errorf("TraceToken allocs while disabled = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		InjectHTTP(ctx, h)
+	}); n != 0 {
+		t.Errorf("InjectHTTP allocs while disabled = %v, want 0", n)
+	}
+	if len(h) != 0 {
+		t.Error("InjectHTTP set a header while disabled")
+	}
+}

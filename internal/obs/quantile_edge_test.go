@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestQuantileEmpty: an unobserved histogram reports 0 for every
+// quantile, not NaN or a stale max.
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.P50 != 0 || snap.P99 != 0 {
+		t.Errorf("empty snapshot = %+v", snap)
+	}
+}
+
+// TestQuantileSingleSample: with one observation every quantile lands in
+// that observation's bucket.
+func TestQuantileSingleSample(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	h.Observe(7)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.Quantile(q)
+		if got < 1 || got > 10 {
+			t.Errorf("single-sample Quantile(%g) = %g, want within bucket (1,10]", q, got)
+		}
+	}
+}
+
+// TestQuantileAllOverflow: every observation above the top bound lands in
+// the overflow bucket, whose quantiles saturate at the max seen rather
+// than inventing an interpolated bound.
+func TestQuantileAllOverflow(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for _, v := range []float64{50, 75, 200} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got := h.Quantile(q); got != 200 {
+			t.Errorf("all-overflow Quantile(%g) = %g, want max seen 200", q, got)
+		}
+	}
+}
+
+// TestTracerConcurrentEviction hammers one small-ring tracer with
+// concurrent span creation/finish and readers; run under -race this is
+// the eviction data-race guard, and afterwards the ring must hold
+// exactly its capacity of the newest spans.
+func TestTracerConcurrentEviction(t *testing.T) {
+	const ringCap = 8
+	tr := NewTracer(ringCap)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, parent := tr.StartSpan(context.Background(), "parent")
+				_, child := tr.StartSpan(ctx, "child")
+				child.SetAttr("i", "x")
+				child.Finish()
+				parent.Finish()
+			}
+		}()
+	}
+	// Concurrent readers exercise Completed/Export against the writers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = tr.Completed()
+				_ = tr.Export(0)
+			}
+		}()
+	}
+	wg.Wait()
+	done := tr.Completed()
+	if len(done) != ringCap {
+		t.Fatalf("ring holds %d spans, want capacity %d", len(done), ringCap)
+	}
+	seen := make(map[uint64]bool, len(done))
+	for _, s := range done {
+		if s == nil {
+			t.Fatal("nil span in ring")
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate span %x in ring", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}

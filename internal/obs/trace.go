@@ -3,7 +3,9 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,18 +13,23 @@ import (
 
 // Span is one timed operation in a request-scoped trace. Spans form a
 // tree: StartSpan under a context carrying a span records that span's ID
-// as the parent. A span is completed by End (idempotent); completed
+// as the parent; under a context carrying a remote trace context (see
+// ContextWithRemote) the span parents under the remote caller's span and
+// is flagged Remote. A span is completed by End (idempotent); completed
 // spans are retained in the tracer's bounded ring for /debug/traces.
 type Span struct {
 	tracer *Tracer
 
-	ID       uint64            `json:"id"`
-	ParentID uint64            `json:"parent_id,omitempty"`
-	TraceID  uint64            `json:"trace_id"`
-	Name     string            `json:"name"`
-	Start    time.Time         `json:"start"`
-	End      time.Time         `json:"end"`
-	Attrs    map[string]string `json:"attrs,omitempty"`
+	ID       uint64 `json:"id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	TraceID  uint64 `json:"trace_id"`
+	// Remote marks a span whose parent lives in another process (its
+	// ParentID refers to a span in the caller's tracer, not this one).
+	Remote bool              `json:"remote,omitempty"`
+	Name   string            `json:"name"`
+	Start  time.Time         `json:"start"`
+	End    time.Time         `json:"end"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
 
 	mu    sync.Mutex
 	ended bool
@@ -85,6 +92,7 @@ type spanCtxKey struct{}
 // never need guards.
 type Tracer struct {
 	capacity int
+	base     uint64 // random offset making span IDs unique across processes
 	nextID   atomic.Uint64
 
 	mu   sync.Mutex
@@ -94,12 +102,14 @@ type Tracer struct {
 }
 
 // NewTracer builds a tracer retaining up to capacity completed spans
-// (default 256).
+// (default 256). Span IDs start from a random 64-bit base so spans from
+// different processes can be merged into one tree without ID collisions
+// (IDs were purely sequential before trace contexts crossed the wire).
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &Tracer{capacity: capacity, ring: make([]*Span, capacity)}
+	return &Tracer{capacity: capacity, base: rand.Uint64(), ring: make([]*Span, capacity)}
 }
 
 var (
@@ -115,22 +125,31 @@ func DefaultTracer() *Tracer {
 }
 
 // StartSpan opens a span named name. If ctx already carries a span, the
-// new span becomes its child (same trace ID, parent link); otherwise it
-// roots a new trace. The returned context carries the new span for
-// further nesting.
+// new span becomes its child (same trace ID, parent link); if it carries a
+// remote trace context (ContextWithRemote), the span parents under the
+// remote caller's span; otherwise it roots a new trace. The returned
+// context carries the new span for further nesting.
 func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
+	id := t.base + t.nextID.Add(1)
+	if id == 0 {
+		id = 1 // 0 is "no span" everywhere; skip the one wrapping value
+	}
 	s := &Span{
 		tracer: t,
-		ID:     t.nextID.Add(1),
+		ID:     id,
 		Name:   name,
 		Start:  time.Now(),
 	}
 	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
 		s.ParentID = parent.ID
 		s.TraceID = parent.TraceID
+	} else if tc, ok := remoteFromContext(ctx); ok {
+		s.ParentID = tc.SpanID
+		s.TraceID = tc.TraceID
+		s.Remote = true
 	} else {
 		s.TraceID = s.ID
 	}
@@ -171,33 +190,60 @@ func (t *Tracer) Completed() []*Span {
 	return out
 }
 
-// Handler serves the completed-span ring as JSON, oldest first.
-func (t *Tracer) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		spans := t.Completed()
-		type wireSpan struct {
-			ID       uint64            `json:"id"`
-			ParentID uint64            `json:"parent_id,omitempty"`
-			TraceID  uint64            `json:"trace_id"`
-			Name     string            `json:"name"`
-			Start    time.Time         `json:"start"`
-			DurMs    float64           `json:"duration_ms"`
-			Attrs    map[string]string `json:"attrs,omitempty"`
+// SpanRecord is the JSON shape /debug/traces serves and Collector reads:
+// one completed span, flattened for the wire. Source is empty on export
+// and stamped by the collector with the endpoint it was fetched from.
+type SpanRecord struct {
+	ID       uint64            `json:"id"`
+	ParentID uint64            `json:"parent_id,omitempty"`
+	TraceID  uint64            `json:"trace_id"`
+	Remote   bool              `json:"remote,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	DurMs    float64           `json:"duration_ms"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Source   string            `json:"source,omitempty"`
+}
+
+// Export snapshots the completed-span ring as records, oldest first.
+// traceID 0 exports everything; non-zero filters to one trace.
+func (t *Tracer) Export(traceID uint64) []SpanRecord {
+	spans := t.Completed()
+	out := make([]SpanRecord, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		rec := SpanRecord{
+			ID: s.ID, ParentID: s.ParentID, TraceID: s.TraceID, Remote: s.Remote,
+			Name: s.Name, Start: s.Start,
+			DurMs: float64(s.End.Sub(s.Start)) / 1e6,
+			Attrs: s.Attrs,
 		}
-		out := make([]wireSpan, 0, len(spans))
-		for _, s := range spans {
-			s.mu.Lock()
-			out = append(out, wireSpan{
-				ID: s.ID, ParentID: s.ParentID, TraceID: s.TraceID,
-				Name: s.Name, Start: s.Start,
-				DurMs: float64(s.End.Sub(s.Start)) / 1e6,
-				Attrs: s.Attrs,
-			})
-			s.mu.Unlock()
+		s.mu.Unlock()
+		if traceID != 0 && rec.TraceID != traceID {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Handler serves the completed-span ring as JSON, oldest first. The
+// optional ?trace=<hex trace id> query filters to one trace, which is how
+// the collector pulls the remote halves of a specific request.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var traceID uint64
+		if v := r.URL.Query().Get("trace"); v != "" {
+			id, err := strconv.ParseUint(v, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
+			}
+			traceID = id
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(out)
+		_ = enc.Encode(t.Export(traceID))
 	})
 }

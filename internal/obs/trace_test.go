@@ -74,9 +74,11 @@ func TestTracerRingEviction(t *testing.T) {
 	if len(done) != 3 {
 		t.Fatalf("ring holds %d, want 3", len(done))
 	}
-	// Oldest first, and the two oldest spans were evicted.
-	if done[0].ID != 3 || done[2].ID != 5 {
-		t.Fatalf("ring ids = %d..%d, want 3..5", done[0].ID, done[2].ID)
+	// Oldest first, and the two oldest spans were evicted. IDs are
+	// sequential above the tracer's random base, so compare relatively:
+	// the survivors are the 3rd..5th spans issued.
+	if done[0].ID != tr.base+3 || done[2].ID != tr.base+5 {
+		t.Fatalf("ring ids = %d..%d, want base+3..base+5 (base %d)", done[0].ID, done[2].ID, tr.base)
 	}
 }
 

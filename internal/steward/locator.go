@@ -17,7 +17,7 @@ func LBoneLocator(cl *lbone.Client, x, y float64) LocateFunc {
 		for addr := range exclude {
 			ex = append(ex, addr)
 		}
-		recs, err := cl.LookupExcluding(x, y, n, minFree, ex)
+		recs, err := cl.LookupExcluding(ctx, x, y, n, minFree, ex)
 		if err != nil {
 			return nil, err
 		}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -378,6 +379,12 @@ func (s *Steward) RunCycle(ctx context.Context) (CycleReport, error) {
 	s.cycleMu.Lock()
 	defer s.cycleMu.Unlock()
 	start := time.Now()
+	// Root one trace per maintenance cycle: repair copies the cycle issues
+	// carry its trace onto the wire, so a depot-side ibp.serve span can be
+	// attributed to "the steward's 14:05 cycle" rather than to a browsing
+	// client.
+	ctx, span := obs.DefaultTracer().StartSpan(ctx, obs.SpanStewardCycle)
+	defer span.Finish()
 	var report CycleReport
 	budget := &repairBudget{left: s.cfg.RepairBudget}
 
@@ -741,18 +748,30 @@ func (s *Steward) repairExtent(ctx context.Context, name string, ext *exnode.Ext
 			}
 			countAttempt()
 			repairStart := time.Now()
-			rep, err := s.copyOnto(ctx, ext, sources, addr)
+			rctx, rspan := obs.DefaultTracer().StartSpan(ctx, obs.SpanStewardRepair)
+			rspan.SetAttr("object", name)
+			rspan.SetAttr("depot", addr)
+			rep, err := s.copyOnto(rctx, ext, sources, addr)
 			if err != nil {
+				rspan.SetAttr("err", err.Error())
+				rspan.Finish()
 				s.cfg.Health.ReportFailure(addr)
 				s.registry().Counter(obs.MStewardRepairFailures).Inc()
 				s.emit(Event{Type: EventRepairFailed, Object: name, Offset: ext.Offset, Depot: addr, Err: err})
+				obs.DefaultLogger().Warn(rctx, obs.EvStewardRepairDone,
+					"dataset", name, "extent", strconv.FormatInt(ext.Offset, 10),
+					"depot", addr, "ok", "false")
 				continue
 			}
+			rspan.Finish()
 			s.cfg.Health.ReportSuccess(addr)
 			reg := s.registry()
 			reg.Counter(obs.MStewardRepairs).Inc()
 			reg.Histogram(obs.MStewardRepairMs, obs.LatencyBucketsMs...).
 				Observe(float64(time.Since(repairStart)) / 1e6)
+			obs.DefaultLogger().Info(rctx, obs.EvStewardRepairDone,
+				"dataset", name, "extent", strconv.FormatInt(ext.Offset, 10),
+				"depot", addr, "ok", "true")
 			rep.SetExpiry(now.Add(s.cfg.LeaseTerm))
 			ext.Replicas = append(ext.Replicas, rep)
 			exclude[addr] = true

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Benchmark regression tripwire: run the quick smoke benchmark and diff it
+# against the committed baseline (BENCH_0.json). Regressions past 20% print
+# "lfbench: WARN ..." lines but do not fail the build — micro benchmarks on
+# shared machines are too noisy to gate on, so this is warn-only by design.
+#
+# Usage: benchdiff.sh [baseline.json] [output-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline=${1:-BENCH_0.json}
+outdir=${2:-}
+if [ ! -s "$baseline" ]; then
+	echo "benchdiff: baseline $baseline missing; regenerate with:" >&2
+	echo "  go run ./cmd/lfbench -quick -json . && mv BENCH_quick.json $baseline" >&2
+	exit 1
+fi
+cleanup=""
+if [ -z "$outdir" ]; then
+	outdir=$(mktemp -d)
+	cleanup=$outdir
+	trap 'rm -rf "$cleanup"' EXIT
+fi
+
+go run ./cmd/lfbench -quick -json "$outdir" -compare "$baseline"

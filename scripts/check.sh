@@ -28,10 +28,10 @@ go test -race ./...
 echo "== docs audit"
 sh scripts/docscheck.sh
 
-echo "== lfbench -quick"
+echo "== lfbench -quick + benchdiff vs BENCH_0.json (warn-only)"
 benchdir=$(mktemp -d)
 trap 'rm -rf "$benchdir"' EXIT
-go run ./cmd/lfbench -quick -json "$benchdir"
+sh scripts/benchdiff.sh BENCH_0.json "$benchdir"
 report="$benchdir/BENCH_quick.json"
 if [ ! -s "$report" ]; then
 	echo "lfbench -quick did not write $report" >&2
@@ -43,5 +43,35 @@ for key in p50 p95 p99 cache_hit_rate frames_per_second; do
 		exit 1
 	fi
 done
+
+echo "== lftop smoke"
+go build -o "$benchdir/depotd" ./cmd/depotd
+go build -o "$benchdir/lftop" ./cmd/lftop
+"$benchdir/depotd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 >"$benchdir/depotd.log" 2>&1 &
+depot_pid=$!
+maddr=""
+i=0
+while [ "$i" -lt 50 ]; do
+	maddr=$(sed -n 's|.*metrics on http://\([^/]*\)/metrics.*|\1|p' "$benchdir/depotd.log")
+	[ -n "$maddr" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$maddr" ]; then
+	echo "depotd did not report a metrics address:" >&2
+	cat "$benchdir/depotd.log" >&2
+	kill "$depot_pid" 2>/dev/null || true
+	exit 1
+fi
+if ! "$benchdir/lftop" -once -json "$maddr" >"$benchdir/lftop.json"; then
+	echo "lftop -once -json failed against $maddr" >&2
+	kill "$depot_pid" 2>/dev/null || true
+	exit 1
+fi
+kill "$depot_pid" 2>/dev/null || true
+if ! grep -q '"endpoint"' "$benchdir/lftop.json"; then
+	echo "lftop smoke produced no target summary" >&2
+	exit 1
+fi
 
 echo "all checks passed"
