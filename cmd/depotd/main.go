@@ -17,6 +17,7 @@ import (
 	"lonviz/internal/ibp"
 	"lonviz/internal/lbone"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/slo"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 	y := flag.Float64("y", 0, "network coordinate Y for L-Bone proximity")
 	heartbeat := flag.Duration("heartbeat", 10*time.Second, "L-Bone heartbeat interval")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
@@ -48,7 +51,6 @@ func main() {
 	}
 	fmt.Printf("depotd: serving IBP on %s (capacity %d bytes, max lease %v)\n", bound, *capacity, *maxLease)
 
-	var obsSrv *obs.Server
 	if *metricsAddr != "" {
 		obs.Default().RegisterSnapshot("depot", func() map[string]float64 {
 			st := depot.Stat()
@@ -60,25 +62,41 @@ func main() {
 				"revocations": float64(st.Revocations),
 			}
 		})
-		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
-		if err != nil {
-			log.Fatalf("depotd: metrics listen: %v", err)
-		}
-		fmt.Printf("depotd: metrics on http://%s/metrics\n", obsSrv.Addr())
+	}
+	stack, err := slo.Start(slo.Options{
+		Addr:           *metricsAddr,
+		RulesPath:      *sloConfig,
+		SampleInterval: *tsdbInterval,
+	})
+	if err != nil {
+		log.Fatalf("depotd: metrics listen: %v", err)
+	}
+	if stack.Enabled() {
+		fmt.Printf("depotd: metrics on http://%s/metrics\n", stack.Addr())
 	}
 
 	stop := make(chan struct{})
 	if *lboneURL != "" {
 		cl := &lbone.Client{BaseURL: *lboneURL}
-		go cl.Heartbeat(func() lbone.DepotRecord {
+		record := func() lbone.DepotRecord {
 			st := depot.Stat()
 			return lbone.DepotRecord{
 				Addr: bound, X: *x, Y: *y,
 				Capacity: st.Capacity, Free: st.Capacity - st.Used,
 			}
-		}, *heartbeat, stop)
+		}
+		// Register synchronously once before declaring readiness: a depot
+		// nobody can discover is not ready to serve the deployment.
+		stack.SetStatus("registering with L-Bone")
+		regCtx, regCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := cl.Register(regCtx, record()); err != nil {
+			log.Printf("depotd: initial L-Bone registration: %v (heartbeat will retry)", err)
+		}
+		regCancel()
+		go cl.Heartbeat(record, *heartbeat, stop)
 		fmt.Printf("depotd: heartbeating to %s at (%g, %g)\n", *lboneURL, *x, *y)
 	}
+	stack.MarkReady()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -86,7 +104,7 @@ func main() {
 	close(stop)
 	srv.Close()
 	closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-	_ = obsSrv.Close(closeCtx)
+	_ = stack.Close(closeCtx)
 	cancel()
 	st := depot.Stat()
 	fmt.Printf("depotd: shutting down; %d allocations, %d/%d bytes used, %d expirations, %d revocations\n",

@@ -16,6 +16,7 @@ import (
 	"lonviz/internal/agent"
 	"lonviz/internal/dvs"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/slo"
 )
 
 func main() {
@@ -23,6 +24,8 @@ func main() {
 	parent := flag.String("parent", "", "parent DVS address (empty for the root)")
 	generate := flag.Bool("generate", false, "forward full-hierarchy misses to registered server agents")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
@@ -45,20 +48,24 @@ func main() {
 	}
 	fmt.Printf("dvsd: serving DVS on %s (%s, on-demand generation %v)\n", bound, role, *generate)
 
-	var obsSrv *obs.Server
-	if *metricsAddr != "" {
-		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
-		if err != nil {
-			log.Fatalf("dvsd: metrics listen: %v", err)
-		}
-		fmt.Printf("dvsd: metrics on http://%s/metrics\n", obsSrv.Addr())
+	stack, err := slo.Start(slo.Options{
+		Addr:           *metricsAddr,
+		RulesPath:      *sloConfig,
+		SampleInterval: *tsdbInterval,
+	})
+	if err != nil {
+		log.Fatalf("dvsd: metrics listen: %v", err)
 	}
+	if stack.Enabled() {
+		fmt.Printf("dvsd: metrics on http://%s/metrics\n", stack.Addr())
+	}
+	stack.MarkReady()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	srv.Close()
 	closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-	_ = obsSrv.Close(closeCtx)
+	_ = stack.Close(closeCtx)
 	cancel()
 }

@@ -14,12 +14,15 @@ import (
 
 	"lonviz/internal/lbone"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/slo"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6767", "listen address")
 	ttl := flag.Duration("ttl", 30*time.Second, "registration freshness window")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
@@ -36,20 +39,24 @@ func main() {
 	}
 	fmt.Printf("lboned: serving directory on http://%s (TTL %v)\n", bound, *ttl)
 
-	var obsSrv *obs.Server
-	if *metricsAddr != "" {
-		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
-		if err != nil {
-			log.Fatalf("lboned: metrics listen: %v", err)
-		}
-		fmt.Printf("lboned: metrics on http://%s/metrics\n", obsSrv.Addr())
+	stack, err := slo.Start(slo.Options{
+		Addr:           *metricsAddr,
+		RulesPath:      *sloConfig,
+		SampleInterval: *tsdbInterval,
+	})
+	if err != nil {
+		log.Fatalf("lboned: metrics listen: %v", err)
 	}
+	if stack.Enabled() {
+		fmt.Printf("lboned: metrics on http://%s/metrics\n", stack.Addr())
+	}
+	stack.MarkReady()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	srv.Close()
 	closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-	_ = obsSrv.Close(closeCtx)
+	_ = stack.Close(closeCtx)
 	cancel()
 }

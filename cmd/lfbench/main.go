@@ -31,6 +31,7 @@ import (
 	"lonviz/internal/agent"
 	"lonviz/internal/experiments"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/slo"
 	"lonviz/internal/session"
 )
 
@@ -45,6 +46,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run a short smoke benchmark, write BENCH_quick.json, verify it parses, and exit")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to diff the -quick run against; warns on >20% regressions")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the benchmark runs (empty disables)")
+	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
@@ -67,18 +70,21 @@ func main() {
 			fatal(err)
 		}
 	}
-	var obsSrv *obs.Server
-	if *metricsAddr != "" {
-		var err error
-		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("lfbench: metrics on http://%s/metrics\n", obsSrv.Addr())
+	stack, err := slo.Start(slo.Options{
+		Addr:           *metricsAddr,
+		RulesPath:      *sloConfig,
+		SampleInterval: *tsdbInterval,
+	})
+	if err != nil {
+		fatal(err)
 	}
+	if stack.Enabled() {
+		fmt.Printf("lfbench: metrics on http://%s/metrics\n", stack.Addr())
+	}
+	stack.MarkReady()
 	defer func() {
 		closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		_ = obsSrv.Close(closeCtx)
+		_ = stack.Close(closeCtx)
 		cancel()
 	}()
 
@@ -278,11 +284,19 @@ func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline str
 	if jsonDir == "" {
 		jsonDir = "."
 	}
-	// Keep the smoke run short regardless of the -accesses default.
-	if cfg.Accesses > 24 {
-		cfg.Accesses = 24
+	// With a baseline, match its session length and keep the configured
+	// cursor pacing so the diff is apples-to-apples (a short, unpaced
+	// session has a different cache-hit tail and starves prestaging,
+	// which would warn on every run). Without one, keep the smoke run as
+	// short as possible.
+	if bl, err := readBenchReport(baseline); err == nil && len(bl.Cases) > 0 && bl.Cases[0].Accesses > 0 {
+		cfg.Accesses = bl.Cases[0].Accesses
+	} else {
+		if cfg.Accesses > 24 {
+			cfg.Accesses = 24
+		}
+		cfg.ThinkTime = 0
 	}
-	cfg.ThinkTime = 0
 	start := time.Now()
 	runs, err := experiments.LatencyExperiment(ctx, cfg, 200)
 	if err != nil {
@@ -320,18 +334,30 @@ func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline str
 	return nil
 }
 
+// readBenchReport loads and parses one BENCH_*.json.
+func readBenchReport(path string) (benchReport, error) {
+	var r benchReport
+	if path == "" {
+		return r, fmt.Errorf("compare baseline: no path")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("compare baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("compare baseline %s does not parse: %w", path, err)
+	}
+	return r, nil
+}
+
 // compareReports diffs a fresh bench report against a committed baseline and
 // prints WARN lines for >20% regressions. It never fails the run: micro
 // benchmarks on shared CI machines are too noisy to gate on, but a persistent
 // warning in every run is hard to ignore.
 func compareReports(baselinePath string, current benchReport) error {
-	data, err := os.ReadFile(baselinePath)
+	base, err := readBenchReport(baselinePath)
 	if err != nil {
-		return fmt.Errorf("compare baseline: %w", err)
-	}
-	var base benchReport
-	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("compare baseline %s does not parse: %w", baselinePath, err)
+		return err
 	}
 	baseCases := make(map[string]benchCase, len(base.Cases))
 	for _, c := range base.Cases {

@@ -20,6 +20,7 @@ import (
 	"lonviz/internal/dvs"
 	"lonviz/internal/lightfield"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/slo"
 	"lonviz/internal/session"
 )
 
@@ -38,6 +39,8 @@ func main() {
 	display := flag.Int("display", 200, "display resolution for rendered frames")
 	serve := flag.String("serve", "", "also expose the client agent to remote clients on this address")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	tracePeers := flag.String("trace-peers", "", "comma-separated peer observability endpoints (host:port) to pull depot-side trace halves from; prints merged end-to-end trees for the slowest accesses (requires -metrics-addr)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
@@ -55,36 +58,45 @@ func main() {
 		log.Fatalf("lfbrowse: %v", err)
 	}
 
+	stack, err := slo.Start(slo.Options{
+		Addr:           *metricsAddr,
+		RulesPath:      *sloConfig,
+		SampleInterval: *tsdbInterval,
+	})
+	if err != nil {
+		log.Fatalf("lfbrowse: metrics listen: %v", err)
+	}
+	if stack.Enabled() {
+		fmt.Printf("lfbrowse: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", stack.Addr())
+	}
+	defer func() {
+		closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		_ = stack.Close(closeCtx)
+		cancel()
+	}()
+
 	var lan []string
 	if *lanDepots != "" {
 		lan = strings.Split(*lanDepots, ",")
 	}
+	stack.SetStatus("starting client agent")
 	ca, err := agent.NewClientAgent(agent.ClientAgentConfig{
 		Dataset:   *dataset,
 		Params:    p,
 		DVS:       &dvs.Client{Addr: *dvsAddr},
 		LANDepots: lan,
 		Prefetch:  *prefetch,
+		// Bias replica selection toward depots with good recent latency
+		// history; nil (metrics off) keeps the pure shuffled order.
+		ReplicaBias: stack.ReplicaBias(5 * time.Minute),
 	})
 	if err != nil {
 		log.Fatalf("lfbrowse: %v", err)
 	}
 	defer ca.Close()
-
-	var obsSrv *obs.Server
-	if *metricsAddr != "" {
+	if stack.Enabled() {
 		ca.RegisterMetrics(nil)
-		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
-		if err != nil {
-			log.Fatalf("lfbrowse: metrics listen: %v", err)
-		}
-		fmt.Printf("lfbrowse: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", obsSrv.Addr())
 	}
-	defer func() {
-		closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		_ = obsSrv.Close(closeCtx)
-		cancel()
-	}()
 
 	if *serve != "" {
 		srv, err := agent.NewClientAgentServer(ca, *dataset)
@@ -106,6 +118,7 @@ func main() {
 		}
 		fmt.Printf("lfbrowse: aggressive prestaging to %d LAN depots started\n", len(lan))
 	}
+	stack.MarkReady()
 
 	viewer, err := agent.NewViewer(p, ca)
 	if err != nil {

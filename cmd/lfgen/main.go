@@ -18,6 +18,7 @@ import (
 	"lonviz/internal/codec"
 	"lonviz/internal/lightfield"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/slo"
 	"lonviz/internal/volume"
 )
 
@@ -32,6 +33,8 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel generation workers")
 	seed := flag.Int64("seed", 1, "seed for synthetic data")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
@@ -43,18 +46,21 @@ func main() {
 	if err := p.Validate(); err != nil {
 		log.Fatalf("lfgen: %v", err)
 	}
-	var obsSrv *obs.Server
-	if *metricsAddr != "" {
-		srv, err := obs.Serve(*metricsAddr, nil, nil)
-		if err != nil {
-			log.Fatalf("lfgen: metrics listen: %v", err)
-		}
-		obsSrv = srv
-		fmt.Printf("lfgen: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", obsSrv.Addr())
+	stack, err := slo.Start(slo.Options{
+		Addr:           *metricsAddr,
+		RulesPath:      *sloConfig,
+		SampleInterval: *tsdbInterval,
+	})
+	if err != nil {
+		log.Fatalf("lfgen: metrics listen: %v", err)
 	}
+	if stack.Enabled() {
+		fmt.Printf("lfgen: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", stack.Addr())
+	}
+	stack.MarkReady()
 	defer func() {
 		closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		_ = obsSrv.Close(closeCtx)
+		_ = stack.Close(closeCtx)
 		cancel()
 	}()
 	fmt.Printf("lfgen: lattice %dx%d, %d view sets of %dx%d views at %dx%d px\n",

@@ -24,6 +24,7 @@ import (
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/slo"
 	"lonviz/internal/steward"
 	"lonviz/internal/volume"
 )
@@ -47,6 +48,8 @@ func main() {
 	stewardLease := flag.Duration("steward-lease", 30*time.Minute, "lease term for steward renewals and repairs")
 	lboneURL := flag.String("lbone", "", "L-Bone base URL for steward repair depot discovery; empty restricts repair to -depots")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
@@ -110,17 +113,23 @@ func main() {
 	fmt.Printf("lfserve: server agent for %q on %s, %d depots, DVS %s\n",
 		*dataset, bound, len(depotList), *dvsAddr)
 
-	var obsSrv *obs.Server
 	if *metricsAddr != "" {
 		sa.RegisterMetrics(nil)
-		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
-		if err != nil {
-			log.Fatalf("lfserve: metrics listen: %v", err)
-		}
-		fmt.Printf("lfserve: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", obsSrv.Addr())
+	}
+	stack, err := slo.Start(slo.Options{
+		Addr:           *metricsAddr,
+		RulesPath:      *sloConfig,
+		SampleInterval: *tsdbInterval,
+	})
+	if err != nil {
+		log.Fatalf("lfserve: metrics listen: %v", err)
+	}
+	if stack.Enabled() {
+		fmt.Printf("lfserve: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", stack.Addr())
 	}
 
 	// Register with the DVS so it can forward misses here.
+	stack.SetStatus("registering with DVS")
 	dvsClient := &dvs.Client{Addr: *dvsAddr}
 	if err := dvsClient.RegisterAgent(context.Background(), *dataset, bound); err != nil {
 		log.Printf("lfserve: DVS agent registration failed: %v", err)
@@ -128,6 +137,7 @@ func main() {
 
 	var published map[lightfield.ViewSetID][]byte
 	if *precompute {
+		stack.SetStatus("precomputing database")
 		start := time.Now()
 		out, err := sa.PrecomputeAll(context.Background())
 		if err != nil {
@@ -192,6 +202,9 @@ func main() {
 				log.Fatalf("lfserve: steward adopt %s: %v", id, err)
 			}
 		}
+		// Close the loop: a firing depot alert triggers a targeted audit of
+		// that depot's replicas ahead of the periodic cycle.
+		stack.Subscribe(steward.AlertTrigger(stw))
 		stewCtx, stewCancel := context.WithCancel(context.Background())
 		defer stewCancel()
 		go func() {
@@ -202,12 +215,13 @@ func main() {
 		fmt.Printf("lfserve: steward managing %d view sets (interval %v, target replication %d)\n",
 			len(published), *stewardInterval, *replicas)
 	}
+	stack.MarkReady()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	closeCtx, closeCancel := context.WithTimeout(context.Background(), 3*time.Second)
-	_ = obsSrv.Close(closeCtx)
+	_ = stack.Close(closeCtx)
 	closeCancel()
 	st := sa.Stats()
 	fmt.Printf("lfserve: shutting down; rendered %d, uploaded %d (%d bytes), %d DVS updates\n",

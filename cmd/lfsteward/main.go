@@ -29,6 +29,7 @@ import (
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/slo"
 	"lonviz/internal/steward"
 )
 
@@ -49,6 +50,8 @@ func main() {
 	verbose := flag.Bool("v", false, "log every steward event")
 	once := flag.Bool("once", false, "run a single scan cycle and exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
@@ -97,25 +100,33 @@ func main() {
 	}
 	s := steward.New(cfg)
 
-	var obsSrv *obs.Server
 	if *metricsAddr != "" {
 		s.RegisterMetrics(nil)
-		var err error
-		obsSrv, err = obs.Serve(*metricsAddr, nil, nil)
-		if err != nil {
-			log.Fatalf("lfsteward: metrics listen: %v", err)
-		}
-		fmt.Printf("lfsteward: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", obsSrv.Addr())
+	}
+	stack, err := slo.Start(slo.Options{
+		Addr:           *metricsAddr,
+		RulesPath:      *sloConfig,
+		SampleInterval: *tsdbInterval,
+	})
+	if err != nil {
+		log.Fatalf("lfsteward: metrics listen: %v", err)
+	}
+	if stack.Enabled() {
+		fmt.Printf("lfsteward: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", stack.Addr())
 	}
 	defer func() {
 		closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		_ = obsSrv.Close(closeCtx)
+		_ = stack.Close(closeCtx)
 		cancel()
 	}()
+	// A firing depot alert jumps the queue: audit that depot's replicas now
+	// instead of waiting out the scan interval.
+	stack.Subscribe(steward.AlertTrigger(s))
 
 	// Adopt every view set the lattice defines; sets the DVS does not know
 	// (not yet published, or published at different parameters) are skipped
 	// with a warning.
+	stack.SetStatus("adopting exNodes from DVS")
 	ctx := context.Background()
 	adopted, missing := 0, 0
 	for _, id := range p.AllViewSets() {
@@ -144,6 +155,7 @@ func main() {
 	}
 	fmt.Printf("lfsteward: managing %d view sets of %q (%d not in DVS), target replication %d\n",
 		adopted, *dataset, missing, *replicas)
+	stack.MarkReady()
 
 	// ParseViewSetKey round-trips the names we adopt; assert early so a
 	// lattice/DVS mismatch is a startup error, not a runtime surprise.

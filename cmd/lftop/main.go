@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -34,19 +35,31 @@ func main() {
 	once := flag.Bool("once", false, "poll once, print, and exit")
 	asJSON := flag.Bool("json", false, "emit one JSON summary document instead of the dashboard")
 	nTraces := flag.Int("traces", 5, "slowest recent traces to show per target")
+	history := flag.Bool("history", false, "show per-depot latency sparklines from each target's /debug/tsdb history")
+	histWindow := flag.Duration("history-window", 5*time.Minute, "how far back -history looks")
+	waitReady := flag.Duration("wait-ready", 0, "poll each target's /readyz until it reports ready, up to this long, before the first sample (0 disables)")
 	flag.Parse()
 	targets := flag.Args()
 	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lftop [-interval d] [-once] [-json] [-traces n] <host:port> [host:port ...]")
+		fmt.Fprintln(os.Stderr, "usage: lftop [-interval d] [-once] [-json] [-traces n] [-history] [-wait-ready d] <host:port> [host:port ...]")
 		fmt.Fprintln(os.Stderr, "  each target is a -metrics-addr endpoint of depotd/dvsd/lboned/lfserve/lfbrowse/lfsteward")
 		os.Exit(2)
 	}
 
 	top := &lftop{
-		client:  &http.Client{Timeout: 5 * time.Second},
-		targets: targets,
-		nTraces: *nTraces,
-		prev:    make(map[string]frameSample, len(targets)),
+		client:     &http.Client{Timeout: 5 * time.Second},
+		targets:    targets,
+		nTraces:    *nTraces,
+		history:    *history,
+		histWindow: *histWindow,
+		prev:       make(map[string]frameSample, len(targets)),
+	}
+
+	if *waitReady > 0 {
+		if err := top.waitReady(*waitReady); err != nil {
+			fmt.Fprintln(os.Stderr, "lftop:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *once {
@@ -95,10 +108,12 @@ func writeJSON(w io.Writer, sums []targetSummary) error {
 // lftop polls a fixed target list and remembers the previous frame count
 // per target so it can report a frames/sec rate between refreshes.
 type lftop struct {
-	client  *http.Client
-	targets []string
-	nTraces int
-	prev    map[string]frameSample
+	client     *http.Client
+	targets    []string
+	nTraces    int
+	history    bool
+	histWindow time.Duration
+	prev       map[string]frameSample
 }
 
 type frameSample struct {
@@ -114,6 +129,27 @@ type depotStat struct {
 	P50   float64 `json:"p50_ms"`
 	P95   float64 `json:"p95_ms"`
 	P99   float64 `json:"p99_ms"`
+}
+
+// alertLine is one SLO alert from /debug/alerts.
+type alertLine struct {
+	Rule      string  `json:"rule"`
+	Severity  string  `json:"severity"`
+	Instance  string  `json:"instance,omitempty"`
+	State     string  `json:"state"`
+	Since     string  `json:"since"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+}
+
+// historyLine is one series' recent history from /debug/tsdb, rendered as
+// a sparkline over the -history-window.
+type historyLine struct {
+	Series string  `json:"series"`
+	Points int     `json:"points"`
+	LastMs float64 `json:"last_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	Spark  string  `json:"spark"`
 }
 
 // traceLine is one root span from /debug/traces, slowest-first.
@@ -140,6 +176,9 @@ type targetSummary struct {
 	FrameMeanMs     float64            `json:"frame_mean_ms"`
 	FramesPerSecond float64            `json:"frames_per_second"`
 	SlowTraces      []traceLine        `json:"slow_traces,omitempty"`
+	AlertsFiring    int                `json:"alerts_firing"`
+	Alerts          []alertLine        `json:"alerts,omitempty"`
+	History         []historyLine      `json:"history,omitempty"`
 }
 
 func (t *lftop) poll() []targetSummary {
@@ -150,13 +189,18 @@ func (t *lftop) poll() []targetSummary {
 	return out
 }
 
-func (t *lftop) pollOne(ep string) targetSummary {
-	sum := targetSummary{Endpoint: ep}
+// baseURL normalizes a target argument into an http base URL.
+func baseURL(ep string) string {
 	base := ep
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	base = strings.TrimSuffix(base, "/")
+	return strings.TrimSuffix(base, "/")
+}
+
+func (t *lftop) pollOne(ep string) targetSummary {
+	sum := targetSummary{Endpoint: ep}
+	base := baseURL(ep)
 
 	snap, err := t.fetchMetrics(base + "/metrics")
 	if err != nil {
@@ -175,7 +219,196 @@ func (t *lftop) pollOne(ep string) targetSummary {
 	if spans, err := t.fetchTraces(base + "/debug/traces"); err == nil {
 		sum.SlowTraces = slowestTraces(spans, t.nTraces)
 	}
+	// Alerts likewise: older targets without an SLO engine just skip the pane.
+	if firing, alerts, err := t.fetchAlerts(base + "/debug/alerts"); err == nil {
+		sum.AlertsFiring = firing
+		sum.Alerts = alerts
+	}
+	if t.history {
+		sum.History = t.fetchHistory(base)
+	}
 	return sum
+}
+
+// fetchAlerts pulls the SLO engine's alert list from /debug/alerts.
+func (t *lftop) fetchAlerts(url string) (int, []alertLine, error) {
+	resp, err := t.client.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	var doc struct {
+		Firing int `json:"firing"`
+		Alerts []struct {
+			Rule      string    `json:"rule"`
+			Severity  string    `json:"severity"`
+			Instance  string    `json:"instance"`
+			State     string    `json:"state"`
+			Since     time.Time `json:"since"`
+			Value     float64   `json:"value"`
+			Threshold float64   `json:"threshold"`
+		} `json:"alerts"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+		return 0, nil, err
+	}
+	out := make([]alertLine, 0, len(doc.Alerts))
+	for _, a := range doc.Alerts {
+		out = append(out, alertLine{
+			Rule: a.Rule, Severity: a.Severity, Instance: a.Instance, State: a.State,
+			Since: a.Since.UTC().Format(time.RFC3339), Value: a.Value, Threshold: a.Threshold,
+		})
+	}
+	return doc.Firing, out, nil
+}
+
+// fetchHistory lists the target's /debug/tsdb series and renders the
+// per-depot round-trip p99 over the history window as sparklines.
+func (t *lftop) fetchHistory(base string) []historyLine {
+	resp, err := t.client.Get(base + "/debug/tsdb")
+	if err != nil {
+		return nil
+	}
+	var idx struct {
+		Series []struct {
+			Name string `json:"name"`
+		} `json:"series"`
+	}
+	derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&idx)
+	resp.Body.Close()
+	if derr != nil {
+		return nil
+	}
+	var out []historyLine
+	for _, s := range idx.Series {
+		if !strings.HasPrefix(s.Name, obs.MIBPDepotMs+"{") {
+			continue
+		}
+		q := fmt.Sprintf("%s/debug/tsdb?name=%s&since=%s&agg=p99&window=30s",
+			base, url.QueryEscape(s.Name), t.histWindow)
+		pr, err := t.client.Get(q)
+		if err != nil {
+			continue
+		}
+		var series struct {
+			Points []obs.Point `json:"points"`
+		}
+		derr := json.NewDecoder(io.LimitReader(pr.Body, 4<<20)).Decode(&series)
+		pr.Body.Close()
+		if derr != nil || len(series.Points) == 0 {
+			continue
+		}
+		h := historyLine{
+			Series: s.Name,
+			Points: len(series.Points),
+			LastMs: series.Points[len(series.Points)-1].V,
+			Spark:  sparkline(series.Points),
+		}
+		for _, p := range series.Points {
+			if p.V > h.MaxMs {
+				h.MaxMs = p.V
+			}
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Series < out[j].Series })
+	return out
+}
+
+// sparkline renders points as unicode block characters, min..max scaled,
+// downsampled to at most 60 columns.
+func sparkline(points []obs.Point) string {
+	const levels = "▁▂▃▄▅▆▇█"
+	const maxCols = 60
+	vals := make([]float64, 0, maxCols)
+	if len(points) <= maxCols {
+		for _, p := range points {
+			vals = append(vals, p.V)
+		}
+	} else {
+		// Bucket-max downsample: spikes must survive the squeeze.
+		per := (len(points) + maxCols - 1) / maxCols
+		for i := 0; i < len(points); i += per {
+			maxV := points[i].V
+			for j := i + 1; j < i+per && j < len(points); j++ {
+				if points[j].V > maxV {
+					maxV = points[j].V
+				}
+			}
+			vals = append(vals, maxV)
+		}
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	runes := []rune(levels)
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(runes)-1))
+		}
+		b.WriteRune(runes[idx])
+	}
+	return b.String()
+}
+
+// waitReady blocks until every target's /readyz answers 200, or the
+// timeout passes; stragglers are reported with their startup phase.
+func (t *lftop) waitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	pending := append([]string(nil), t.targets...)
+	lastPhase := make(map[string]string, len(pending))
+	for {
+		var still []string
+		for _, ep := range pending {
+			if ok, phase := t.checkReady(baseURL(ep) + "/readyz"); !ok {
+				lastPhase[ep] = phase
+				still = append(still, ep)
+			}
+		}
+		if len(still) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			parts := make([]string, 0, len(still))
+			for _, ep := range still {
+				parts = append(parts, fmt.Sprintf("%s (%s)", ep, lastPhase[ep]))
+			}
+			return fmt.Errorf("not ready after %v: %s", timeout, strings.Join(parts, ", "))
+		}
+		pending = still
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// checkReady probes one /readyz; on 503 it returns the reported startup
+// phase so the eventual timeout error says what each target was stuck on.
+func (t *lftop) checkReady(url string) (bool, string) {
+	resp, err := t.client.Get(url)
+	if err != nil {
+		return false, err.Error()
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return true, ""
+	}
+	var doc struct {
+		Phase string `json:"phase"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&doc); err == nil && doc.Phase != "" {
+		return false, doc.Phase
+	}
+	return false, fmt.Sprintf("HTTP %d", resp.StatusCode)
 }
 
 func (t *lftop) fetchMetrics(url string) (map[string]json.RawMessage, error) {
@@ -340,6 +573,20 @@ func render(w io.Writer, sums []targetSummary, live bool) {
 			s.FailedAttempts, s.RetryPasses, s.CircuitOpen, s.CircuitTrips)
 		fmt.Fprintf(w, "  client:   frames=%d mean=%.2fms rate=%.1f/s cache_hit_rate=%.0f%%\n",
 			s.Frames, s.FrameMeanMs, s.FramesPerSecond, 100*s.CacheHitRate)
+		if len(s.History) > 0 {
+			fmt.Fprintln(w, "  history (p99 ms):")
+			for _, h := range s.History {
+				fmt.Fprintf(w, "    %-32s %s last=%.1f max=%.1f (%d pts)\n",
+					h.Series, h.Spark, h.LastMs, h.MaxMs, h.Points)
+			}
+		}
+		if len(s.Alerts) > 0 {
+			fmt.Fprintf(w, "  alerts (%d firing):\n", s.AlertsFiring)
+			for _, a := range s.Alerts {
+				fmt.Fprintf(w, "    %-9s %-8s %-24s %s value=%.2f threshold=%.2f\n",
+					a.State, a.Severity, a.Rule, a.Instance, a.Value, a.Threshold)
+			}
+		}
 		if len(s.SlowTraces) > 0 {
 			fmt.Fprintln(w, "  slowest traces:")
 			for _, tl := range s.SlowTraces {

@@ -130,6 +130,12 @@ type ClientAgentConfig struct {
 	// resolve/download/stage children); nil records into
 	// obs.DefaultTracer(), visible at /debug/traces.
 	Tracer *obs.Tracer
+	// ReplicaBias, when set, scores depots for replica ordering in
+	// downloads (lower is better); lors stable-sorts each extent's
+	// shuffled replicas by it. Wire obs.DepotLatencyBias (or
+	// slo.Stack.ReplicaBias) here so the agent drifts away from depots
+	// whose recent p99 round-trip has regressed. Nil keeps pure shuffle.
+	ReplicaBias func(depot string) float64
 	// Rand seeds replica choices; nil uses a time-seeded source.
 	//
 	// Thread-safety: *rand.Rand is not safe for concurrent use, and the
@@ -482,6 +488,7 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 		Retries:     ca.cfg.Retries,
 		Health:      ca.cfg.Health,
 		Rand:        ca.cfg.Rand,
+		Prefer:      ca.cfg.ReplicaBias,
 		Obs:         ca.cfg.Obs,
 		Tracer:      ca.cfg.Tracer,
 	}

@@ -294,6 +294,14 @@ type DownloadOptions struct {
 	// Rand orders replica attempts; nil uses the package-level seeded
 	// source.
 	Rand *rand.Rand
+	// Prefer, when set, scores a depot for replica ordering: after the
+	// shuffle, replicas are stable-sorted by ascending score, so
+	// lower-scoring depots are attempted first while equal scores keep
+	// the shuffled spread. obs.DepotLatencyBias builds the standard
+	// score (recent p99 round-trip from the TSDB history), steering
+	// downloads away from depots whose latency has regressed before
+	// their circuit ever trips.
+	Prefer func(depot string) float64
 	// Obs receives download timings and transfer counters
 	// (lors.download.*); nil records into obs.Default().
 	Obs *obs.Registry
@@ -449,6 +457,19 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 	defer espan.Finish()
 	replicas := append([]exnode.Replica{}, ext.Replicas...)
 	lockedShuffle(opts.Rand, replicas)
+	if opts.Prefer != nil {
+		// Score once per depot, then order best-first. The sort is stable
+		// over the shuffle so unbiased depots still spread load.
+		scores := make(map[string]float64, len(replicas))
+		for _, r := range replicas {
+			if _, ok := scores[r.Depot]; !ok {
+				scores[r.Depot] = opts.Prefer(r.Depot)
+			}
+		}
+		sort.SliceStable(replicas, func(i, j int) bool {
+			return scores[replicas[i].Depot] < scores[replicas[j].Depot]
+		})
+	}
 
 	if opts.RaceReplicas && len(replicas) > 1 {
 		data, st, err := raceReplicas(ctx, ext, replicas, opts)

@@ -844,3 +844,44 @@ func TestRefreshUpdatesRecordedExpiry(t *testing.T) {
 		t.Errorf("horizon %v does not reflect the 30m renewal", h)
 	}
 }
+
+func TestDownloadPreferOrdersReplicas(t *testing.T) {
+	depots := depotFarm(t, 2, 1<<22)
+	data := testPayload(128*1024, 23)
+	ex, err := Upload(context.Background(), "prefer", data, UploadOptions{
+		Depots:     depots,
+		StripeSize: 8 * 1024, // 16 extents, each replicated on both depots
+		Replicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// depots[0] corrupts every payload. With a Prefer score marking it
+	// expensive (as obs.DepotLatencyBias would after a latency regression),
+	// every extent must be served by depots[1] on the first try — the bias
+	// overrides the shuffle for all 16 extents across any seed.
+	fd := netsim.NewFaultDialer(nil, 3)
+	fd.SetFault(depots[0], netsim.FaultProfile{CorruptProb: 1})
+	for seed := int64(1); seed <= 5; seed++ {
+		got, stats, err := Download(context.Background(), ex, DownloadOptions{
+			Dialer:      fd,
+			Parallelism: 1,
+			Rand:        rand.New(rand.NewSource(seed)),
+			Prefer: func(depot string) float64 {
+				if depot == depots[0] {
+					return 1000 // slow depot: avoid
+				}
+				return 0 // no history: no penalty
+			},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("seed %d: payload mismatch", seed)
+		}
+		if stats.FailedAttempts != 0 || stats.ChecksumErrors != 0 {
+			t.Errorf("seed %d: stats = %+v, biased download still touched the corrupt depot", seed, stats)
+		}
+	}
+}

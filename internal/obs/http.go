@@ -11,8 +11,38 @@ import (
 	"time"
 )
 
-// NewMux builds the observability HTTP surface over a registry, tracer,
-// and logger (nil means the process defaults):
+// ServeOptions configures the observability HTTP surface beyond the
+// registry and tracer: retained history, readiness, health degradation,
+// and extra endpoints (the SLO engine's /debug/alerts arrives this way —
+// obs cannot import internal/obs/slo, so the coupling stays generic).
+// The zero value reproduces the classic NewMux surface.
+type ServeOptions struct {
+	// Registry to serve at /metrics; nil means Default().
+	Registry *Registry
+	// Tracer to serve at /debug/traces; nil means DefaultTracer().
+	Tracer *Tracer
+	// TSDB, when set, is served at /debug/tsdb.
+	TSDB *TSDB
+	// Ready backs /readyz: 503 while starting, 200 after MarkReady. Nil
+	// means /readyz always answers 200 (process up = ready).
+	Ready *Readiness
+	// Health, when set, degrades /healthz: a non-nil error turns the
+	// liveness probe into a 503 with a JSON reason. The SLO engine's
+	// HealthError plugs in here so a firing critical alert is visible to
+	// anything that only speaks health checks.
+	Health func() error
+	// Extra handlers are mounted verbatim (path -> handler).
+	Extra map[string]http.Handler
+}
+
+// NewMux builds the classic observability HTTP surface over a registry
+// and tracer (nil means the process defaults). See NewMuxWith for the
+// full endpoint list.
+func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	return NewMuxWith(ServeOptions{Registry: reg, Tracer: tracer})
+}
+
+// NewMuxWith builds the observability HTTP surface:
 //
 //	/metrics        registry snapshot as flat JSON
 //	/debug/vars     the same snapshot (expvar-compatible shape), plus
@@ -24,11 +54,18 @@ import (
 //	                pull path)
 //	/debug/events   recent structured log events, oldest first
 //	                (?trace=<hex> filters likewise)
-//	/healthz        200 "ok" liveness probe
-func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+//	/debug/tsdb     retained time series (when a TSDB is wired):
+//	                ?name=&since=&agg= queries, no-args lists series
+//	/healthz        liveness probe: 200 "ok", or 503 + JSON reason while
+//	                the Health hook reports an error (critical SLO alert)
+//	/readyz         startup probe: 503 + JSON phase until the process
+//	                marks itself ready, then 200 "ok"
+func NewMuxWith(opts ServeOptions) *http.ServeMux {
+	reg := opts.Registry
 	if reg == nil {
 		reg = Default()
 	}
+	tracer := opts.Tracer
 	if tracer == nil {
 		tracer = DefaultTracer()
 	}
@@ -58,14 +95,45 @@ func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 	})
 	mux.Handle("/debug/traces", tracer.Handler())
 	mux.Handle("/debug/events", DefaultLogger().Handler())
+	if opts.TSDB != nil {
+		mux.Handle("/debug/tsdb", opts.TSDB.Handler())
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	health := opts.Health
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_ = json.NewEncoder(w).Encode(map[string]string{
+					"status": "degraded",
+					"reason": err.Error(),
+				})
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
+	ready := opts.Ready
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !ready.Ready() {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"status": "starting",
+				"phase":  ready.Status(),
+			})
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	for path, h := range opts.Extra {
+		mux.Handle(path, h)
+	}
 	return mux
 }
 
@@ -115,12 +183,18 @@ func (s *Server) Close(ctx context.Context) error {
 // the deployments that can receive a trace are exactly the ones that
 // export one.
 func Serve(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	return ServeWith(addr, ServeOptions{Registry: reg, Tracer: tracer})
+}
+
+// ServeWith is Serve with the full option surface (TSDB, readiness,
+// degradable health, extra endpoints).
+func ServeWith(addr string, opts ServeOptions) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &http.Server{
-		Handler:           NewMux(reg, tracer),
+		Handler:           NewMuxWith(opts),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { _ = srv.Serve(l) }()

@@ -110,6 +110,18 @@ const (
 	MStewardPruned = "steward.pruned"
 	// MStewardExtentsLost: counter. Extents left with zero healthy replicas.
 	MStewardExtentsLost = "steward.extents_lost"
+	// MStewardAlertAudits: counter. Targeted audits run because an SLO
+	// alert fired, ahead of the periodic cycle.
+	MStewardAlertAudits = "steward.alert_audits"
+
+	// --- SLO engine (internal/obs/slo) ---
+
+	// MSLOEvaluations: counter. Rule-evaluation passes completed.
+	MSLOEvaluations = "slo.evaluations"
+	// MSLOAlertsFiring: gauge. Alerts currently in the firing state.
+	MSLOAlertsFiring = "slo.alerts.firing"
+	// MSLOTransitions: counter. Alert state transitions: {to=firing|resolved}.
+	MSLOTransitions = "slo.transitions"
 )
 
 // Span names used by the request-scoped traces at /debug/traces.
@@ -143,6 +155,13 @@ const (
 	SpanStewardCycle = "steward.cycle"
 	// SpanStewardRepair covers one steward repair copy.
 	SpanStewardRepair = "steward.repair"
+	// SpanStewardAlertAudit covers one alert-triggered targeted audit
+	// (the steward reacting to a firing SLO alert ahead of its cycle).
+	SpanStewardAlertAudit = "steward.alert_audit"
+	// SpanSLOEvaluate covers one SLO rule-evaluation pass; alert
+	// transition events stamp its trace ID, joining /debug/alerts state
+	// changes against /debug/events.
+	SpanSLOEvaluate = "slo.evaluate"
 )
 
 // Event names used by the structured log at /debug/events. Events are
@@ -165,4 +184,10 @@ const (
 	// EvStewardRepairDone: info. A repair copy finished; fields: dataset,
 	// extent, depot, ok.
 	EvStewardRepairDone = "steward.repair_done"
+	// EvSLOAlert: warn on firing, info on resolved. An SLO alert changed
+	// state; fields: rule, instance, state, severity, value, threshold.
+	EvSLOAlert = "slo.alert"
+	// EvStewardAlertTrigger: info. The steward received a firing alert
+	// and queued a targeted audit; fields: rule, depot.
+	EvStewardAlertTrigger = "steward.alert_trigger"
 )

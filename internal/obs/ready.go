@@ -1,0 +1,61 @@
+package obs
+
+// Startup readiness, served at /readyz. Liveness (/healthz) answers "is
+// the process up and within SLO"; readiness answers "has it finished
+// starting" — a depot that is still scanning its root, a server agent
+// still precomputing, a steward still adopting are alive but not yet
+// ready, and load balancers / smoke tests should wait on /readyz rather
+// than sleep on log lines. Nil-safe throughout so commands can hold one
+// unconditionally.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Readiness is a one-way ready latch with a human-readable startup
+// phase. The zero value is "starting".
+type Readiness struct {
+	ready  atomic.Bool
+	mu     sync.Mutex
+	status string
+}
+
+// NewReadiness returns a not-ready latch.
+func NewReadiness() *Readiness { return &Readiness{} }
+
+// SetStatus records the current startup phase (shown in the /readyz 503
+// body while starting). No-op after MarkReady or on nil.
+func (r *Readiness) SetStatus(phase string) {
+	if r == nil || r.ready.Load() {
+		return
+	}
+	r.mu.Lock()
+	r.status = phase
+	r.mu.Unlock()
+}
+
+// MarkReady flips the latch; /readyz turns 200. Idempotent, nil-safe.
+func (r *Readiness) MarkReady() {
+	if r == nil {
+		return
+	}
+	r.ready.Store(true)
+}
+
+// Ready reports whether MarkReady has run. A nil latch reports true:
+// commands that never wire readiness are considered always-ready, so
+// /readyz stays useful as a plain liveness fallback.
+func (r *Readiness) Ready() bool {
+	return r == nil || r.ready.Load()
+}
+
+// Status returns the last recorded startup phase.
+func (r *Readiness) Status() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}

@@ -1,0 +1,167 @@
+package slo
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"lonviz/internal/obs"
+)
+
+// Options configures Start, the one-call observability stack every
+// command wires behind -metrics-addr.
+type Options struct {
+	// Addr is the -metrics-addr listen address. Empty disables the whole
+	// stack: Start returns an inert Stack that serves nothing, samples
+	// nothing, and starts no goroutines.
+	Addr string
+	// Registry to sample and serve; nil means obs.Default().
+	Registry *obs.Registry
+	// Tracer to serve at /debug/traces; nil means obs.DefaultTracer().
+	Tracer *obs.Tracer
+	// RulesPath is the -slo-config value: a JSON rule file, or empty for
+	// DefaultRules().
+	RulesPath string
+	// SampleInterval is the -tsdb-interval value (default 1s). The TSDB
+	// retention tiers scale with it: interval×300 at full resolution,
+	// then 10×interval×360.
+	SampleInterval time.Duration
+	// Logger receives alert transition events; nil means
+	// obs.DefaultLogger().
+	Logger *obs.Logger
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+}
+
+// Stack is a running observability stack: the HTTP server, the sampling
+// TSDB, the SLO engine, and the readiness latch, with one Close. All
+// methods are nil-safe and safe on the inert (Addr=="") stack, so
+// commands hold one unconditionally.
+type Stack struct {
+	// Server is the bound obs endpoint (nil when disabled).
+	Server *obs.Server
+	// TSDB is the sampling store (nil when disabled).
+	TSDB *obs.TSDB
+	// Engine is the SLO evaluator (nil when disabled).
+	Engine *Engine
+	// Ready is the /readyz latch (nil when disabled).
+	Ready *obs.Readiness
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// Start builds and runs the stack: it loads the rules, wires the engine
+// as the TSDB's per-sample hook, serves /metrics, /debug/tsdb,
+// /debug/alerts, the degradable /healthz and the /readyz latch on
+// opts.Addr, and starts the single sampling goroutine. With an empty
+// Addr it returns an inert Stack and starts nothing.
+func Start(opts Options) (*Stack, error) {
+	if opts.Addr == "" {
+		return &Stack{}, nil
+	}
+	rules := []Rule(nil)
+	if opts.RulesPath != "" {
+		var err error
+		rules, err = LoadRules(opts.RulesPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	interval := opts.SampleInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+
+	var engine *Engine
+	db := obs.NewTSDB(obs.TSDBConfig{
+		Registry: opts.Registry,
+		Tiers:    obs.DefaultTiers(interval),
+		Clock:    opts.Clock,
+		// Evaluation rides the sampling pass: no second timer goroutine,
+		// and every evaluation sees a fresh sample.
+		OnSample: func() { engine.Evaluate() },
+	})
+	engine = NewEngine(EngineConfig{
+		DB:       db,
+		Rules:    rules,
+		Registry: opts.Registry,
+		Tracer:   opts.Tracer,
+		Logger:   opts.Logger,
+		Clock:    opts.Clock,
+	})
+	ready := obs.NewReadiness()
+
+	srv, err := obs.ServeWith(opts.Addr, obs.ServeOptions{
+		Registry: opts.Registry,
+		Tracer:   opts.Tracer,
+		TSDB:     db,
+		Ready:    ready,
+		Health:   engine.HealthError,
+		Extra:    map[string]http.Handler{"/debug/alerts": engine.Handler()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	stop := make(chan struct{})
+	go db.Run(stop, interval)
+	return &Stack{Server: srv, TSDB: db, Engine: engine, Ready: ready, stop: stop}, nil
+}
+
+// Addr returns the bound listen address ("" when disabled).
+func (s *Stack) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.Server.Addr()
+}
+
+// Enabled reports whether the stack is actually serving.
+func (s *Stack) Enabled() bool { return s != nil && s.Server != nil }
+
+// SetStatus records the current startup phase for /readyz.
+func (s *Stack) SetStatus(phase string) {
+	if s == nil {
+		return
+	}
+	s.Ready.SetStatus(phase)
+}
+
+// MarkReady flips /readyz to 200.
+func (s *Stack) MarkReady() {
+	if s == nil {
+		return
+	}
+	s.Ready.MarkReady()
+}
+
+// Subscribe registers an alert-transition callback (no-op when
+// disabled).
+func (s *Stack) Subscribe(fn func(Alert)) {
+	if s == nil {
+		return
+	}
+	s.Engine.Subscribe(fn)
+}
+
+// ReplicaBias builds the depot-latency replica-selection score from the
+// stack's TSDB (nil when disabled, which disables biasing downstream).
+func (s *Stack) ReplicaBias(window time.Duration) func(string) float64 {
+	if s == nil {
+		return nil
+	}
+	return obs.DepotLatencyBias(s.TSDB, window)
+}
+
+// Close stops the sampling goroutine and drains the HTTP server. Safe on
+// nil and on the inert stack, and idempotent.
+func (s *Stack) Close(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	if s.stop != nil {
+		s.stopOnce.Do(func() { close(s.stop) })
+	}
+	return s.Server.Close(ctx)
+}

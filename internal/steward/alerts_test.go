@@ -1,0 +1,182 @@
+package steward
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"lonviz/internal/exnode"
+	"lonviz/internal/ibp"
+	"lonviz/internal/lors"
+	"lonviz/internal/obs/slo"
+)
+
+// corruptOneReplica handcrafts a 2-replica extent whose replica on badAddr
+// holds flipped bytes, so only payload verification can find the damage.
+func corruptOneReplica(t *testing.T, goodAddr, badAddr string) (*exnode.ExNode, []byte) {
+	t.Helper()
+	good := testPayload(8*1024, 7)
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	ctx := context.Background()
+	store := func(addr string, payload []byte) exnode.Replica {
+		t.Helper()
+		cl := &ibp.Client{Addr: addr}
+		caps, err := cl.Allocate(ctx, int64(len(payload)), time.Hour, ibp.Stable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Store(ctx, caps.Write, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		return exnode.Replica{Depot: addr, ReadCap: caps.Read, ManageCap: caps.Manage}
+	}
+	ex := &exnode.ExNode{
+		Name:   "obj",
+		Length: int64(len(good)),
+		Extents: []exnode.Extent{{
+			Offset:   0,
+			Length:   int64(len(good)),
+			Checksum: exnode.ChecksumOf(good),
+			Replicas: []exnode.Replica{store(badAddr, bad), store(goodAddr, good)},
+		}},
+	}
+	return ex, good
+}
+
+// TestAuditDepotVerifiesSuspectReplicas proves a targeted audit payload-
+// verifies the suspect depot's replicas even with per-cycle verification
+// off, and repairs what it finds.
+func TestAuditDepotVerifiesSuspectReplicas(t *testing.T) {
+	r := newRig(t, 3)
+	ex, good := corruptOneReplica(t, r.addrs[1], r.addrs[0])
+
+	s := New(Config{
+		ReplicationTarget: 2,
+		VerifyPerCycle:    -1, // periodic cycles never sample payloads
+		Locate:            fixedLocator(r.addrs[2]),
+	})
+	if err := s.Adopt("obj", ex); err != nil {
+		t.Fatal(err)
+	}
+
+	// A periodic cycle sees healthy probes and leaves the corruption alone.
+	if _, err := s.RunCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.VerifyFailures != 0 {
+		t.Fatalf("periodic cycle verified payloads with VerifyPerCycle=0: %+v", st)
+	}
+
+	// The targeted audit of the suspect depot must verify and repair.
+	rep, err := s.AuditDepot(context.Background(), r.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReplicasPruned != 1 || rep.RepairsSucceeded != 1 {
+		t.Fatalf("targeted audit report = %+v, want 1 prune + 1 repair", rep)
+	}
+	st := s.Stats()
+	if st.AlertAudits != 1 {
+		t.Errorf("AlertAudits = %d, want 1", st.AlertAudits)
+	}
+	if st.VerifyFailures != 1 {
+		t.Errorf("VerifyFailures = %d, want 1", st.VerifyFailures)
+	}
+	cur := s.ExNode("obj")
+	for _, d := range cur.Depots() {
+		if d == r.addrs[0] {
+			t.Error("suspect depot still referenced after targeted audit")
+		}
+	}
+	got, _, err := lors.Download(context.Background(), cur, lors.DownloadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, good) {
+		t.Error("post-audit download mismatch")
+	}
+}
+
+// TestAuditDepotSkipsUninvolvedObjects proves the targeted audit only
+// touches objects with a replica on the suspect depot.
+func TestAuditDepotSkipsUninvolvedObjects(t *testing.T) {
+	r := newRig(t, 2)
+	data := testPayload(4*1024, 8)
+	ex, err := lors.Upload(context.Background(), "obj", data, lors.UploadOptions{
+		Depots: []string{r.addrs[0]}, Lease: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{ReplicationTarget: 1})
+	if err := s.Adopt("obj", ex); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.AuditDepot(context.Background(), r.addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExtentsAudited != 0 {
+		t.Errorf("audit of uninvolved depot touched %d extents, want 0", rep.ExtentsAudited)
+	}
+}
+
+// TestAlertTriggerRunsAuditBeforePeriodicCycle wires the slo->steward
+// bridge: a firing depot alert must cause a targeted audit long before
+// the scan interval would.
+func TestAlertTriggerRunsAuditBeforePeriodicCycle(t *testing.T) {
+	r := newRig(t, 3)
+	ex, _ := corruptOneReplica(t, r.addrs[1], r.addrs[0])
+
+	s := New(Config{
+		ReplicationTarget: 2,
+		ScanInterval:      time.Hour, // the periodic cycle never arrives
+		VerifyPerCycle:    -1,
+		Locate:            fixedLocator(r.addrs[2]),
+	})
+	if err := s.Adopt("obj", ex); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+
+	trigger := AlertTrigger(s)
+	// Non-firing states and alerts without a depot label are ignored.
+	trigger(slo.Alert{Rule: "x", State: slo.StatePending, Labels: map[string]string{"depot": r.addrs[0]}})
+	trigger(slo.Alert{Rule: "x", State: slo.StateResolved, Labels: map[string]string{"depot": r.addrs[0]}})
+	trigger(slo.Alert{Rule: "x", State: slo.StateFiring, Severity: "warn"})
+	if st := s.Stats(); st.AlertAudits != 0 {
+		t.Fatalf("ignored alerts ran %d audits", st.AlertAudits)
+	}
+
+	// The real thing: firing with a depot label.
+	trigger(slo.Alert{
+		Rule:     "depot-latency-p99",
+		Severity: "critical",
+		State:    slo.StateFiring,
+		Instance: "ibp.depot.ms{depot=" + r.addrs[0] + "}",
+		Labels:   map[string]string{"depot": r.addrs[0]},
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.AlertAudits >= 1 {
+			if st.RepairsSucceeded < 1 || st.ReplicasPruned < 1 {
+				t.Fatalf("alert audit ran but did not repair: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("alert-triggered audit never ran: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil && err != context.Canceled {
+		t.Fatalf("Run: %v", err)
+	}
+}

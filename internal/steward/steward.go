@@ -105,6 +105,9 @@ type Stats struct {
 	ExtentsLost      int64
 	Republishes      int64
 	PublishFailures  int64
+	// AlertAudits counts targeted audits run because an SLO alert fired,
+	// ahead of the periodic cycle.
+	AlertAudits int64
 	// LastCycle is the wall-clock duration of the most recent scan cycle.
 	LastCycle time.Duration
 }
@@ -248,12 +251,22 @@ type Steward struct {
 	mu      sync.Mutex
 	objects map[string]*object
 	stats   Stats
+	// trigger carries alert-triggered audit requests into Run's select: a
+	// depot address for a targeted audit, "" for a full early cycle.
+	// queued coalesces duplicates while one is pending.
+	trigger chan string
+	queued  map[string]bool
 }
 
 // New builds a Steward.
 func New(cfg Config) *Steward {
 	cfg.defaults()
-	return &Steward{cfg: cfg, objects: make(map[string]*object)}
+	return &Steward{
+		cfg:     cfg,
+		objects: make(map[string]*object),
+		trigger: make(chan string, 16),
+		queued:  make(map[string]bool),
+	}
 }
 
 // Adopt places an exNode under management, keyed by name (replacing any
@@ -351,12 +364,16 @@ func (s *Steward) RegisterMetrics(reg *obs.Registry) {
 			"extents_lost_obj":  float64(st.ExtentsLost),
 			"republishes":       float64(st.Republishes),
 			"publish_failures":  float64(st.PublishFailures),
+			"alert_audits":      float64(st.AlertAudits),
 			"last_cycle_ms":     float64(st.LastCycle) / 1e6,
 		}
 	})
 }
 
 // Run executes scan cycles every ScanInterval until ctx is cancelled.
+// Between ticks it also services alert triggers (TriggerDepotAudit /
+// TriggerCycle): a firing SLO alert gets its targeted audit immediately
+// instead of waiting out the interval.
 func (s *Steward) Run(ctx context.Context) error {
 	t := time.NewTicker(s.cfg.ScanInterval)
 	defer t.Stop()
@@ -364,12 +381,104 @@ func (s *Steward) Run(ctx context.Context) error {
 		if _, err := s.RunCycle(ctx); err != nil {
 			return err
 		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-t.C:
+	idle:
+		for {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				break idle
+			case depot := <-s.trigger:
+				s.dequeue(depot)
+				if depot == "" {
+					break idle // full early cycle
+				}
+				if _, err := s.AuditDepot(ctx, depot); err != nil {
+					return err
+				}
+			}
 		}
 	}
+}
+
+// TriggerDepotAudit asks Run for an immediate targeted audit of every
+// adopted extent holding a replica on depot. Non-blocking and
+// coalescing: duplicate triggers for a depot already queued are dropped,
+// and so is everything when the queue is full (the periodic cycle is the
+// backstop).
+func (s *Steward) TriggerDepotAudit(depot string) {
+	s.mu.Lock()
+	if s.queued[depot] {
+		s.mu.Unlock()
+		return
+	}
+	s.queued[depot] = true
+	s.mu.Unlock()
+	select {
+	case s.trigger <- depot:
+	default:
+		s.dequeue(depot)
+	}
+}
+
+// TriggerCycle asks Run for an immediate full cycle ahead of the
+// interval (the reaction to an aggregate alert that names no depot).
+// Non-blocking and coalescing like TriggerDepotAudit.
+func (s *Steward) TriggerCycle() { s.TriggerDepotAudit("") }
+
+func (s *Steward) dequeue(depot string) {
+	s.mu.Lock()
+	delete(s.queued, depot)
+	s.mu.Unlock()
+}
+
+// AuditDepot runs one targeted audit: every adopted object with a
+// replica on depot gets a full audit pass with payload verification
+// focused on that depot's replicas, so silent corruption there is found
+// and repaired now rather than when the rotating sample eventually
+// lands on it. Safe to call concurrently with RunCycle (they serialize).
+func (s *Steward) AuditDepot(ctx context.Context, depot string) (CycleReport, error) {
+	s.cycleMu.Lock()
+	defer s.cycleMu.Unlock()
+	ctx, span := obs.DefaultTracer().StartSpan(ctx, obs.SpanStewardAlertAudit)
+	span.SetAttr("depot", depot)
+	defer span.Finish()
+	var report CycleReport
+	budget := &repairBudget{left: s.cfg.RepairBudget}
+	for _, name := range s.objectsOnDepot(depot) {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+		s.processObject(ctx, name, depot, budget, &report)
+	}
+	s.addStats(func(st *Stats) { st.AlertAudits++ })
+	s.registry().Counter(obs.MStewardAlertAudits).Inc()
+	return report, ctx.Err()
+}
+
+// objectsOnDepot returns the adopted object names with at least one
+// replica on depot, sorted.
+func (s *Steward) objectsOnDepot(depot string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for name, obj := range s.objects {
+		for i := range obj.ex.Extents {
+			found := false
+			for _, rep := range obj.ex.Extents[i].Replicas {
+				if rep.Depot == depot {
+					out = append(out, name)
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // RunCycle executes one audit → renew → repair → prune → republish pass
@@ -392,48 +501,7 @@ func (s *Steward) RunCycle(ctx context.Context) (CycleReport, error) {
 		if err := ctx.Err(); err != nil {
 			return report, err
 		}
-		// Work on a private clone so readers of ExNode/Stats never see a
-		// half-audited layout.
-		s.mu.Lock()
-		obj, ok := s.objects[name]
-		if !ok {
-			s.mu.Unlock()
-			continue // forgotten mid-cycle
-		}
-		ex := obj.ex.Clone()
-		cursor := obj.verifyCursor
-		dirty := obj.dirty
-		unreach := obj.unreach
-		s.mu.Unlock()
-
-		report.Objects++
-		changed := s.auditObject(ctx, name, ex, cursor, unreach, budget, &report)
-		dirty = dirty || changed
-
-		if dirty && s.cfg.Publish != nil {
-			if err := s.cfg.Publish(ctx, name, ex.Clone()); err != nil {
-				s.emit(Event{Type: EventPublishFailed, Object: name, Offset: -1, Err: err})
-				s.addStats(func(st *Stats) { st.PublishFailures++ })
-			} else {
-				s.emit(Event{Type: EventPublish, Object: name, Offset: -1})
-				s.addStats(func(st *Stats) { st.Republishes++ })
-				dirty = false
-			}
-		} else if dirty && s.cfg.Publish == nil {
-			dirty = false // nowhere to publish; don't retry forever
-		}
-
-		nextCursor := cursor
-		if s.cfg.VerifyPerCycle > 0 && len(ex.Extents) > 0 {
-			nextCursor = (cursor + s.cfg.VerifyPerCycle) % len(ex.Extents)
-		}
-		s.mu.Lock()
-		if cur, ok := s.objects[name]; ok && cur == obj {
-			obj.ex = ex
-			obj.verifyCursor = nextCursor
-			obj.dirty = dirty
-		}
-		s.mu.Unlock()
+		s.processObject(ctx, name, "", budget, &report)
 	}
 
 	report.FullyReplicated = report.ExtentsAudited > 0 &&
@@ -448,6 +516,56 @@ func (s *Steward) RunCycle(ctx context.Context) (CycleReport, error) {
 	reg.Histogram(obs.MStewardCycleMs, obs.LatencyBucketsMs...).
 		Observe(float64(time.Since(start)) / 1e6)
 	return report, ctx.Err()
+}
+
+// processObject audits one adopted object and publishes the updated
+// layout, folding results into report. focusDepot "" is the periodic
+// cycle's behavior (rotating verification sample); a depot address
+// focuses payload verification on that depot's replicas across every
+// extent (the alert-triggered audit).
+func (s *Steward) processObject(ctx context.Context, name, focusDepot string, budget *repairBudget, report *CycleReport) {
+	// Work on a private clone so readers of ExNode/Stats never see a
+	// half-audited layout.
+	s.mu.Lock()
+	obj, ok := s.objects[name]
+	if !ok {
+		s.mu.Unlock()
+		return // forgotten mid-cycle
+	}
+	ex := obj.ex.Clone()
+	cursor := obj.verifyCursor
+	dirty := obj.dirty
+	unreach := obj.unreach
+	s.mu.Unlock()
+
+	report.Objects++
+	changed := s.auditObject(ctx, name, ex, cursor, focusDepot, unreach, budget, report)
+	dirty = dirty || changed
+
+	if dirty && s.cfg.Publish != nil {
+		if err := s.cfg.Publish(ctx, name, ex.Clone()); err != nil {
+			s.emit(Event{Type: EventPublishFailed, Object: name, Offset: -1, Err: err})
+			s.addStats(func(st *Stats) { st.PublishFailures++ })
+		} else {
+			s.emit(Event{Type: EventPublish, Object: name, Offset: -1})
+			s.addStats(func(st *Stats) { st.Republishes++ })
+			dirty = false
+		}
+	} else if dirty && s.cfg.Publish == nil {
+		dirty = false // nowhere to publish; don't retry forever
+	}
+
+	nextCursor := cursor
+	if focusDepot == "" && s.cfg.VerifyPerCycle > 0 && len(ex.Extents) > 0 {
+		nextCursor = (cursor + s.cfg.VerifyPerCycle) % len(ex.Extents)
+	}
+	s.mu.Lock()
+	if cur, ok := s.objects[name]; ok && cur == obj {
+		obj.ex = ex
+		obj.verifyCursor = nextCursor
+		obj.dirty = dirty
+	}
+	s.mu.Unlock()
 }
 
 func (s *Steward) addStats(f func(*Stats)) {
@@ -485,13 +603,25 @@ const (
 
 // auditObject runs the full cycle for one object, mutating ex in place.
 // It returns whether the layout changed (renewal timestamps, repairs,
-// prunes).
-func (s *Steward) auditObject(ctx context.Context, name string, ex *exnode.ExNode, cursor int, unreach map[string]int, budget *repairBudget, report *CycleReport) bool {
+// prunes). A non-empty focusDepot switches from the rotating
+// verification sample to verifying that depot's replica on every extent
+// holding one — the alert-triggered audit's corruption sweep.
+func (s *Steward) auditObject(ctx context.Context, name string, ex *exnode.ExNode, cursor int, focusDepot string, unreach map[string]int, budget *repairBudget, report *CycleReport) bool {
 	now := s.cfg.Clock()
 	changed := false
 
 	sampled := make(map[int]bool)
-	if s.cfg.VerifyPerCycle > 0 && len(ex.Extents) > 0 {
+	switch {
+	case focusDepot != "":
+		for i := range ex.Extents {
+			for _, rep := range ex.Extents[i].Replicas {
+				if rep.Depot == focusDepot {
+					sampled[i] = true
+					break
+				}
+			}
+		}
+	case s.cfg.VerifyPerCycle > 0 && len(ex.Extents) > 0:
 		for k := 0; k < s.cfg.VerifyPerCycle && k < len(ex.Extents); k++ {
 			sampled[(cursor+k)%len(ex.Extents)] = true
 		}
@@ -523,6 +653,11 @@ func (s *Steward) auditObject(ctx context.Context, name string, ex *exnode.ExNod
 		if sampled[i] && ext.Checksum != "" {
 			for j := range ext.Replicas {
 				if verdicts[j] != verdictHealthy {
+					continue
+				}
+				// A focused audit verifies the suspect depot's replica, not
+				// whichever healthy replica happens to come first.
+				if focusDepot != "" && ext.Replicas[j].Depot != focusDepot {
 					continue
 				}
 				rep := ext.Replicas[j]

@@ -1,15 +1,17 @@
 #!/bin/sh
 # Benchmark regression tripwire: run the quick smoke benchmark and diff it
-# against the committed baseline (BENCH_0.json). Regressions past 20% print
-# "lfbench: WARN ..." lines but do not fail the build — micro benchmarks on
-# shared machines are too noisy to gate on, so this is warn-only by design.
+# against the committed baseline (default: the highest-numbered
+# BENCH_<n>.json). Regressions past 20% print "lfbench: WARN ..." lines but
+# do not fail the build — micro benchmarks on shared machines are too noisy
+# to gate on, so this is warn-only by design.
 #
 # Usage: benchdiff.sh [baseline.json] [output-dir]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-baseline=${1:-BENCH_0.json}
+baseline=${1:-$(ls BENCH_[0-9]*.json 2>/dev/null | sort -V | tail -1)}
+baseline=${baseline:-BENCH_0.json}
 outdir=${2:-}
 if [ ! -s "$baseline" ]; then
 	echo "benchdiff: baseline $baseline missing; regenerate with:" >&2

@@ -28,10 +28,15 @@ go test -race ./...
 echo "== docs audit"
 sh scripts/docscheck.sh
 
-echo "== lfbench -quick + benchdiff vs BENCH_0.json (warn-only)"
+echo "== lfbench -quick + benchdiff vs newest committed baseline (warn-only)"
+baseline=$(ls BENCH_[0-9]*.json 2>/dev/null | sort -V | tail -1)
+if [ -z "$baseline" ]; then
+	echo "no BENCH_<n>.json baseline committed" >&2
+	exit 1
+fi
 benchdir=$(mktemp -d)
 trap 'rm -rf "$benchdir"' EXIT
-sh scripts/benchdiff.sh BENCH_0.json "$benchdir"
+sh scripts/benchdiff.sh "$baseline" "$benchdir"
 report="$benchdir/BENCH_quick.json"
 if [ ! -s "$report" ]; then
 	echo "lfbench -quick did not write $report" >&2
@@ -47,8 +52,21 @@ done
 echo "== lftop smoke"
 go build -o "$benchdir/depotd" ./cmd/depotd
 go build -o "$benchdir/lftop" ./cmd/lftop
-"$benchdir/depotd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 >"$benchdir/depotd.log" 2>&1 &
+"$benchdir/depotd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 -tsdb-interval 100ms >"$benchdir/depotd.log" 2>&1 &
 depot_pid=$!
+teardown() {
+	kill "$depot_pid" 2>/dev/null || true
+	wait "$depot_pid" 2>/dev/null || true
+}
+smoke_fail() {
+	echo "$1" >&2
+	echo "--- depotd.log ---" >&2
+	cat "$benchdir/depotd.log" >&2
+	teardown
+	exit 1
+}
+# The log parse only discovers the :0-bound port; readiness is gated on
+# /readyz below, not on log lines.
 maddr=""
 i=0
 while [ "$i" -lt 50 ]; do
@@ -57,21 +75,20 @@ while [ "$i" -lt 50 ]; do
 	i=$((i + 1))
 	sleep 0.1
 done
-if [ -z "$maddr" ]; then
-	echo "depotd did not report a metrics address:" >&2
-	cat "$benchdir/depotd.log" >&2
-	kill "$depot_pid" 2>/dev/null || true
-	exit 1
+[ -n "$maddr" ] || smoke_fail "depotd did not report a metrics address within 5s"
+if ! "$benchdir/lftop" -wait-ready 5s -once -json "$maddr" >"$benchdir/lftop.json"; then
+	smoke_fail "lftop -wait-ready -once -json failed against $maddr"
 fi
-if ! "$benchdir/lftop" -once -json "$maddr" >"$benchdir/lftop.json"; then
-	echo "lftop -once -json failed against $maddr" >&2
-	kill "$depot_pid" 2>/dev/null || true
-	exit 1
-fi
-kill "$depot_pid" 2>/dev/null || true
-if ! grep -q '"endpoint"' "$benchdir/lftop.json"; then
-	echo "lftop smoke produced no target summary" >&2
-	exit 1
-fi
+grep -q '"endpoint"' "$benchdir/lftop.json" || smoke_fail "lftop smoke produced no target summary"
+# The TSDB must retain a queryable range (>= 2 samples at -tsdb-interval
+# 100ms) and /debug/alerts must serve parseable JSON.
+sleep 0.5
+series=$(curl -s "http://$maddr/debug/tsdb" | tr ',' '\n' | sed -n 's/.*"name": *"\([^"{]*\)".*/\1/p' | head -1)
+[ -n "$series" ] || smoke_fail "/debug/tsdb index lists no unlabeled series"
+npoints=$(curl -s "http://$maddr/debug/tsdb?name=$series&since=30s&agg=raw" | grep -c '"t":' || true)
+[ "$npoints" -ge 2 ] || smoke_fail "/debug/tsdb range query for $series returned $npoints samples, want >= 2"
+alerts=$(curl -s "http://$maddr/debug/alerts")
+printf '%s' "$alerts" | grep -q '"firing"' || smoke_fail "/debug/alerts did not serve an alert summary: $alerts"
+teardown
 
 echo "all checks passed"

@@ -5,6 +5,8 @@
 #     docs/OPERATIONS.md as `-flagname`.
 #  2. Every metric family and span name declared in
 #     internal/obs/names.go must appear in docs/OBSERVABILITY.md.
+#  3. Every HTTP endpoint the obs mux serves (including the SLO stack's
+#     extra handlers) must appear in docs/OBSERVABILITY.md.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,6 +30,17 @@ names=$(grep -oE '= "[a-z][a-z0-9._]+"' internal/obs/names.go | sed 's/= "\(.*\)
 for n in $names; do
 	if ! grep -qF -- "$n" docs/OBSERVABILITY.md; then
 		echo "MISSING: metric/span name $n not documented in docs/OBSERVABILITY.md" >&2
+		fail=1
+	fi
+done
+
+echo "== HTTP endpoints vs docs/OBSERVABILITY.md"
+endpoints=$({ grep -hE 'mux\.Handle' internal/obs/http.go | grep -oE '"/[a-z0-9/]+"' || true
+	grep -oE '"/[a-z0-9/]+"' internal/obs/slo/stack.go || true
+} | tr -d '"' | sed 's|^/debug/pprof/.*|/debug/pprof/|' | sort -u)
+for e in $endpoints; do
+	if ! grep -qF -- "$e" docs/OBSERVABILITY.md; then
+		echo "MISSING: endpoint $e not documented in docs/OBSERVABILITY.md" >&2
 		fail=1
 	fi
 done
