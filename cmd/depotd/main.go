@@ -18,6 +18,7 @@ import (
 	"lonviz/internal/lbone"
 	"lonviz/internal/obs"
 	"lonviz/internal/obs/slo"
+	"lonviz/internal/overload"
 )
 
 func main() {
@@ -25,6 +26,9 @@ func main() {
 	capacity := flag.Int64("capacity", 1<<30, "storage capacity in bytes")
 	dir := flag.String("dir", "", "back allocations with files in this directory (default: memory)")
 	maxLease := flag.Duration("max-lease", time.Hour, "maximum allocation lease")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently executing requests (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: max requests waiting for a slot before shedding with BUSY")
+	maxQueueWait := flag.Duration("max-queue-wait", 100*time.Millisecond, "admission control: max time a request may queue before shedding with BUSY")
 	lboneURL := flag.String("lbone", "", "L-Bone base URL to register with (e.g. http://host:port)")
 	x := flag.Float64("x", 0, "network coordinate X for L-Bone proximity")
 	y := flag.Float64("y", 0, "network coordinate Y for L-Bone proximity")
@@ -45,6 +49,11 @@ func main() {
 	}
 	srv := ibp.NewServer(depot)
 	srv.Logf = log.Printf
+	if *maxInflight > 0 {
+		srv.Admission = overload.NewGate(*maxInflight, *maxQueue, *maxQueueWait)
+		fmt.Printf("depotd: admission control: %d in-flight, %d queued, %v max wait\n",
+			*maxInflight, *maxQueue, *maxQueueWait)
+	}
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		log.Fatalf("depotd: listen: %v", err)

@@ -17,12 +17,16 @@ import (
 	"lonviz/internal/dvs"
 	"lonviz/internal/obs"
 	"lonviz/internal/obs/slo"
+	"lonviz/internal/overload"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6800", "listen address")
 	parent := flag.String("parent", "", "parent DVS address (empty for the root)")
 	generate := flag.Bool("generate", false, "forward full-hierarchy misses to registered server agents")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently executing requests (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: max requests waiting for a slot before shedding with BUSY")
+	maxQueueWait := flag.Duration("max-queue-wait", 100*time.Millisecond, "admission control: max time a request may queue before shedding with BUSY")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
 	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
@@ -37,6 +41,11 @@ func main() {
 	srv := dvs.NewServer(*parent)
 	if *generate {
 		srv.Generate = agent.GenerateFunc(nil)
+	}
+	if *maxInflight > 0 {
+		srv.Admission = overload.NewGate(*maxInflight, *maxQueue, *maxQueueWait)
+		fmt.Printf("dvsd: admission control: %d in-flight, %d queued, %v max wait\n",
+			*maxInflight, *maxQueue, *maxQueueWait)
 	}
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {

@@ -12,6 +12,9 @@
 //	lfbench -fig rates  in-text 4.3: WAN access & hit rates, cases 2 vs 3
 //	lfbench -fig all    everything
 //	lfbench -quick      small smoke run; writes BENCH_quick.json and exits
+//	lfbench -clients N  multi-client fleet benchmark (implies -quick): adds a
+//	                    "fleet" section — aggregate fps, per-client p99,
+//	                    fairness spread, shed counts — to the report
 //
 // -csv DIR writes each series as CSV next to the printed tables. -json DIR
 // writes a machine-readable BENCH_<name>.json (frames/sec, fetch-latency
@@ -23,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -44,6 +48,8 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
 	jsonDir := flag.String("json", ".", "directory to write BENCH_*.json reports into")
 	quick := flag.Bool("quick", false, "run a short smoke benchmark, write BENCH_quick.json, verify it parses, and exit")
+	clients := flag.Int("clients", 0, "also run a multi-client fleet benchmark with this many concurrent viewers (implies -quick)")
+	benchName := flag.String("bench-name", "quick", "name for the emitted BENCH_<name>.json in quick/fleet mode")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to diff the -quick run against; warns on >20% regressions")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the benchmark runs (empty disables)")
 	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
@@ -90,8 +96,8 @@ func main() {
 
 	ctx := context.Background()
 
-	if *quick {
-		if err := runQuick(ctx, cfg, *jsonDir, *compare); err != nil {
+	if *quick || *clients > 1 {
+		if err := runQuick(ctx, cfg, *jsonDir, *compare, *benchName, *clients); err != nil {
 			fatal(err)
 		}
 		return
@@ -183,11 +189,57 @@ type benchCase struct {
 	Classes         map[string]int   `json:"classes"`
 }
 
+// benchFleet is the multi-client section of a bench report: the same
+// deployment under N concurrent viewers sharing one client agent.
+type benchFleet struct {
+	Clients           int       `json:"clients"`
+	AccessesPerClient int       `json:"accesses_per_client"`
+	Successes         int       `json:"successes"`
+	AggregateFPS      float64   `json:"aggregate_fps"`
+	PerClientP99Ms    []float64 `json:"per_client_p99_ms"`
+	WorstP99Ms        float64   `json:"worst_p99_ms"`
+	// FairnessSpread is fastest-client fps over slowest-client fps
+	// (1.0 = perfectly fair); -1 records that some client starved
+	// completely (the true spread is infinite, which JSON cannot carry).
+	FairnessSpread  float64 `json:"fairness_spread"`
+	Busy            int     `json:"busy"`
+	Expired         int     `json:"expired"`
+	Errors          int     `json:"errors"`
+	Coalesced       int64   `json:"coalesced"`
+	BusyRejections  int64   `json:"busy_rejections"`
+	BudgetExhausted int64   `json:"budget_exhausted"`
+}
+
 // benchReport is the machine-readable BENCH_<name>.json document.
 type benchReport struct {
 	Name        string      `json:"name"`
 	GeneratedAt string      `json:"generated_at"`
 	Cases       []benchCase `json:"cases"`
+	Fleet       *benchFleet `json:"fleet,omitempty"`
+}
+
+func summarizeFleet(fr *experiments.FleetRun) *benchFleet {
+	out := &benchFleet{
+		Clients:           fr.Clients,
+		AccessesPerClient: fr.Accesses,
+		Successes:         fr.Result.Accesses(),
+		AggregateFPS:      fr.Result.AggregateFPS(),
+		WorstP99Ms:        fr.Result.WorstP99Ms(),
+		FairnessSpread:    fr.Result.FairnessSpread(),
+		Coalesced:         fr.Agent.Coalesced,
+		BusyRejections:    fr.Agent.BusyRejections,
+		BudgetExhausted:   fr.Agent.BudgetExhausted,
+	}
+	if math.IsInf(out.FairnessSpread, 1) {
+		out.FairnessSpread = -1
+	}
+	for _, r := range fr.Result.Runs {
+		out.PerClientP99Ms = append(out.PerClientP99Ms, r.P99Ms())
+		out.Busy += r.Busy
+		out.Expired += r.Expired
+		out.Errors += r.Errors
+	}
+	return out
 }
 
 var caseNames = map[experiments.Case]string{
@@ -253,11 +305,12 @@ func summarizeCase(r experiments.CaseRun) benchCase {
 }
 
 // writeBenchJSON renders runs into BENCH_<name>.json under dir and returns
-// the file path.
-func writeBenchJSON(dir, name string, runs []experiments.CaseRun) (string, error) {
+// the file path. fleet is optional.
+func writeBenchJSON(dir, name string, runs []experiments.CaseRun, fleet *benchFleet) (string, error) {
 	report := benchReport{
 		Name:        name,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Fleet:       fleet,
 	}
 	for _, r := range runs {
 		report.Cases = append(report.Cases, summarizeCase(r))
@@ -278,11 +331,16 @@ func writeBenchJSON(dir, name string, runs []experiments.CaseRun) (string, error
 }
 
 // runQuick is the CI smoke mode: a short three-case run at one resolution,
-// reported as BENCH_quick.json and re-read to prove the file parses. With a
-// baseline it also diffs the fresh report against it (warn-only).
-func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline string) error {
+// reported as BENCH_<name>.json and re-read to prove the file parses. With a
+// baseline it also diffs the fresh report against it (warn-only). With
+// clients > 1 it additionally runs the multi-client fleet benchmark and
+// records the fleet section alongside the standard single-client cases.
+func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline, name string, clients int) error {
 	if jsonDir == "" {
 		jsonDir = "."
+	}
+	if name == "" {
+		name = "quick"
 	}
 	// With a baseline, match its session length and keep the configured
 	// cursor pacing so the diff is apples-to-apples (a short, unpaced
@@ -302,7 +360,18 @@ func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline str
 	if err != nil {
 		return err
 	}
-	path, err := writeBenchJSON(jsonDir, "quick", runs)
+	var fleet *benchFleet
+	if clients > 1 {
+		fr, err := experiments.FleetExperiment(ctx, cfg, 200, clients)
+		if err != nil {
+			return err
+		}
+		fleet = summarizeFleet(fr)
+		fmt.Printf("lfbench: fleet %d clients x %d accesses: %.1f aggregate fps, worst p99 %.1f ms, spread %.2f, busy=%d expired=%d errors=%d coalesced=%d\n",
+			fleet.Clients, fleet.AccessesPerClient, fleet.AggregateFPS, fleet.WorstP99Ms,
+			fleet.FairnessSpread, fleet.Busy, fleet.Expired, fleet.Errors, fleet.Coalesced)
+	}
+	path, err := writeBenchJSON(jsonDir, name, runs, fleet)
 	if err != nil {
 		return err
 	}
@@ -314,15 +383,18 @@ func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline str
 	}
 	var back benchReport
 	if err := json.Unmarshal(data, &back); err != nil {
-		return fmt.Errorf("BENCH_quick.json does not parse: %w", err)
+		return fmt.Errorf("%s does not parse: %w", path, err)
 	}
 	if len(back.Cases) == 0 {
-		return fmt.Errorf("BENCH_quick.json has no cases")
+		return fmt.Errorf("%s has no cases", path)
 	}
 	for _, c := range back.Cases {
 		if c.Accesses == 0 || c.FramesPerSecond <= 0 {
-			return fmt.Errorf("BENCH_quick.json case %q is empty", c.Case)
+			return fmt.Errorf("%s case %q is empty", path, c.Case)
 		}
+	}
+	if clients > 1 && (back.Fleet == nil || back.Fleet.Successes == 0) {
+		return fmt.Errorf("%s fleet section is empty", path)
 	}
 	fmt.Printf("lfbench: quick run ok: %d cases, %d accesses each, %.1fs total\n",
 		len(back.Cases), back.Cases[0].Accesses, time.Since(start).Seconds())
@@ -397,6 +469,16 @@ func compareReports(baselinePath string, current benchReport) error {
 	if compared == 0 {
 		return fmt.Errorf("compare: no cases in common with baseline %s", baselinePath)
 	}
+	// Fleet sections only diff like-for-like: same client count, both runs
+	// actually produced one (a plain -quick run against a fleet baseline
+	// just skips this block).
+	if base.Fleet != nil && current.Fleet != nil && base.Fleet.Clients == current.Fleet.Clients {
+		warnFaster("fleet", "aggregate_fps", base.Fleet.AggregateFPS, current.Fleet.AggregateFPS)
+		warnSlower("fleet", "worst_p99_ms", base.Fleet.WorstP99Ms, current.Fleet.WorstP99Ms)
+		if base.Fleet.FairnessSpread > 0 && current.Fleet.FairnessSpread > 0 {
+			warnSlower("fleet", "fairness_spread", base.Fleet.FairnessSpread, current.Fleet.FairnessSpread)
+		}
+	}
 	if regressions == 0 {
 		fmt.Printf("lfbench: compare vs %s ok (%d cases within 20%%)\n", baselinePath, compared)
 	} else {
@@ -461,7 +543,7 @@ func figLatency(ctx context.Context, cfg experiments.Config, figName string, pap
 	printCaseSeries(headers, series)
 	summarizeCases(headers, runs)
 	if jsonDir != "" {
-		if _, err := writeBenchJSON(jsonDir, "fig"+figName, runs); err != nil {
+		if _, err := writeBenchJSON(jsonDir, "fig"+figName, runs, nil); err != nil {
 			return err
 		}
 	}

@@ -42,6 +42,7 @@ func main() {
 	precompute := flag.Bool("precompute", true, "render and publish the full database at startup")
 	storeDir := flag.String("store", "", "serve/cache view sets from this lfgen-compatible directory")
 	replicas := flag.Int("replicas", 1, "replicas per stripe across depots")
+	maxPending := flag.Int("max-pending", 0, "render scheduler bound: max queued view sets before the oldest is evicted with BUSY (0 = unbounded)")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	runSteward := flag.Bool("steward", false, "run a background steward over the precomputed database (renews leases, repairs replicas)")
 	stewardInterval := flag.Duration("steward-interval", time.Minute, "steward scan cycle interval")
@@ -96,11 +97,12 @@ func main() {
 	}
 
 	sa, err := agent.NewServerAgent(agent.ServerAgentConfig{
-		Dataset:  *dataset,
-		Gen:      gen,
-		Depots:   depotList,
-		DVS:      &dvs.Client{Addr: *dvsAddr},
-		Replicas: *replicas,
+		Dataset:    *dataset,
+		Gen:        gen,
+		Depots:     depotList,
+		DVS:        &dvs.Client{Addr: *dvsAddr},
+		Replicas:   *replicas,
+		MaxPending: *maxPending,
 	})
 	if err != nil {
 		log.Fatalf("lfserve: %v", err)

@@ -7,6 +7,8 @@
 //   - per-depot IBP round-trip p50/p95/p99 and operation error counts
 //   - LoRS failover pressure and circuit-breaker state
 //   - client agent cache hit rate and fetch frame rate
+//   - overload control: admission in-flight/queue depth, shed rate,
+//     request-coalesce hit rate, retry-budget refusals
 //   - the slowest recent traces, so "why was that frame slow" is one
 //     glance, not a log dig
 //
@@ -118,6 +120,7 @@ type lftop struct {
 
 type frameSample struct {
 	frames int64
+	shed   float64
 	at     time.Time
 }
 
@@ -152,6 +155,25 @@ type historyLine struct {
 	Spark  string  `json:"spark"`
 }
 
+// loadStat is the overload-control pane: admission gate occupancy and
+// shed/coalesce accounting summed across the target's layers (depot, DVS,
+// render agent, client agent).
+type loadStat struct {
+	InFlight   float64 `json:"in_flight"`
+	QueueDepth float64 `json:"queue_depth"`
+	// Shed totals every BUSY rejection the target made (ibp.shed +
+	// dvs.shed + agent.render.shed, all reasons); ShedPerSecond is its
+	// rate between refreshes.
+	Shed          float64 `json:"shed"`
+	ShedPerSecond float64 `json:"shed_per_second"`
+	Coalesced     float64 `json:"coalesced"`
+	// CoalesceHitRate is coalesced / (coalesced + fetches): the share of
+	// view-set requests that piggybacked instead of transferring.
+	CoalesceHitRate      float64 `json:"coalesce_hit_rate"`
+	BusyRejections       float64 `json:"busy_rejections"`
+	RetryBudgetExhausted float64 `json:"retry_budget_exhausted"`
+}
+
 // traceLine is one root span from /debug/traces, slowest-first.
 type traceLine struct {
 	TraceID string  `json:"trace_id"`
@@ -175,6 +197,7 @@ type targetSummary struct {
 	Frames          int64              `json:"frames"`
 	FrameMeanMs     float64            `json:"frame_mean_ms"`
 	FramesPerSecond float64            `json:"frames_per_second"`
+	Load            loadStat           `json:"load"`
 	SlowTraces      []traceLine        `json:"slow_traces,omitempty"`
 	AlertsFiring    int                `json:"alerts_firing"`
 	Alerts          []alertLine        `json:"alerts,omitempty"`
@@ -210,10 +233,15 @@ func (t *lftop) pollOne(ep string) targetSummary {
 	summarizeMetrics(snap, &sum)
 
 	now := time.Now()
-	if prev, ok := t.prev[ep]; ok && now.After(prev.at) && sum.Frames >= prev.frames {
-		sum.FramesPerSecond = float64(sum.Frames-prev.frames) / now.Sub(prev.at).Seconds()
+	if prev, ok := t.prev[ep]; ok && now.After(prev.at) {
+		if sum.Frames >= prev.frames {
+			sum.FramesPerSecond = float64(sum.Frames-prev.frames) / now.Sub(prev.at).Seconds()
+		}
+		if sum.Load.Shed >= prev.shed {
+			sum.Load.ShedPerSecond = (sum.Load.Shed - prev.shed) / now.Sub(prev.at).Seconds()
+		}
 	}
-	t.prev[ep] = frameSample{frames: sum.Frames, at: now}
+	t.prev[ep] = frameSample{frames: sum.Frames, shed: sum.Load.Shed, at: now}
 
 	// Traces are optional: a scrape target without a tracer still renders.
 	if spans, err := t.fetchTraces(base + "/debug/traces"); err == nil {
@@ -500,6 +528,18 @@ func summarizeMetrics(snap map[string]json.RawMessage, sum *targetSummary) {
 				sum.Frames += h.Count
 				sum.FrameMeanMs += h.Sum
 			}
+			continue
+		}
+		// Shed counters are labeled by reason; fold every instance of the
+		// three families into one total for the load pane.
+		for _, family := range []string{obs.MIBPShed, obs.MDVSShed, obs.MAgentRenderShed} {
+			if _, ok := splitLabeled(name, family); ok {
+				var v float64
+				if json.Unmarshal(raw, &v) == nil {
+					sum.Load.Shed += v
+				}
+				break
+			}
 		}
 	}
 	if sum.Frames > 0 {
@@ -511,6 +551,14 @@ func summarizeMetrics(snap map[string]json.RawMessage, sum *targetSummary) {
 	sum.CircuitOpen = num(obs.MLorsCircuitOpen)
 	sum.CircuitTrips = num(obs.MLorsCircuitTrips)
 	sum.CacheHitRate = num(obs.MAgentHitRate)
+	sum.Load.InFlight = num(obs.MIBPInflight) + num(obs.MDVSInflight)
+	sum.Load.QueueDepth = num(obs.MIBPQueueDepth) + num(obs.MDVSQueueDepth) + num(obs.MAgentRenderQueueDepth)
+	sum.Load.Coalesced = num(obs.MAgentCoalesced)
+	sum.Load.BusyRejections = num(obs.MLorsBusyRejections)
+	sum.Load.RetryBudgetExhausted = num(obs.MLorsRetryBudgetExhausted)
+	if total := sum.Load.Coalesced + float64(sum.Frames); total > 0 {
+		sum.Load.CoalesceHitRate = sum.Load.Coalesced / total
+	}
 }
 
 // slowestTraces reduces a span dump to its root spans, slowest first. A
@@ -573,6 +621,9 @@ func render(w io.Writer, sums []targetSummary, live bool) {
 			s.FailedAttempts, s.RetryPasses, s.CircuitOpen, s.CircuitTrips)
 		fmt.Fprintf(w, "  client:   frames=%d mean=%.2fms rate=%.1f/s cache_hit_rate=%.0f%%\n",
 			s.Frames, s.FrameMeanMs, s.FramesPerSecond, 100*s.CacheHitRate)
+		fmt.Fprintf(w, "  load:     in_flight=%.0f queue=%.0f shed=%.0f (%.1f/s) coalesce_hit=%.0f%% busy_rejections=%.0f budget_exhausted=%.0f\n",
+			s.Load.InFlight, s.Load.QueueDepth, s.Load.Shed, s.Load.ShedPerSecond,
+			100*s.Load.CoalesceHitRate, s.Load.BusyRejections, s.Load.RetryBudgetExhausted)
 		if len(s.History) > 0 {
 			fmt.Fprintln(w, "  history (p99 ms):")
 			for _, h := range s.History {

@@ -17,6 +17,7 @@ import (
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
 	"lonviz/internal/obs"
+	"lonviz/internal/singleflight"
 )
 
 // AccessClass classifies where a view set request was satisfied from —
@@ -118,9 +119,19 @@ type ClientAgentConfig struct {
 	// callers inject their own to share it across agents or to tune the
 	// threshold and cooldown.
 	Health *lors.HealthTracker
+	// Budget is the retry budget shared by every download this agent
+	// performs (and, when injected, across agents): it caps cluster-wide
+	// retry amplification during brownouts the way Health removes
+	// individually dead depots. Nil gets a default budget.
+	Budget *lors.RetryBudget
 	// Retries is how many replica-list passes each extent download makes
 	// (default 2 so a transient fault gets one backed-off second chance).
 	Retries int
+	// FetchTimeout bounds one coalesced view-set fetch flight (default
+	// 1m). Flights run detached from any single caller's context — one
+	// impatient client must not kill the fetch other clients share — so
+	// this, not the caller's deadline, is what stops a wedged flight.
+	FetchTimeout time.Duration
 	// Obs receives the agent.* metric families (fetch latency per access
 	// class, cache hits/misses, prefetch and staging counters) and is
 	// threaded through to the lors transfer layer; nil records into
@@ -160,6 +171,14 @@ type ClientAgentStats struct {
 	ReplicaTries   int64
 	FailedAttempts int64
 	ChecksumErrors int64
+	// Coalesced counts view-set requests that piggybacked on an identical
+	// in-flight fetch instead of starting their own transfer.
+	Coalesced int64
+	// BusyRejections/BudgetExhausted surface the overload-control
+	// accounting of the agent's downloads (depot BUSY sheds and retry
+	// passes refused by the budget).
+	BusyRejections  int64
+	BudgetExhausted int64
 }
 
 // ClientAgent is the broker between clients and the LoN fabric: it caches
@@ -171,14 +190,17 @@ type ClientAgent struct {
 	cache  *LRU // id.String() -> compressed frame
 	excach *LRU // id.String() -> exNode XML
 
-	mu       sync.Mutex
-	cursor   geom.Spherical
-	haveCur  bool
-	staged   map[lightfield.ViewSetID]*exnode.ExNode
-	staging  map[lightfield.ViewSetID]bool // claimed by a staging worker
-	inflight map[lightfield.ViewSetID]chan struct{}
-	wanBusy  int // outstanding client-facing WAN fetches
-	stats    ClientAgentStats
+	mu      sync.Mutex
+	cursor  geom.Spherical
+	haveCur bool
+	staged  map[lightfield.ViewSetID]*exnode.ExNode
+	staging map[lightfield.ViewSetID]bool // claimed by a staging worker
+	wanBusy int                           // outstanding client-facing WAN fetches
+	stats   ClientAgentStats
+	// flights coalesces concurrent identical view-set fetches: N clients
+	// browsing to the same view set cost one depot fetch. Flights detach
+	// from individual callers' cancellation (see singleflight).
+	flights singleflight.Group[lightfield.ViewSetID, fetchResult]
 	// prefetched marks frames a prefetch loaded into the cache but no user
 	// request has consumed yet; a later hit on one counts as prefetch-useful
 	// (and clears the mark, so each prefetch is credited at most once).
@@ -220,8 +242,14 @@ func NewClientAgent(cfg ClientAgentConfig) (*ClientAgent, error) {
 	if cfg.Health == nil {
 		cfg.Health = lors.NewHealthTracker(lors.HealthConfig{})
 	}
+	if cfg.Budget == nil {
+		cfg.Budget = lors.NewRetryBudget(0, 0)
+	}
 	if cfg.Retries <= 0 {
 		cfg.Retries = 2
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = time.Minute
 	}
 	cache, err := NewLRU(cfg.CacheBytes)
 	if err != nil {
@@ -237,7 +265,6 @@ func NewClientAgent(cfg ClientAgentConfig) (*ClientAgent, error) {
 		excach:     excach,
 		staged:     make(map[lightfield.ViewSetID]*exnode.ExNode),
 		staging:    make(map[lightfield.ViewSetID]bool),
-		inflight:   make(map[lightfield.ViewSetID]chan struct{}),
 		prefetched: make(map[string]bool),
 		stageWake:  make(chan struct{}, 1),
 		stopCh:     make(chan struct{}),
@@ -276,20 +303,22 @@ func (ca *ClientAgent) RegisterMetrics(reg *obs.Registry) {
 			hitRate = float64(cs.Hits) / float64(total)
 		}
 		return map[string]float64{
-			"hits":            float64(st.Hits),
-			"lan_fetches":     float64(st.LANFetches),
-			"wan_fetches":     float64(st.WANFetches),
-			"prefetches":      float64(st.Prefetches),
-			"staged":          float64(st.Staged),
-			"stage_errors":    float64(st.StageErrors),
-			"replica_tries":   float64(st.ReplicaTries),
-			"failed_attempts": float64(st.FailedAttempts),
-			"checksum_errors": float64(st.ChecksumErrors),
-			"cache.hit_rate":  hitRate,
-			"cache.used":      float64(cs.Used),
-			"cache.entries":   float64(cs.Entries),
-			"cache.evictions": float64(cs.Evictions),
-			"staged_count":    float64(ca.StagedCount()),
+			"hits":             float64(st.Hits),
+			"lan_fetches":      float64(st.LANFetches),
+			"wan_fetches":      float64(st.WANFetches),
+			"prefetches":       float64(st.Prefetches),
+			"staged":           float64(st.Staged),
+			"stage_errors":     float64(st.StageErrors),
+			"replica_tries":    float64(st.ReplicaTries),
+			"failed_attempts":  float64(st.FailedAttempts),
+			"checksum_errors":  float64(st.ChecksumErrors),
+			"busy_rejections":  float64(st.BusyRejections),
+			"budget_exhausted": float64(st.BudgetExhausted),
+			"cache.hit_rate":   hitRate,
+			"cache.used":       float64(cs.Used),
+			"cache.entries":    float64(cs.Entries),
+			"cache.evictions":  float64(cs.Evictions),
+			"staged_count":     float64(ca.StagedCount()),
 		}
 	})
 }
@@ -319,6 +348,8 @@ func (ca *ClientAgent) addTransferStats(st lors.DownloadStats) {
 	ca.stats.ReplicaTries += int64(st.ReplicaTries)
 	ca.stats.FailedAttempts += int64(st.FailedAttempts)
 	ca.stats.ChecksumErrors += int64(st.ChecksumErrors)
+	ca.stats.BusyRejections += int64(st.BusyRejections)
+	ca.stats.BudgetExhausted += int64(st.BudgetExhausted)
 	ca.mu.Unlock()
 }
 
@@ -427,54 +458,77 @@ func (ca *ClientAgent) getViewSet(ctx context.Context, id lightfield.ViewSetID, 
 		span.Finish()
 	}()
 
-	// Collapse duplicate concurrent fetches (e.g. prefetch racing a user
-	// request) into one transfer.
-	for {
-		if frame, ok := ca.cache.Get(id.String()); ok {
-			rep.Class = AccessHit
-			rep.Comm = time.Since(start)
-			rep.Bytes = len(frame)
-			reg.Counter(obs.MAgentHits).Inc()
-			ca.mu.Lock()
-			ca.stats.Hits++
-			if !viaPrefetch && ca.prefetched[id.String()] {
-				delete(ca.prefetched, id.String())
-				reg.Counter(obs.MAgentPrefetchUseful).Inc()
-			}
-			ca.mu.Unlock()
-			return frame, rep, nil
-		}
-		ca.mu.Lock()
-		wait, busy := ca.inflight[id]
-		if !busy {
-			done := make(chan struct{})
-			ca.inflight[id] = done
-			ca.mu.Unlock()
-			reg.Counter(obs.MAgentMisses).Inc()
-			frame, class, err := ca.fetch(ctx, id)
-			ca.mu.Lock()
-			delete(ca.inflight, id)
-			close(done)
-			if err == nil && viaPrefetch {
-				ca.prefetched[id.String()] = true
-			}
-			ca.mu.Unlock()
-			if err != nil {
-				return nil, rep, err
-			}
-			rep.Class = class
-			rep.Comm = time.Since(start)
-			rep.Bytes = len(frame)
-			return frame, rep, nil
-		}
-		ca.mu.Unlock()
-		select {
-		case <-ctx.Done():
-			return nil, rep, ctx.Err()
-		case <-wait:
-			// Loop: the cache should now hold it.
-		}
+	if frame, ok := ca.cache.Get(id.String()); ok {
+		ca.recordHit(reg, id, viaPrefetch)
+		rep.Class = AccessHit
+		rep.Comm = time.Since(start)
+		rep.Bytes = len(frame)
+		return frame, rep, nil
 	}
+
+	// Coalesce duplicate concurrent fetches (N clients browsing to the
+	// same view set, or a prefetch racing a user request) into one
+	// transfer. The flight runs detached from any single caller's
+	// context — bounded by FetchTimeout instead — so one canceller never
+	// kills the fetch everyone else is waiting on; a caller whose own ctx
+	// expires stops waiting with its ctx.Err() and the flight carries on.
+	res, shared, err := ca.flights.Do(ctx, id, func(fctx context.Context) (fetchResult, error) {
+		// Re-check under the flight: a just-finished fetch may have landed
+		// the frame between our cache miss and winning flight leadership.
+		if frame, ok := ca.cache.Get(id.String()); ok {
+			ca.recordHit(reg, id, viaPrefetch)
+			return fetchResult{frame: frame, class: AccessHit}, nil
+		}
+		fctx, cancel := context.WithTimeout(fctx, ca.cfg.FetchTimeout)
+		defer cancel()
+		reg.Counter(obs.MAgentMisses).Inc()
+		frame, class, err := ca.fetch(fctx, id)
+		if err == nil && viaPrefetch {
+			ca.mu.Lock()
+			ca.prefetched[id.String()] = true
+			ca.mu.Unlock()
+		}
+		return fetchResult{frame: frame, class: class}, err
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	if shared {
+		// Piggybacked on another caller's transfer: this request paid no
+		// depot work, so it counts as a hit in the paper's access-class
+		// accounting, plus the coalesce counter overload dashboards watch.
+		reg.Counter(obs.MAgentCoalesced).Inc()
+		ca.mu.Lock()
+		ca.stats.Coalesced++
+		ca.mu.Unlock()
+		ca.recordHit(reg, id, viaPrefetch)
+		rep.Class = AccessHit
+	} else {
+		rep.Class = res.class
+	}
+	rep.Comm = time.Since(start)
+	rep.Bytes = len(res.frame)
+	return res.frame, rep, nil
+}
+
+// fetchResult is one coalesced flight's outcome.
+type fetchResult struct {
+	frame []byte
+	class AccessClass
+}
+
+// recordHit folds one cache-served (or coalesced) access into the hit
+// accounting, crediting the prefetcher when a user request consumes a
+// frame a prefetch loaded.
+func (ca *ClientAgent) recordHit(reg *obs.Registry, id lightfield.ViewSetID, viaPrefetch bool) {
+	reg.Counter(obs.MAgentHits).Inc()
+	ca.mu.Lock()
+	ca.stats.Hits++
+	if !viaPrefetch && ca.prefetched[id.String()] {
+		delete(ca.prefetched, id.String())
+		reg.Counter(obs.MAgentPrefetchUseful).Inc()
+	}
+	ca.mu.Unlock()
 }
 
 // fetch performs the actual transfer: LAN depot first, then WAN.
@@ -487,6 +541,7 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 		Parallelism: ca.cfg.Parallelism,
 		Retries:     ca.cfg.Retries,
 		Health:      ca.cfg.Health,
+		Budget:      ca.cfg.Budget,
 		Rand:        ca.cfg.Rand,
 		Prefer:      ca.cfg.ReplicaBias,
 		Obs:         ca.cfg.Obs,
@@ -584,10 +639,7 @@ func (ca *ClientAgent) OnUserMove(sp geom.Spherical) {
 		if ca.cache.Contains(id.String()) {
 			continue
 		}
-		ca.mu.Lock()
-		_, busy := ca.inflight[id]
-		ca.mu.Unlock()
-		if busy {
+		if ca.flights.Pending(id) {
 			continue
 		}
 		ca.registry().Counter(obs.MAgentPrefetches).Inc()

@@ -3,6 +3,7 @@ package agent
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -17,7 +18,19 @@ import (
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
 	"lonviz/internal/obs"
+	"lonviz/internal/overload"
 )
+
+// ErrRenderBusy reports that the server agent shed a render request —
+// evicted from a full pending queue or dropped because its propagated
+// deadline budget was already spent. It wraps ibp.ErrBusy so every layer
+// classifies overload sheds with one sentinel: retryable later, not a
+// failure of the agent.
+var ErrRenderBusy = fmt.Errorf("agent: render request shed: %w", ibp.ErrBusy)
+
+// reasonEvicted labels sheds where a newer request pushed this one out of
+// a full pending queue (the latest-first scheduler's load-shedding form).
+const reasonEvicted = "evicted"
 
 // ServerAgentConfig wires a server agent to its generator and
 // infrastructure.
@@ -44,6 +57,13 @@ type ServerAgentConfig struct {
 	// Workers is the generator parallelism for PrecomputeAll (0 =
 	// GOMAXPROCS), standing in for the paper's 32-processor cluster.
 	Workers int
+	// MaxPending bounds the scheduler's LIFO stack of distinct unrendered
+	// view sets. When a new request would push the stack past the bound,
+	// the OLDEST pending request is evicted and its waiters are answered
+	// with BUSY — under overload the agent keeps only the requests that
+	// reflect where users are now, which is the paper's latest-first
+	// scheduler taken to its load-shedding conclusion. 0 means unbounded.
+	MaxPending int
 	// Obs receives upload timings via the lors layer; nil records into
 	// obs.Default().
 	Obs *obs.Registry
@@ -60,7 +80,7 @@ type ServerAgent struct {
 
 	mu      sync.Mutex
 	pending []lightfield.ViewSetID // LIFO stack of unrendered requests
-	waiters map[lightfield.ViewSetID][]chan renderResult
+	waiters map[lightfield.ViewSetID][]renderWaiter
 	queued  map[lightfield.ViewSetID]bool
 	stats   ServerAgentStats
 	lis     net.Listener
@@ -76,11 +96,25 @@ type ServerAgentStats struct {
 	Uploaded   int64
 	BytesSent  int64
 	DVSUpdates int64
+	// Evicted counts waiters shed because a newer request pushed theirs
+	// out of a full pending queue; DeadlineDrops counts waiters whose
+	// queued request was discarded unrendered because every waiter's
+	// deadline had already expired.
+	Evicted       int64
+	DeadlineDrops int64
 }
 
 type renderResult struct {
 	exnodeXML []byte
 	err       error
+}
+
+// renderWaiter is one blocked Request call: its result channel plus the
+// caller's context, so the scheduler can drop queued work nobody is
+// still waiting for.
+type renderWaiter struct {
+	ch  chan renderResult
+	ctx context.Context
 }
 
 // NewServerAgent validates the configuration.
@@ -102,13 +136,44 @@ func NewServerAgent(cfg ServerAgentConfig) (*ServerAgent, error) {
 	}
 	sa := &ServerAgent{
 		cfg:     cfg,
-		waiters: make(map[lightfield.ViewSetID][]chan renderResult),
+		waiters: make(map[lightfield.ViewSetID][]renderWaiter),
 		queued:  make(map[lightfield.ViewSetID]bool),
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
+	sa.initMetrics()
 	go sa.schedulerLoop()
 	return sa, nil
+}
+
+func (sa *ServerAgent) registry() *obs.Registry {
+	if sa.cfg.Obs != nil {
+		return sa.cfg.Obs
+	}
+	return obs.Default()
+}
+
+// initMetrics eagerly registers the render overload families so load
+// dashboards see them at zero before any shed happens.
+func (sa *ServerAgent) initMetrics() {
+	reg := sa.registry()
+	reg.Counter(obs.Label(obs.MAgentRenderShed, "reason", reasonEvicted))
+	reg.Counter(obs.Label(obs.MAgentRenderShed, "reason", overload.ReasonDeadline))
+	reg.Gauge(obs.MAgentRenderQueueDepth).Set(0)
+}
+
+// shed records n shed render waiters and why.
+func (sa *ServerAgent) shed(reason string, n int) {
+	if n <= 0 {
+		return
+	}
+	sa.registry().Counter(obs.Label(obs.MAgentRenderShed, "reason", reason)).Add(int64(n))
+	obs.DefaultLogger().Warn(context.Background(), obs.EvShed,
+		"component", "agent", "reason", reason, "dataset", sa.cfg.Dataset)
+}
+
+func (sa *ServerAgent) setQueueDepth(n int) {
+	sa.registry().Gauge(obs.MAgentRenderQueueDepth).Set(int64(n))
 }
 
 // Close stops the scheduler and listener.
@@ -151,11 +216,13 @@ func (sa *ServerAgent) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterSnapshot("agent.server", func() map[string]float64 {
 		st := sa.Stats()
 		return map[string]float64{
-			"requests":    float64(st.Requests),
-			"rendered":    float64(st.Rendered),
-			"uploaded":    float64(st.Uploaded),
-			"bytes_sent":  float64(st.BytesSent),
-			"dvs_updates": float64(st.DVSUpdates),
+			"requests":       float64(st.Requests),
+			"rendered":       float64(st.Rendered),
+			"uploaded":       float64(st.Uploaded),
+			"bytes_sent":     float64(st.BytesSent),
+			"dvs_updates":    float64(st.DVSUpdates),
+			"evicted":        float64(st.Evicted),
+			"deadline_drops": float64(st.DeadlineDrops),
 		}
 	})
 }
@@ -203,15 +270,39 @@ func (sa *ServerAgent) Request(ctx context.Context, id lightfield.ViewSetID) ([]
 	if !sa.cfg.Gen.Params().ValidID(id) {
 		return nil, fmt.Errorf("agent: view set %v outside database", id)
 	}
+	if ctx.Err() != nil {
+		// The propagated deadline budget is already spent: shed instead
+		// of queueing work for a caller that has moved on.
+		sa.shed(overload.ReasonDeadline, 1)
+		return nil, ErrRenderBusy
+	}
 	ch := make(chan renderResult, 1)
+	var evicted []renderWaiter
 	sa.mu.Lock()
 	sa.stats.Requests++
-	sa.waiters[id] = append(sa.waiters[id], ch)
+	sa.waiters[id] = append(sa.waiters[id], renderWaiter{ch: ch, ctx: ctx})
 	if !sa.queued[id] {
 		sa.queued[id] = true
 		sa.pending = append(sa.pending, id) // top of stack = latest
+		if sa.cfg.MaxPending > 0 && len(sa.pending) > sa.cfg.MaxPending {
+			// Latest request first: evict the OLDEST pending entry —
+			// under overload the stale request is least likely to still
+			// reflect where its user is.
+			old := sa.pending[0]
+			sa.pending = append([]lightfield.ViewSetID(nil), sa.pending[1:]...)
+			delete(sa.queued, old)
+			evicted = sa.waiters[old]
+			delete(sa.waiters, old)
+			sa.stats.Evicted += int64(len(evicted))
+		}
 	}
+	depth := len(sa.pending)
 	sa.mu.Unlock()
+	sa.setQueueDepth(depth)
+	sa.shed(reasonEvicted, len(evicted))
+	for _, w := range evicted {
+		w.ch <- renderResult{err: ErrRenderBusy}
+	}
 	select {
 	case sa.wake <- struct{}{}:
 	default:
@@ -242,18 +333,42 @@ func (sa *ServerAgent) schedulerLoop() {
 			id := sa.pending[len(sa.pending)-1] // latest request
 			sa.pending = sa.pending[:len(sa.pending)-1]
 			delete(sa.queued, id)
+			depth := len(sa.pending)
+			// Skip the render entirely when no waiter is still live:
+			// every caller's deadline expired while the request sat
+			// queued, so the work would be pure waste.
+			live := false
+			ws := sa.waiters[id]
+			for _, w := range ws {
+				if w.ctx.Err() == nil {
+					live = true
+					break
+				}
+			}
+			if !live {
+				delete(sa.waiters, id)
+				sa.stats.DeadlineDrops += int64(len(ws))
+				sa.mu.Unlock()
+				sa.setQueueDepth(depth)
+				sa.shed(overload.ReasonDeadline, len(ws))
+				for _, w := range ws {
+					w.ch <- renderResult{err: ErrRenderBusy}
+				}
+				continue
+			}
 			sa.mu.Unlock()
+			sa.setQueueDepth(depth)
 
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 			xml, err := sa.renderAndPublish(ctx, id)
 			cancel()
 
 			sa.mu.Lock()
-			ws := sa.waiters[id]
+			ws = sa.waiters[id]
 			delete(sa.waiters, id)
 			sa.mu.Unlock()
-			for _, ch := range ws {
-				ch <- renderResult{exnodeXML: xml, err: err}
+			for _, w := range ws {
+				w.ch <- renderResult{exnodeXML: xml, err: err}
 			}
 		}
 	}
@@ -340,9 +455,13 @@ func (sa *ServerAgent) handleConn(c net.Conn) {
 		if err != nil || len(line) > 1024 {
 			return
 		}
-		// Strip an optional trailing trace token before the strict
-		// 3-field check, and parent this render's span under the caller.
+		// Strip the optional trailing tokens before the strict 3-field
+		// check: trace= is emitted last, deadline= before it. The trace
+		// parents this render's span under the caller; the deadline
+		// bounds the render so queued work for departed callers is
+		// dropped instead of served.
 		f, tc, traced := obs.StripTraceToken(strings.Fields(strings.TrimSpace(line)))
+		f, budget, hasBudget := obs.StripDeadlineToken(f)
 		if len(f) != 3 || f[0] != "RENDER" || f[1] != sa.cfg.Dataset {
 			fmt.Fprintf(bw, "ERR bad request\n")
 			bw.Flush()
@@ -355,6 +474,7 @@ func (sa *ServerAgent) handleConn(c net.Conn) {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		ctx, dcancel := obs.DeadlineContext(ctx, budget, hasBudget)
 		var span *obs.Span
 		if traced {
 			ctx, span = obs.DefaultTracer().StartSpan(obs.ContextWithRemote(ctx, tc), obs.SpanRenderServe)
@@ -362,9 +482,14 @@ func (sa *ServerAgent) handleConn(c net.Conn) {
 		}
 		xml, err := sa.Request(ctx, id)
 		span.Finish()
+		dcancel()
 		cancel()
 		if err != nil {
-			fmt.Fprintf(bw, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			if errors.Is(err, ibp.ErrBusy) {
+				fmt.Fprintf(bw, "ERR BUSY render request shed, retry later\n")
+			} else {
+				fmt.Fprintf(bw, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			}
 		} else {
 			fmt.Fprintf(bw, "OK %d\n", len(xml))
 			bw.Write(xml)
@@ -393,17 +518,19 @@ func RequestRemote(ctx context.Context, dialer ibp.Dialer, agentAddr, dataset, v
 	} else {
 		_ = conn.SetDeadline(time.Now().Add(5 * time.Minute))
 	}
-	if tok := obs.TraceToken(ctx); tok != "" {
-		fmt.Fprintf(conn, "RENDER %s %s %s\n", dataset, viewSetKey, tok)
-	} else {
-		fmt.Fprintf(conn, "RENDER %s %s\n", dataset, viewSetKey)
-	}
+	fmt.Fprintf(conn, "RENDER %s %s%s\n", dataset, viewSetKey, obs.LineTokens(ctx))
 	br := bufio.NewReader(conn)
 	line, err := br.ReadString('\n')
 	if err != nil {
 		return nil, fmt.Errorf("agent: reading render response: %w", err)
 	}
 	f := strings.Fields(strings.TrimSpace(line))
+	if len(f) >= 2 && f[0] == "ERR" && f[1] == "BUSY" {
+		// Typed so callers treat an agent shed as retryable, exactly
+		// like a depot BUSY; pre-overload agents never emit this shape
+		// and fall through to the generic case below.
+		return nil, fmt.Errorf("agent: remote render: %s: %w", strings.Join(f[2:], " "), ibp.ErrBusy)
+	}
 	if len(f) >= 1 && f[0] == "ERR" {
 		return nil, fmt.Errorf("agent: remote render: %s", strings.Join(f[1:], " "))
 	}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lonviz/internal/obs"
+	"lonviz/internal/overload"
 )
 
 // Key identifies a view set within a dataset.
@@ -38,6 +39,13 @@ var ErrMiss = errors.New("dvs: view set not found")
 
 // ErrProto reports a malformed request or response.
 var ErrProto = errors.New("dvs: protocol error")
+
+// ErrBusy is returned when a DVS server sheds the request under overload
+// (admission queue full, or the propagated deadline budget already spent).
+// It is retryable: back off and ask again, or consult another level of
+// the hierarchy. The package keeps its own sentinel rather than borrowing
+// ibp's because dvs deliberately has no dependency on the depot protocol.
+var ErrBusy = errors.New("dvs: server busy, retry later")
 
 const (
 	maxLine  = 2048
@@ -71,16 +79,27 @@ type Server struct {
 	Generate GenerateFunc
 	// Timeout bounds upstream queries (default 30s).
 	Timeout time.Duration
+	// Admission bounds concurrent request execution: beyond its in-flight
+	// and queue capacity, requests are rejected with ERR BUSY so clients
+	// back off instead of queueing behind an overloaded directory. nil
+	// admits everything; requests arriving with an exhausted deadline=
+	// budget are shed regardless.
+	Admission *overload.Gate
 	// Tracer receives the server-side request spans opened for traced
 	// requests (those carrying a trace= token); nil records into
 	// obs.DefaultTracer().
 	Tracer *obs.Tracer
+	// Obs receives the dvs.shed counters and load gauges; nil records
+	// into obs.Default().
+	Obs *obs.Registry
 
 	mu      sync.Mutex
 	exnodes map[Key][][]byte  // exNode table: replicas' XML documents
 	agents  map[string]string // server agent table: dataset -> agent addr
 	lis     net.Listener
 	closed  bool
+
+	metricsOnce sync.Once
 }
 
 // NewServer creates an empty DVS level.
@@ -210,6 +229,7 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 	s.mu.Lock()
 	s.lis = l
 	s.mu.Unlock()
+	s.initMetrics()
 	go func() {
 		for {
 			c, err := l.Accept()
@@ -240,8 +260,62 @@ func (s *Server) tracer() *obs.Tracer {
 	return obs.DefaultTracer()
 }
 
+func (s *Server) registry() *obs.Registry {
+	if s.Obs != nil {
+		return s.Obs
+	}
+	return obs.Default()
+}
+
+// initMetrics eagerly registers the overload families so /metrics shows
+// them at zero on an idle directory.
+func (s *Server) initMetrics() {
+	s.metricsOnce.Do(func() {
+		reg := s.registry()
+		reg.Counter(obs.Label(obs.MDVSShed, "reason", overload.ReasonQueueFull))
+		reg.Gauge(obs.MDVSInflight).Set(0)
+		reg.Gauge(obs.MDVSQueueDepth).Set(0)
+	})
+}
+
+// acquire runs one request through admission control, keeping the load
+// gauges current. With Admission nil it still sheds requests whose
+// propagated deadline budget is already spent.
+func (s *Server) acquire(ctx context.Context) (func(), error) {
+	if s.Admission == nil {
+		if ctx.Err() != nil {
+			return nil, &overload.ShedError{Reason: overload.ReasonDeadline}
+		}
+		return func() {}, nil
+	}
+	release, err := s.Admission.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	reg := s.registry()
+	reg.Gauge(obs.MDVSInflight).Set(s.Admission.InFlight())
+	reg.Gauge(obs.MDVSQueueDepth).Set(s.Admission.Queued())
+	return func() {
+		release()
+		reg.Gauge(obs.MDVSInflight).Set(s.Admission.InFlight())
+		reg.Gauge(obs.MDVSQueueDepth).Set(s.Admission.Queued())
+	}, nil
+}
+
+// shed answers one request with ERR BUSY and records why. Callers close
+// the connection afterwards: a shed PUT/REPLACE has an unread XML body
+// on the wire, and dropping the connection is the only way to stay
+// synchronized without reading bytes of a refused request.
+func (s *Server) shed(bw *bufio.Writer, verb, reason string) {
+	s.registry().Counter(obs.Label(obs.MDVSShed, "reason", reason)).Inc()
+	obs.DefaultLogger().Warn(context.Background(), obs.EvShed,
+		"component", "dvs", "reason", reason, "op", verb)
+	fmt.Fprintf(bw, "ERR BUSY %s\n", reason)
+}
+
 func (s *Server) handle(c net.Conn) {
 	defer c.Close()
+	s.initMetrics()
 	br := bufio.NewReaderSize(c, 64*1024)
 	bw := bufio.NewWriterSize(c, 64*1024)
 	for {
@@ -249,22 +323,34 @@ func (s *Server) handle(c net.Conn) {
 		if err != nil || len(line) > maxLine {
 			return
 		}
-		// Strip a trailing trace=<tid>/<sid> token before the exact
-		// argument-count matching below, and parent this request's span
-		// under the calling client's. Token-less requests (pre-trace
-		// clients) skip the span entirely.
+		// Strip the optional trailing tokens before the exact
+		// argument-count matching below: trace= (emitted last) parents
+		// this request's span under the calling client's, deadline=
+		// bounds the request context with the client's remaining budget.
+		// Token-less requests (pre-propagation clients) skip both.
 		f, tc, traced := obs.StripTraceToken(strings.Fields(strings.TrimSpace(line)))
+		f, budget, hasBudget := obs.StripDeadlineToken(f)
+		verb := ""
+		if len(f) > 0 {
+			verb = f[0]
+		}
 		ctx := context.Background()
 		var span *obs.Span
 		if traced {
-			verb := ""
-			if len(f) > 0 {
-				verb = f[0]
-			}
 			ctx, span = s.tracer().StartSpan(obs.ContextWithRemote(ctx, tc), obs.SpanDVSServe)
 			span.SetAttr("op", verb)
 		}
-		keep := s.dispatch(ctx, br, bw, f)
+		rctx, dcancel := obs.DeadlineContext(ctx, budget, hasBudget)
+		var keep bool
+		release, admitErr := s.acquire(rctx)
+		if admitErr != nil {
+			s.shed(bw, verb, overload.Reason(admitErr))
+			keep = false
+		} else {
+			keep = s.dispatch(rctx, br, bw, f)
+			release()
+		}
+		dcancel()
 		span.Finish()
 		if !keep {
 			bw.Flush()
@@ -354,14 +440,20 @@ type Client struct {
 	Obs *obs.Registry
 }
 
-// traceSuffix returns " trace=<tid>/<sid>" for the active span, or ""
-// when propagation is off — request lines stay byte-identical to
-// pre-trace ones unless a trace is actually being carried.
-func traceSuffix(ctx context.Context) string {
-	if tok := obs.TraceToken(ctx); tok != "" {
-		return " " + tok
+// lineSuffix returns the optional trailing request-line tokens
+// (" deadline=<ms> trace=<tid>/<sid>") for ctx, or "" when propagation
+// is off — request lines stay byte-identical to pre-propagation ones
+// unless a deadline or trace is actually being carried.
+func lineSuffix(ctx context.Context) string { return obs.LineTokens(ctx) }
+
+// remoteErr classifies one "ERR ..." reply: a BUSY shed becomes the
+// typed ErrBusy, anything else the generic remote error pre-overload
+// servers already produced.
+func remoteErr(f []string) error {
+	if len(f) >= 2 && f[1] == "BUSY" {
+		return fmt.Errorf("dvs: remote: %s: %w", strings.Join(f[2:], " "), ErrBusy)
 	}
-	return ""
+	return fmt.Errorf("dvs: remote: %s", strings.Join(f[1:], " "))
 }
 
 // observeOp records one client operation's latency and outcome.
@@ -411,7 +503,7 @@ func (c *Client) Get(ctx context.Context, key Key) (reps [][]byte, err error) {
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = conn.SetDeadline(deadline)
 	}
-	fmt.Fprintf(conn, "GET %s %s%s\n", key.Dataset, key.ViewSet, traceSuffix(ctx))
+	fmt.Fprintf(conn, "GET %s %s%s\n", key.Dataset, key.ViewSet, lineSuffix(ctx))
 	br := bufio.NewReaderSize(conn, 64*1024)
 	line, err := br.ReadString('\n')
 	if err != nil {
@@ -422,7 +514,7 @@ func (c *Client) Get(ctx context.Context, key Key) (reps [][]byte, err error) {
 	case len(f) >= 1 && f[0] == "MISS":
 		return nil, fmt.Errorf("%w: %s", ErrMiss, key)
 	case len(f) >= 1 && f[0] == "ERR":
-		return nil, fmt.Errorf("dvs: remote: %s", strings.Join(f[1:], " "))
+		return nil, remoteErr(f)
 	case len(f) == 2 && f[0] == "OK":
 		n, err := strconv.Atoi(f[1])
 		if err != nil || n < 0 || n > 1024 {
@@ -471,7 +563,7 @@ func (c *Client) record(ctx context.Context, verb string, key Key, exnodeXML []b
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = conn.SetDeadline(deadline)
 	}
-	fmt.Fprintf(conn, "%s %s %s %d%s\n", verb, key.Dataset, key.ViewSet, len(exnodeXML), traceSuffix(ctx))
+	fmt.Fprintf(conn, "%s %s %s %d%s\n", verb, key.Dataset, key.ViewSet, len(exnodeXML), lineSuffix(ctx))
 	if _, err := conn.Write(exnodeXML); err != nil {
 		return err
 	}
@@ -486,7 +578,7 @@ func (c *Client) RegisterAgent(ctx context.Context, dataset, agentAddr string) (
 		return err
 	}
 	defer conn.Close()
-	fmt.Fprintf(conn, "REGAGENT %s %s%s\n", dataset, agentAddr, traceSuffix(ctx))
+	fmt.Fprintf(conn, "REGAGENT %s %s%s\n", dataset, agentAddr, lineSuffix(ctx))
 	return expectOK(conn)
 }
 
@@ -498,7 +590,7 @@ func (c *Client) AgentFor(ctx context.Context, dataset string) (addr string, err
 		return "", err
 	}
 	defer conn.Close()
-	fmt.Fprintf(conn, "AGENT %s%s\n", dataset, traceSuffix(ctx))
+	fmt.Fprintf(conn, "AGENT %s%s\n", dataset, lineSuffix(ctx))
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
 		return "", fmt.Errorf("%w: %v", ErrProto, err)
@@ -510,6 +602,9 @@ func (c *Client) AgentFor(ctx context.Context, dataset string) (addr string, err
 	if len(f) >= 1 && f[0] == "MISS" {
 		return "", ErrMiss
 	}
+	if len(f) >= 1 && f[0] == "ERR" {
+		return "", remoteErr(f)
+	}
 	return "", fmt.Errorf("%w: response %q", ErrProto, line)
 }
 
@@ -520,6 +615,9 @@ func expectOK(conn net.Conn) error {
 	}
 	line = strings.TrimSpace(line)
 	if line != "OK" && !strings.HasPrefix(line, "OK ") {
+		if f := strings.Fields(line); len(f) >= 1 && f[0] == "ERR" {
+			return remoteErr(f)
+		}
 		return fmt.Errorf("dvs: remote: %s", line)
 	}
 	return nil

@@ -1,0 +1,197 @@
+package dvs
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"lonviz/internal/obs"
+	"lonviz/internal/overload"
+)
+
+// sheddingServer starts a DVS whose single admission slot is held by the
+// test, so every request is shed.
+func sheddingServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := NewServer("")
+	s.Obs = obs.NewRegistry()
+	s.Admission = overload.NewGate(1, 0, 10*time.Millisecond)
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	release, err := s.Admission.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(release)
+	return s, addr
+}
+
+// TestAdmissionShedsTypedBusy: a full gate turns every client operation
+// into the typed ErrBusy, and the shed counter fires.
+func TestAdmissionShedsTypedBusy(t *testing.T) {
+	s, addr := sheddingServer(t)
+	cl := &Client{Addr: addr}
+
+	// Body-less operations only: a shed PUT closes the connection with
+	// the XML body unread, so the reply may be lost to a TCP reset —
+	// clients see *some* error either way, but the typed assert would
+	// be flaky.
+	if _, err := cl.Get(context.Background(), Key{Dataset: "d", ViewSet: "r0c0"}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("Get: %v, want ErrBusy", err)
+	}
+	if err := cl.RegisterAgent(context.Background(), "d", "127.0.0.1:1"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("RegisterAgent: %v, want ErrBusy", err)
+	}
+	if _, err := cl.AgentFor(context.Background(), "d"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("AgentFor: %v, want ErrBusy", err)
+	}
+	shed := s.Obs.Counter(obs.Label(obs.MDVSShed, "reason", overload.ReasonQueueFull)).Value()
+	if shed < 3 {
+		t.Fatalf("shed counter = %d, want >= 3", shed)
+	}
+}
+
+// TestAdmissionAdmitsAfterDrain: releasing the slot restores service on
+// the same client.
+func TestAdmissionAdmitsAfterDrain(t *testing.T) {
+	s := NewServer("")
+	s.Obs = obs.NewRegistry()
+	s.Admission = overload.NewGate(1, 0, 10*time.Millisecond)
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	release, err := s.Admission.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &Client{Addr: addr}
+	if err := cl.RegisterAgent(context.Background(), "d", "127.0.0.1:1"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("RegisterAgent while full: %v, want ErrBusy", err)
+	}
+	release()
+	if err := cl.Put(context.Background(), Key{Dataset: "d", ViewSet: "r0c0"}, []byte("<x/>")); err != nil {
+		t.Fatalf("Put after drain: %v", err)
+	}
+	reps, err := cl.Get(context.Background(), Key{Dataset: "d", ViewSet: "r0c0"})
+	if err != nil || len(reps) != 1 {
+		t.Fatalf("Get after drain: %d reps, %v", len(reps), err)
+	}
+}
+
+// TestBusyWireOldClientNewDVS: an old client (raw conn, generic ERR
+// parsing) sees a shed as a plain "ERR BUSY ..." line it already knows
+// how to fail on — the wire stays line-compatible.
+func TestBusyWireOldClientNewDVS(t *testing.T) {
+	_, addr := sheddingServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "AGENT d\n")
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "ERR BUSY ") {
+		t.Fatalf("shed reply = %q, want ERR BUSY prefix", line)
+	}
+}
+
+// TestDeadlineTokenShedsExpired: a request arriving with deadline=0 is
+// shed even with Admission nil — deadline enforcement needs no gate.
+func TestDeadlineTokenShedsExpired(t *testing.T) {
+	s := NewServer("")
+	s.Obs = obs.NewRegistry()
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "AGENT d deadline=0\n")
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "ERR BUSY ") {
+		t.Fatalf("expired-budget reply = %q, want ERR BUSY prefix", line)
+	}
+	// A healthy budget passes through to normal dispatch.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	fmt.Fprintf(conn2, "AGENT d deadline=5000\n")
+	line, err = bufio.NewReader(conn2).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(line) != "MISS" {
+		t.Fatalf("healthy-budget reply = %q, want MISS", line)
+	}
+}
+
+// TestDeadlineTokenEmittedByClient: with propagation on and a caller
+// deadline, client request lines carry the deadline token; with it off
+// they remain the bare pre-overload shape.
+func TestDeadlineTokenEmittedByClient(t *testing.T) {
+	lines := make(chan string, 1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				line, err := bufio.NewReader(c).ReadString('\n')
+				if err != nil {
+					return
+				}
+				lines <- line
+				fmt.Fprintf(c, "MISS\n")
+			}(c)
+		}
+	}()
+	cl := &Client{Addr: l.Addr().String()}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	obs.SetPropagation(true)
+	defer obs.SetPropagation(false)
+	if _, err := cl.AgentFor(ctx, "d"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("AgentFor: %v", err)
+	}
+	if line := <-lines; !strings.HasPrefix(line, "AGENT d deadline=") {
+		t.Fatalf("request line = %q, want deadline token", line)
+	}
+
+	obs.SetPropagation(false)
+	if _, err := cl.AgentFor(ctx, "d"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("AgentFor: %v", err)
+	}
+	if line := <-lines; line != "AGENT d\n" {
+		t.Fatalf("pre-overload request line = %q, want bare request", line)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"context"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/session"
+)
+
+// FleetRun is one multi-client benchmark outcome: the per-client session
+// results plus the shared client agent's coalescing/overload accounting.
+type FleetRun struct {
+	Clients  int
+	Accesses int // per client
+	Result   *session.FleetResult
+	Agent    agent.ClientAgentStats
+}
+
+// FleetExperiment drives clients concurrent seeded sessions against one
+// case-2 (WAN streaming) deployment. All viewers share the deployment's
+// client agent — the paper's agent-per-site shape — so identical in-flight
+// requests coalesce and the cache is contended the way a departmental
+// install would contend it. Client i browses with seed cfg.Seed+i.
+func FleetExperiment(ctx context.Context, cfg Config, paperRes, clients int) (*FleetRun, error) {
+	d, err := Deploy(ctx, cfg, ScaleRes(paperRes), Case2WAN)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	res, err := session.RunFleet(ctx, session.FleetOptions{
+		Params:    d.Params,
+		Clients:   clients,
+		Accesses:  cfg.Accesses,
+		Seed:      cfg.Seed,
+		ThinkTime: cfg.ThinkTime,
+		NewViewer: func(i int) (*agent.Viewer, error) {
+			v, err := agent.NewViewer(d.Params, d.CA)
+			if err != nil {
+				return nil, err
+			}
+			v.MaxDecoded = 1
+			return v, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FleetRun{
+		Clients:  clients,
+		Accesses: cfg.Accesses,
+		Result:   res,
+		Agent:    d.CA.Stats(),
+	}, nil
+}

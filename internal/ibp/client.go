@@ -112,13 +112,15 @@ func (c *Client) roundTrip(ctx context.Context, req string, payload []byte) (fie
 	if i := strings.IndexAny(req, " \n"); i >= 0 {
 		verb = req[:i]
 	}
-	// Propagate the caller's trace context as an optional trailing
-	// trace=<tid>/<sid> token. TraceToken returns "" (no allocation) when
-	// propagation is off or ctx carries no span, so untraced deployments
-	// send byte-identical request lines to pre-trace ones.
-	if tok := obs.TraceToken(ctx); tok != "" {
+	// Propagate the caller's context as optional trailing tokens: a
+	// deadline=<ms> remaining-budget token (overload control: the depot
+	// drops work whose client has moved on) and a trace=<tid>/<sid> token
+	// (tracing). LineTokens returns "" (no allocation) when propagation
+	// is off or ctx carries neither, so unpropagated deployments send
+	// byte-identical request lines to pre-propagation ones.
+	if toks := obs.LineTokens(ctx); toks != "" {
 		if n := len(req); n > 0 && req[n-1] == '\n' {
-			req = req[:n-1] + " " + tok + "\n"
+			req = req[:n-1] + toks + "\n"
 		}
 	}
 	start := time.Now()

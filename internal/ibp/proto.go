@@ -38,11 +38,19 @@ const (
 	codeBadParam = "BADPARAM"
 	codeRange    = "RANGE"
 	codeProto    = "PROTO"
+	codeBusy     = "BUSY"
 	codeInternal = "INTERNAL"
 )
 
 // ErrProto reports a malformed request or response.
 var ErrProto = errors.New("ibp: protocol error")
+
+// ErrBusy reports that admission control shed the request: the depot is
+// overloaded (or the request's deadline budget was already exhausted on
+// arrival) and the caller should retry elsewhere, not here. Pre-BUSY
+// clients see it as a generic remote error, which they already treat as
+// a failed attempt, so adding the code is backward compatible.
+var ErrBusy = errors.New("ibp: depot busy, retry elsewhere")
 
 // codeOf maps a typed error to its wire code.
 func codeOf(err error) string {
@@ -63,6 +71,8 @@ func codeOf(err error) string {
 		return codeRange
 	case errors.Is(err, ErrProto):
 		return codeProto
+	case errors.Is(err, ErrBusy):
+		return codeBusy
 	default:
 		return codeInternal
 	}
@@ -79,6 +89,7 @@ func errOf(code, msg string) error {
 		codeBadParam: ErrBadParam,
 		codeRange:    ErrRange,
 		codeProto:    ErrProto,
+		codeBusy:     ErrBusy,
 	}[code]
 	if base == nil {
 		return fmt.Errorf("ibp: remote error %s: %s", code, msg)

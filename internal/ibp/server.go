@@ -13,11 +13,19 @@ import (
 	"time"
 
 	"lonviz/internal/obs"
+	"lonviz/internal/overload"
 )
 
 // Server exposes a Depot over the wire protocol.
 type Server struct {
 	Depot *Depot
+	// Admission bounds concurrent request execution: beyond MaxInFlight
+	// running plus MaxQueue waiting, requests are rejected with ERR BUSY
+	// so clients fail over to another replica instead of queueing behind
+	// an overloaded depot. nil admits everything. Requests arriving with
+	// an exhausted deadline= budget are shed regardless (the client has
+	// already moved on), so deadline enforcement works with Admission nil.
+	Admission *overload.Gate
 	// CopyDialer dials target depots for third-party COPY; nil means plain
 	// TCP. Third-party transfers are the mechanism behind the paper's
 	// aggressive prestaging: "all such LoN operations take place as third
@@ -38,6 +46,8 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
+
+	metricsOnce sync.Once
 }
 
 // NewServer wraps a depot.
@@ -58,6 +68,38 @@ func (s *Server) tracer() *obs.Tracer {
 	return obs.DefaultTracer()
 }
 
+func (s *Server) registry() *obs.Registry {
+	if s.Obs != nil {
+		return s.Obs
+	}
+	return obs.Default()
+}
+
+// initMetrics eagerly registers the overload families so /metrics shows
+// them at zero on an idle depot (the check.sh smoke greps for them
+// before any traffic arrives).
+func (s *Server) initMetrics() {
+	s.metricsOnce.Do(func() {
+		reg := s.registry()
+		reg.Counter(obs.Label(obs.MIBPShed, "reason", overload.ReasonQueueFull))
+		reg.Gauge(obs.MIBPInflight).Set(0)
+		reg.Gauge(obs.MIBPQueueDepth).Set(0)
+	})
+}
+
+// shed answers one request with ERR BUSY and records why. The connection
+// is closed afterwards (callers return keep=false): a shed STORE has an
+// unread payload on the wire, and dropping the connection is the only
+// way to stay synchronized without reading bytes on a request we refused
+// to serve.
+func (s *Server) shed(bw *bufio.Writer, verb, reason string) {
+	reg := s.registry()
+	reg.Counter(obs.Label(obs.MIBPShed, "reason", reason)).Inc()
+	obs.DefaultLogger().Warn(context.Background(), obs.EvShed,
+		"component", "ibp", "reason", reason, "op", verb)
+	writeErr(bw, ErrBusy, reason)
+}
+
 // Serve accepts connections on l until Close. It returns when the listener
 // fails (net.ErrClosed after Close).
 func (s *Server) Serve(l net.Listener) error {
@@ -68,6 +110,7 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 	s.listener = l
 	s.mu.Unlock()
+	s.initMetrics()
 	for {
 		c, err := l.Accept()
 		if err != nil {
@@ -130,10 +173,8 @@ func (s *Server) handle(c net.Conn) {
 			log.Printf("ibp: panic handling %v: %v", c.RemoteAddr(), r)
 		}
 	}()
-	reg := s.Obs
-	if reg == nil {
-		reg = obs.Default()
-	}
+	reg := s.registry()
+	s.initMetrics()
 	br := bufio.NewReaderSize(c, 64*1024)
 	// The response-sniffing writer sits under the bufio.Writer: the first
 	// chunk flushed per request always begins with the status line, so it
@@ -146,14 +187,18 @@ func (s *Server) handle(c net.Conn) {
 		if err != nil {
 			return // client hung up or sent an overlong line
 		}
-		// A trailing trace=<tid>/<sid> token names the calling client's
-		// active span; strip it before verb dispatch (argument-count checks
-		// must not see it) and parent this request's span under it, so the
-		// depot-side half of the work lands in the same trace as the
-		// client-side half. Requests without the token (all pre-trace
-		// clients) take the span-free path untouched.
+		// Optional trailing tokens ride the request line: a
+		// trace=<tid>/<sid> token names the calling client's active span,
+		// and a deadline=<ms> token carries its remaining time budget.
+		// Both are stripped before verb dispatch (argument-count checks
+		// must not see them); the trace token parents this request's span
+		// under the client's, and the deadline token bounds the request
+		// context so work whose client has already moved on is dropped.
+		// Requests without tokens (all pre-propagation clients) take the
+		// untouched fast path.
 		f := parseFields(line)
 		f, tc, traced := obs.StripTraceToken(f)
+		f, budget, hasBudget := obs.StripDeadlineToken(f)
 		verb := ""
 		if len(f) > 0 {
 			verb = f[0]
@@ -165,9 +210,19 @@ func (s *Server) handle(c net.Conn) {
 			span.SetAttr("op", verb)
 			span.SetAttr("peer", c.RemoteAddr().String())
 		}
+		rctx, cancel := obs.DeadlineContext(sctx, budget, hasBudget)
 		ew.reset()
 		start := time.Now()
-		keep := s.dispatch(br, bw, f)
+		release, admitErr := s.acquire(rctx, reg)
+		var keep bool
+		if admitErr != nil {
+			s.shed(bw, verb, overload.Reason(admitErr))
+			keep = false
+		} else {
+			keep = s.dispatch(rctx, br, bw, f)
+			release()
+		}
+		cancel()
 		flushErr := bw.Flush()
 		reg.Histogram(obs.Label(obs.MIBPServerOpMs, "op", verb), obs.LatencyBucketsMs...).
 			Observe(float64(time.Since(start)) / 1e6)
@@ -182,6 +237,31 @@ func (s *Server) handle(c net.Conn) {
 			return
 		}
 	}
+}
+
+// acquire runs one request through admission control and keeps the load
+// gauges current. With Admission nil it still sheds requests whose
+// propagated deadline budget is already exhausted — the client stopped
+// waiting, so serving it only burns depot capacity.
+func (s *Server) acquire(ctx context.Context, reg *obs.Registry) (func(), error) {
+	g := s.Admission
+	if g == nil {
+		if ctx.Err() != nil {
+			return nil, &overload.ShedError{Reason: overload.ReasonDeadline}
+		}
+		return func() {}, nil
+	}
+	release, err := g.Acquire(ctx)
+	reg.Gauge(obs.MIBPInflight).Set(g.InFlight())
+	reg.Gauge(obs.MIBPQueueDepth).Set(g.Queued())
+	if err != nil {
+		return nil, err
+	}
+	return func() {
+		release()
+		reg.Gauge(obs.MIBPInflight).Set(g.InFlight())
+		reg.Gauge(obs.MIBPQueueDepth).Set(g.Queued())
+	}, nil
 }
 
 // respSniffer classifies each response by its first flushed chunk (which
@@ -214,10 +294,10 @@ func readLine(br *bufio.Reader) (string, error) {
 	return line, nil
 }
 
-// dispatch executes one request (fields already parsed and trace-token
-// stripped); the returned bool says whether to keep the connection
-// (false after protocol-fatal errors).
-func (s *Server) dispatch(br *bufio.Reader, bw *bufio.Writer, f []string) bool {
+// dispatch executes one request (fields already parsed and tokens
+// stripped; ctx carries any propagated deadline); the returned bool says
+// whether to keep the connection (false after protocol-fatal errors).
+func (s *Server) dispatch(ctx context.Context, br *bufio.Reader, bw *bufio.Writer, f []string) bool {
 	if len(f) == 0 {
 		writeErr(bw, ErrProto, "empty request")
 		return false
@@ -236,7 +316,7 @@ func (s *Server) dispatch(br *bufio.Reader, bw *bufio.Writer, f []string) bool {
 	case "FREE":
 		return s.doFree(bw, f)
 	case "COPY":
-		return s.doCopy(bw, f)
+		return s.doCopy(ctx, bw, f)
 	case "STATUS":
 		return s.doStatus(bw, f)
 	default:
@@ -381,7 +461,7 @@ func (s *Server) doFree(bw *bufio.Writer, f []string) bool {
 // doCopy implements third-party copy: this depot reads the extent locally
 // and stores it on the target depot directly, without routing bytes
 // through the requesting client.
-func (s *Server) doCopy(bw *bufio.Writer, f []string) bool {
+func (s *Server) doCopy(ctx context.Context, bw *bufio.Writer, f []string) bool {
 	if len(f) != 7 {
 		writeErr(bw, ErrProto, "COPY wants 6 args")
 		return false
@@ -403,9 +483,9 @@ func (s *Server) doCopy(bw *bufio.Writer, f []string) bool {
 		dialer = NetDialer{}
 	}
 	target := &Client{Addr: f[4], Dialer: dialer}
-	// The server has no per-request context; the client's Timeout bounds
-	// the onward store.
-	if err := target.Store(context.Background(), f[5], targetOff, data); err != nil {
+	// ctx carries the caller's propagated deadline (if any); the client's
+	// Timeout bounds the onward store otherwise.
+	if err := target.Store(ctx, f[5], targetOff, data); err != nil {
 		writeErr(bw, err, "target store")
 		return true
 	}

@@ -1,0 +1,85 @@
+package lors
+
+import (
+	"sync"
+)
+
+// RetryBudget is a token-bucket clamp on retry amplification. Every
+// first-pass extent fetch earns Ratio tokens (capped at Burst); every
+// retry pass spends one. While depots are healthy the bucket stays full
+// and isolated failures retry freely, but during a brownout — when most
+// fetches are failing and everything wants to retry — the bucket drains
+// and further retry passes are refused, capping the cluster-wide load a
+// slow depot fleet sees at roughly (1+Ratio)× the offered load instead
+// of Retries×. The companion circuit breaker (HealthTracker) removes
+// individually dead depots; the budget bounds the aggregate storm when
+// everything is merely slow.
+//
+// A nil *RetryBudget allows every retry, so the clamp is strictly
+// opt-in. One budget is meant to be shared across all downloads of a
+// client agent (like the HealthTracker), which is what makes the cap
+// cluster-wide rather than per-request.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+}
+
+// Default retry-budget tuning: each first attempt earns a tenth of a
+// retry, up to 10 banked retries.
+const (
+	DefaultRetryRatio = 0.1
+	DefaultRetryBurst = 10
+)
+
+// NewRetryBudget builds a budget earning ratio tokens per recorded
+// attempt with at most burst banked. Non-positive arguments take the
+// defaults. The bucket starts full so cold-start failures can retry.
+func NewRetryBudget(ratio, burst float64) *RetryBudget {
+	if ratio <= 0 {
+		ratio = DefaultRetryRatio
+	}
+	if burst <= 0 {
+		burst = DefaultRetryBurst
+	}
+	return &RetryBudget{tokens: burst, ratio: ratio, burst: burst}
+}
+
+// RecordAttempt credits the budget for one first-pass fetch.
+func (b *RetryBudget) RecordAttempt() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// AllowRetry spends one token if available and reports whether the
+// retry may proceed.
+func (b *RetryBudget) AllowRetry() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens reports the current balance (tests and gauges).
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -291,6 +291,11 @@ type DownloadOptions struct {
 	// about every outcome: replicas on circuit-open depots are skipped for
 	// the cooldown, so a dead or flapping depot is not hammered.
 	Health *HealthTracker
+	// Budget, when set, caps retry amplification across every download
+	// sharing it: a retry pass that finds the token bucket empty fails the
+	// extent instead of re-hammering depots that are slow precisely
+	// because everyone is retrying. nil allows every configured retry.
+	Budget *RetryBudget
 	// Rand orders replica attempts; nil uses the package-level seeded
 	// source.
 	Rand *rand.Rand
@@ -368,12 +373,14 @@ func (o *DownloadOptions) backoff(ctx context.Context, attempt int) error {
 
 // DownloadStats reports transfer accounting for one Download call.
 type DownloadStats struct {
-	Bytes          int64 // payload bytes assembled
-	ExtentFetches  int   // extents fetched
-	ReplicaTries   int   // replica load attempts, including failures
-	FailedAttempts int   // failed replica loads (refusals, errors, corruption)
-	ChecksumErrors int   // failed attempts that were checksum mismatches
-	Skipped        int   // replicas skipped because their depot's circuit was open
+	Bytes           int64 // payload bytes assembled
+	ExtentFetches   int   // extents fetched
+	ReplicaTries    int   // replica load attempts, including failures
+	FailedAttempts  int   // failed replica loads (refusals, errors, corruption)
+	ChecksumErrors  int   // failed attempts that were checksum mismatches
+	Skipped         int   // replicas skipped because their depot's circuit was open
+	BusyRejections  int   // attempts shed by depot admission control (BUSY)
+	BudgetExhausted int   // retry passes refused by the retry budget
 }
 
 // add accumulates per-extent stats into a download-wide total.
@@ -382,6 +389,8 @@ func (s *DownloadStats) add(o DownloadStats) {
 	s.FailedAttempts += o.FailedAttempts
 	s.ChecksumErrors += o.ChecksumErrors
 	s.Skipped += o.Skipped
+	s.BusyRejections += o.BusyRejections
+	s.BudgetExhausted += o.BudgetExhausted
 }
 
 // Download reassembles an exNode's payload from the network.
@@ -396,6 +405,8 @@ func Download(ctx context.Context, ex *exnode.ExNode, opts DownloadOptions) ([]b
 		reg.Counter(obs.MLorsFailedAttempts).Add(int64(stats.FailedAttempts))
 		reg.Counter(obs.MLorsChecksumErrors).Add(int64(stats.ChecksumErrors))
 		reg.Counter(obs.MLorsSkippedReplicas).Add(int64(stats.Skipped))
+		reg.Counter(obs.MLorsBusyRejections).Add(int64(stats.BusyRejections))
+		reg.Counter(obs.MLorsRetryBudgetExhausted).Add(int64(stats.BudgetExhausted))
 	}(time.Now())
 	if err := ex.Validate(); err != nil {
 		return nil, stats, err
@@ -481,9 +492,24 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 		return stats, nil
 	}
 
+	opts.Budget.RecordAttempt()
 	var lastErr error
 	for attempt := 0; attempt < opts.Retries; attempt++ {
 		if attempt > 0 {
+			// A cancelled download must stop here, before the backoff
+			// sleep and the next replica pass, so abandoned clients stop
+			// burning depot capacity the moment they leave.
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+			// The retry budget is the cluster-wide storm clamp: when most
+			// fetches are failing, the shared bucket drains and extents
+			// fail fast instead of multiplying load on slow depots.
+			if !opts.Budget.AllowRetry() {
+				stats.BudgetExhausted++
+				return stats, fmt.Errorf("lors: extent at %d: retry budget exhausted after %d passes: %w",
+					ext.Offset, attempt, lastErr)
+			}
 			reg.Counter(obs.MLorsRetryPasses).Inc()
 			if err := opts.backoff(ctx, attempt); err != nil {
 				return stats, err
@@ -515,6 +541,15 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 				aspan.Finish()
 				if ctxErr := ctx.Err(); ctxErr != nil {
 					return stats, ctxErr
+				}
+				if errors.Is(err, ibp.ErrBusy) {
+					// BUSY is a healthy depot shedding load, not a depot
+					// failure: fail over to the next replica without
+					// tripping its circuit, so capacity rejoins the pool
+					// the moment the burst passes.
+					stats.BusyRejections++
+					lastErr = err
+					continue
 				}
 				stats.FailedAttempts++
 				opts.Health.ReportFailure(rep.Depot)
@@ -566,7 +601,10 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 			}
 			if err != nil {
 				aspan.SetAttr("err", err.Error())
-				opts.Health.ReportFailure(rep.Depot)
+				if !errors.Is(err, ibp.ErrBusy) {
+					// BUSY loses the race without tripping the circuit.
+					opts.Health.ReportFailure(rep.Depot)
+				}
 			} else {
 				opts.Health.ReportSuccess(rep.Depot)
 			}
@@ -586,9 +624,13 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 			if r.err == nil {
 				return r.data, stats, nil
 			}
-			stats.FailedAttempts++
-			if errors.Is(r.err, exnode.ErrChecksum) {
-				stats.ChecksumErrors++
+			if errors.Is(r.err, ibp.ErrBusy) {
+				stats.BusyRejections++
+			} else {
+				stats.FailedAttempts++
+				if errors.Is(r.err, exnode.ErrChecksum) {
+					stats.ChecksumErrors++
+				}
 			}
 			lastErr = r.err
 		}

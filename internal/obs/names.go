@@ -26,6 +26,13 @@ const (
 	MIBPServerOpMs = "ibp.server.op.ms"
 	// MIBPServerErrors: counter. Requests answered with ERR, {op=...}.
 	MIBPServerErrors = "ibp.server.errors"
+	// MIBPShed: counter. Requests rejected with BUSY by admission control,
+	// {reason=queue_full|queue_wait|deadline}.
+	MIBPShed = "ibp.shed"
+	// MIBPInflight: gauge. Requests currently executing on the depot.
+	MIBPInflight = "ibp.server.inflight"
+	// MIBPQueueDepth: gauge. Requests waiting for an execution slot.
+	MIBPQueueDepth = "ibp.server.queue_depth"
 
 	// --- lors transfer layer ---
 
@@ -60,6 +67,12 @@ const (
 	MLorsCircuitTrips = "lors.circuit.trips"
 	// MLorsCircuitOpen: gauge. Depots whose circuit is currently open.
 	MLorsCircuitOpen = "lors.circuit.open"
+	// MLorsBusyRejections: counter. Replica attempts answered BUSY by depot
+	// admission control (treated as retryable-elsewhere, not depot failure).
+	MLorsBusyRejections = "lors.download.busy_rejections"
+	// MLorsRetryBudgetExhausted: counter. Retry passes skipped because the
+	// token-bucket retry budget was empty (retry-storm clamp).
+	MLorsRetryBudgetExhausted = "lors.retry_budget_exhausted"
 
 	// --- directory services ---
 
@@ -67,6 +80,13 @@ const (
 	MDVSOpMs = "dvs.op.ms"
 	// MDVSOpErrors: counter. Failed DVS client ops, {op=...}.
 	MDVSOpErrors = "dvs.op.errors"
+	// MDVSShed: counter. DVS requests rejected with BUSY by admission
+	// control, {reason=queue_full|queue_wait|deadline}.
+	MDVSShed = "dvs.shed"
+	// MDVSInflight: gauge. DVS requests currently executing.
+	MDVSInflight = "dvs.server.inflight"
+	// MDVSQueueDepth: gauge. DVS requests waiting for an execution slot.
+	MDVSQueueDepth = "dvs.server.queue_depth"
 	// MLBoneOpMs: histogram, ms per L-Bone client op: {op=register|lookup}.
 	MLBoneOpMs = "lbone.op.ms"
 	// MLBoneOpErrors: counter. Failed L-Bone client ops, {op=...}.
@@ -91,6 +111,20 @@ const (
 	MAgentStaged = "agent.stage.completed"
 	// MAgentStageErrors: counter. Failed prestaging transfers.
 	MAgentStageErrors = "agent.stage.errors"
+	// MAgentCoalesced: counter. View-set fetches that piggybacked on an
+	// identical in-flight fetch instead of hitting the depots again.
+	MAgentCoalesced = "agent.coalesced"
+
+	// --- server agent render queue ---
+
+	// MAgentRenderShed: counter. Render requests dropped by the bounded
+	// LIFO queue, {reason=evicted|deadline}: evicted = pushed out by a
+	// newer request when the queue was full (latest request wins), deadline
+	// = every waiter's budget expired before the render started.
+	MAgentRenderShed = "agent.render.shed"
+	// MAgentRenderQueueDepth: gauge. Render requests queued behind the
+	// renderer.
+	MAgentRenderQueueDepth = "agent.render.queue_depth"
 
 	// --- steward ---
 
@@ -181,6 +215,9 @@ const (
 	// EvIBPServeErr: warn. A depot answered a request with ERR; fields:
 	// op, err.
 	EvIBPServeErr = "ibp.serve_err"
+	// EvShed: warn. Admission control rejected or dropped work under
+	// overload; fields: component, reason.
+	EvShed = "overload.shed"
 	// EvStewardRepairDone: info. A repair copy finished; fields: dataset,
 	// extent, depot, ok.
 	EvStewardRepairDone = "steward.repair_done"

@@ -269,6 +269,22 @@ func DefaultRules() []Rule {
 			MinCount:    20,
 		},
 		{
+			// Shed-to-served ratio: shed requests never reach dispatch, so
+			// the denominator counts only the work that got through. A
+			// sustained shed volume above a quarter of served volume means
+			// the depot is in real overload, not absorbing a blip.
+			Name:        "ibp-shed-rate",
+			Severity:    SeverityWarn,
+			Kind:        KindErrorRate,
+			ErrorMetric: obs.MIBPShed,
+			TotalMetric: obs.MIBPOpMs,
+			MaxRatio:    0.25,
+			Window:      Duration(time.Minute),
+			For:         Duration(10 * time.Second),
+			ClearAfter:  Duration(30 * time.Second),
+			MinCount:    20,
+		},
+		{
 			Name:        "lors-failover-burn",
 			Severity:    SeverityWarn,
 			Kind:        KindBurnRate,

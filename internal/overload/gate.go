@@ -1,0 +1,138 @@
+// Package overload holds the shared admission-control primitives of the
+// stack's overload-robustness layer. A Gate bounds how many requests a
+// server executes at once, lets a small queue of waiters ride out short
+// bursts, and sheds everything beyond that explicitly — the caller turns
+// a shed into a BUSY wire rejection so clients retry elsewhere instead
+// of piling onto a depot that is already the problem. Deadlines
+// propagated over the wire (obs.DeadlineToken) compose naturally: a
+// waiter whose context expires while queued is shed instead of served.
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Shed reasons, used as the {reason=...} label on shed counters.
+const (
+	// ReasonDeadline: the request's deadline budget was exhausted before
+	// a slot opened (or before it was even considered).
+	ReasonDeadline = "deadline"
+	// ReasonQueueFull: the wait queue was already at capacity.
+	ReasonQueueFull = "queue_full"
+	// ReasonQueueWait: the request waited MaxWait without getting a slot.
+	ReasonQueueWait = "queue_wait"
+)
+
+// ErrShed is the sentinel all shed errors unwrap to.
+var ErrShed = errors.New("overload: shed")
+
+// ShedError reports one shed admission attempt and its reason.
+type ShedError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *ShedError) Error() string { return "overload: shed (" + e.Reason + ")" }
+
+// Unwrap lets errors.Is(err, ErrShed) classify any shed.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// Reason extracts the shed reason from an error chain, or "" when err is
+// not a shed.
+func Reason(err error) string {
+	var se *ShedError
+	if errors.As(err, &se) {
+		return se.Reason
+	}
+	return ""
+}
+
+// Gate is a bounded-concurrency admission controller. A nil *Gate admits
+// everything (all methods are nil-safe), so optional admission control
+// needs no call-site guards.
+type Gate struct {
+	sem      chan struct{}
+	maxQueue int64
+	maxWait  time.Duration
+	queued   atomic.Int64
+	inflight atomic.Int64
+}
+
+// NewGate builds a gate admitting maxInFlight concurrent requests with
+// up to maxQueue more waiting at most maxWait (default 1s) for a slot.
+// maxInFlight <= 0 returns nil: admission disabled.
+func NewGate(maxInFlight, maxQueue int, maxWait time.Duration) *Gate {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if maxWait <= 0 {
+		maxWait = time.Second
+	}
+	return &Gate{
+		sem:      make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+		maxWait:  maxWait,
+	}
+}
+
+// Acquire admits one request: it returns a release func the caller must
+// invoke when the request finishes, or a *ShedError when the request
+// must be rejected. A context that is already done (deadline budget
+// spent in flight) is shed immediately without consuming a slot.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	if ctx.Err() != nil {
+		return nil, &ShedError{Reason: ReasonDeadline}
+	}
+	select {
+	case g.sem <- struct{}{}:
+		g.inflight.Add(1)
+		return g.release, nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return nil, &ShedError{Reason: ReasonQueueFull}
+	}
+	defer g.queued.Add(-1)
+	timer := time.NewTimer(g.maxWait)
+	defer timer.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		g.inflight.Add(1)
+		return g.release, nil
+	case <-ctx.Done():
+		return nil, &ShedError{Reason: ReasonDeadline}
+	case <-timer.C:
+		return nil, &ShedError{Reason: ReasonQueueWait}
+	}
+}
+
+func (g *Gate) release() {
+	g.inflight.Add(-1)
+	<-g.sem
+}
+
+// InFlight reports requests currently executing.
+func (g *Gate) InFlight() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.inflight.Load()
+}
+
+// Queued reports requests currently waiting for a slot.
+func (g *Gate) Queued() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.queued.Load()
+}

@@ -1,0 +1,129 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilGateAdmitsEverything(t *testing.T) {
+	var g *Gate
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if g.InFlight() != 0 || g.Queued() != 0 {
+		t.Fatal("nil gate reported load")
+	}
+}
+
+func TestGateBoundsInFlight(t *testing.T) {
+	g := NewGate(2, 0, 10*time.Millisecond)
+	r1, err1 := g.Acquire(context.Background())
+	r2, err2 := g.Acquire(context.Background())
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if g.InFlight() != 2 {
+		t.Fatalf("inflight = %d", g.InFlight())
+	}
+	// Queue capacity 0: the third request sheds immediately.
+	if _, err := g.Acquire(context.Background()); Reason(err) != ReasonQueueFull {
+		t.Fatalf("third acquire: %v", err)
+	}
+	r1()
+	r3, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r2()
+	r3()
+	if g.InFlight() != 0 {
+		t.Fatalf("inflight after drain = %d", g.InFlight())
+	}
+}
+
+func TestGateQueueWaitTimesOut(t *testing.T) {
+	g := NewGate(1, 4, 20*time.Millisecond)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	_, err = g.Acquire(context.Background())
+	if Reason(err) != ReasonQueueWait {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("shed before MaxWait elapsed")
+	}
+	if !errors.Is(err, ErrShed) {
+		t.Fatal("shed error does not unwrap to ErrShed")
+	}
+}
+
+func TestGateShedsExpiredDeadline(t *testing.T) {
+	g := NewGate(4, 4, time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Acquire(ctx); Reason(err) != ReasonDeadline {
+		t.Fatalf("expired ctx: %v", err)
+	}
+
+	// A waiter whose deadline expires while queued is shed too.
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGate(1, 4, time.Second)
+	r2, _ := g2.Acquire(context.Background())
+	wctx, wcancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer wcancel()
+	if _, err := g2.Acquire(wctx); Reason(err) != ReasonDeadline {
+		t.Fatalf("queued-then-expired: %v", err)
+	}
+	r2()
+	release()
+}
+
+func TestGateConcurrentLoad(t *testing.T) {
+	g := NewGate(4, 8, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	peak, admitted, shed := int64(0), 0, 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := g.Acquire(context.Background())
+			if err != nil {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			admitted++
+			if n := g.InFlight(); n > peak {
+				peak = n
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			release()
+		}()
+	}
+	wg.Wait()
+	if peak > 4 {
+		t.Fatalf("inflight peaked at %d > 4", peak)
+	}
+	if admitted == 0 || shed == 0 {
+		t.Fatalf("admitted=%d shed=%d, want both nonzero", admitted, shed)
+	}
+	if g.InFlight() != 0 || g.Queued() != 0 {
+		t.Fatalf("gate not drained: inflight=%d queued=%d", g.InFlight(), g.Queued())
+	}
+}

@@ -1,0 +1,241 @@
+// Fleet mode: many concurrent browsing sessions against one deployment,
+// the multi-client load under which the overload-control layer earns its
+// keep. Each simulated user runs an independent seeded script; the
+// aggregate answers the questions a single session cannot — does total
+// throughput hold up, does tail latency stay bounded, and is capacity
+// shared fairly instead of one client starving the rest.
+
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/dvs"
+	"lonviz/internal/ibp"
+	"lonviz/internal/lightfield"
+)
+
+// FleetOptions configures a multi-client run.
+type FleetOptions struct {
+	// Params describes the database every client browses.
+	Params lightfield.Params
+	// Clients is the number of concurrent viewers (default 1).
+	Clients int
+	// Accesses is the script length per client (default PaperAccessCount).
+	Accesses int
+	// Seed is the base script seed; client i walks with Seed+i, so the
+	// fleet covers distinct but reproducible paths.
+	Seed int64
+	// ThinkTime paces each client's moves (zero = back-to-back).
+	ThinkTime time.Duration
+	// MoveTimeout bounds each individual access. With propagation on the
+	// remaining budget rides the wire as deadline=<ms>, letting depots
+	// and agents shed work for clients that have already moved on.
+	MoveTimeout time.Duration
+	// NewViewer builds client i's viewer (and whatever agent stack backs
+	// it). The caller owns cleanup of anything the factory creates.
+	NewViewer func(i int) (*agent.Viewer, error)
+}
+
+// ClientRun is one simulated user's outcome.
+type ClientRun struct {
+	Client  int
+	Records []agent.AccessRecord // successful accesses, in order
+	// Busy counts moves shed with a typed BUSY (depot, DVS, or render
+	// agent overload); Expired counts moves that ran out of MoveTimeout;
+	// Errors counts everything else that failed.
+	Busy    int
+	Expired int
+	Errors  int
+	// SetupErr is set when the viewer factory itself failed; the run has
+	// no accesses then.
+	SetupErr error
+	Elapsed  time.Duration
+}
+
+// FPS is this client's successful-access throughput.
+func (c ClientRun) FPS() float64 {
+	if c.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(c.Records)) / c.Elapsed.Seconds()
+}
+
+// P99Ms is this client's 99th-percentile total access latency in
+// milliseconds (0 with no successful accesses).
+func (c ClientRun) P99Ms() float64 {
+	if len(c.Records) == 0 {
+		return 0
+	}
+	ms := make([]float64, len(c.Records))
+	for i, r := range c.Records {
+		ms[i] = float64(r.Total) / 1e6
+	}
+	return Percentile(ms, 0.99)
+}
+
+// FleetResult aggregates every client's run.
+type FleetResult struct {
+	Runs    []ClientRun
+	Elapsed time.Duration
+}
+
+// Accesses is the total number of successful accesses across the fleet.
+func (f *FleetResult) Accesses() int {
+	n := 0
+	for _, r := range f.Runs {
+		n += len(r.Records)
+	}
+	return n
+}
+
+// Shed sums the fleet's busy and expired moves.
+func (f *FleetResult) Shed() int {
+	n := 0
+	for _, r := range f.Runs {
+		n += r.Busy + r.Expired
+	}
+	return n
+}
+
+// AggregateFPS is the fleet-wide successful-access throughput.
+func (f *FleetResult) AggregateFPS() float64 {
+	if f.Elapsed <= 0 {
+		return 0
+	}
+	return float64(f.Accesses()) / f.Elapsed.Seconds()
+}
+
+// WorstP99Ms is the slowest client's p99 total latency in milliseconds.
+func (f *FleetResult) WorstP99Ms() float64 {
+	worst := 0.0
+	for _, r := range f.Runs {
+		worst = math.Max(worst, r.P99Ms())
+	}
+	return worst
+}
+
+// FairnessSpread is the ratio of the fastest client's throughput to the
+// slowest's (1.0 = perfectly fair; large = someone starved). Clients
+// with zero successful accesses make the spread +Inf.
+func (f *FleetResult) FairnessSpread() float64 {
+	minFPS, maxFPS := math.Inf(1), 0.0
+	for _, r := range f.Runs {
+		fps := r.FPS()
+		minFPS = math.Min(minFPS, fps)
+		maxFPS = math.Max(maxFPS, fps)
+	}
+	if len(f.Runs) == 0 || maxFPS == 0 {
+		return 1
+	}
+	if minFPS == 0 {
+		return math.Inf(1)
+	}
+	return maxFPS / minFPS
+}
+
+// Percentile returns the p-quantile (0..1) of values by nearest-rank on
+// a sorted copy.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// isBusyMove classifies a failed move as an overload shed from any layer.
+func isBusyMove(err error) bool {
+	return errors.Is(err, ibp.ErrBusy) || errors.Is(err, dvs.ErrBusy)
+}
+
+// RunFleet drives Clients concurrent seeded sessions and aggregates the
+// outcome. Individual move failures do not abort a client (a shed BUSY
+// is an expected overload outcome, counted, not fatal); a factory
+// failure sidelines only that client.
+func RunFleet(ctx context.Context, opts FleetOptions) (*FleetResult, error) {
+	if opts.NewViewer == nil {
+		return nil, fmt.Errorf("session: fleet needs a viewer factory")
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 1
+	}
+	if opts.Accesses <= 0 {
+		opts.Accesses = PaperAccessCount
+	}
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	runs := make([]ClientRun, opts.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < opts.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runs[i] = runFleetClient(ctx, i, opts)
+		}(i)
+	}
+	wg.Wait()
+	return &FleetResult{Runs: runs, Elapsed: time.Since(start)}, nil
+}
+
+func runFleetClient(ctx context.Context, i int, opts FleetOptions) ClientRun {
+	out := ClientRun{Client: i}
+	v, err := opts.NewViewer(i)
+	if err != nil {
+		out.SetupErr = err
+		return out
+	}
+	script, err := StandardScript(opts.Params, opts.Accesses, opts.Seed+int64(i))
+	if err != nil {
+		out.SetupErr = err
+		return out
+	}
+	start := time.Now()
+	for _, sp := range script.Moves {
+		if ctx.Err() != nil {
+			break
+		}
+		mctx, cancel := ctx, context.CancelFunc(func() {})
+		if opts.MoveTimeout > 0 {
+			mctx, cancel = context.WithTimeout(ctx, opts.MoveTimeout)
+		}
+		rec, err := v.MoveTo(mctx, sp)
+		moveExpired := err != nil && mctx.Err() != nil && ctx.Err() == nil
+		cancel()
+		switch {
+		case err == nil:
+			out.Records = append(out.Records, rec)
+		case isBusyMove(err):
+			out.Busy++
+		case moveExpired:
+			out.Expired++
+		default:
+			out.Errors++
+		}
+		if opts.ThinkTime > 0 {
+			select {
+			case <-time.After(opts.ThinkTime):
+			case <-ctx.Done():
+			}
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out
+}

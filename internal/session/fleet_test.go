@@ -1,0 +1,205 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"lonviz/internal/agent"
+	"lonviz/internal/codec"
+	"lonviz/internal/geom"
+	"lonviz/internal/ibp"
+	"lonviz/internal/lightfield"
+)
+
+// genSource serves encoded view sets straight from a procedural
+// generator — a stand-in client agent with no network underneath.
+type genSource struct {
+	p   lightfield.Params
+	gen lightfield.Generator
+
+	mu    sync.Mutex
+	cache map[lightfield.ViewSetID][]byte
+	calls int
+	// busyEvery > 0 makes every busyEvery-th call fail with a typed
+	// BUSY, exercising the fleet's shed accounting.
+	busyEvery int
+}
+
+func newGenSource(t *testing.T, busyEvery int) *genSource {
+	t.Helper()
+	p := scriptParams()
+	gen, err := lightfield.NewProceduralGenerator(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &genSource{p: p, gen: gen, cache: make(map[lightfield.ViewSetID][]byte), busyEvery: busyEvery}
+}
+
+func (s *genSource) GetViewSet(ctx context.Context, id lightfield.ViewSetID) ([]byte, agent.AccessReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if s.busyEvery > 0 && s.calls%s.busyEvery == 0 {
+		return nil, agent.AccessReport{}, fmt.Errorf("test shed: %w", ibp.ErrBusy)
+	}
+	b, ok := s.cache[id]
+	if !ok {
+		vs, err := s.gen.GenerateViewSet(ctx, id)
+		if err != nil {
+			return nil, agent.AccessReport{}, err
+		}
+		b, err = lightfield.EncodeViewSet(vs, s.p, codec.DefaultCompression)
+		if err != nil {
+			return nil, agent.AccessReport{}, err
+		}
+		s.cache[id] = b
+	}
+	return b, agent.AccessReport{ID: id, Class: agent.AccessHit, Bytes: len(b)}, nil
+}
+
+func (s *genSource) OnUserMove(sp geom.Spherical) {}
+
+func TestRunFleetAggregates(t *testing.T) {
+	src := newGenSource(t, 0)
+	res, err := RunFleet(context.Background(), FleetOptions{
+		Params:   src.p,
+		Clients:  4,
+		Accesses: 10,
+		Seed:     100,
+		NewViewer: func(i int) (*agent.Viewer, error) {
+			return agent.NewViewer(src.p, src)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	for _, r := range res.Runs {
+		if r.SetupErr != nil {
+			t.Fatalf("client %d setup: %v", r.Client, r.SetupErr)
+		}
+		if len(r.Records) != 10 || r.Busy != 0 || r.Errors != 0 {
+			t.Fatalf("client %d: %d records, busy=%d errors=%d", r.Client, len(r.Records), r.Busy, r.Errors)
+		}
+	}
+	if got := res.Accesses(); got != 40 {
+		t.Fatalf("accesses = %d, want 40", got)
+	}
+	if res.AggregateFPS() <= 0 {
+		t.Fatal("aggregate fps not positive")
+	}
+	spread := res.FairnessSpread()
+	if math.IsInf(spread, 1) || spread < 1 {
+		t.Fatalf("fairness spread = %v", spread)
+	}
+	if res.WorstP99Ms() <= 0 {
+		t.Fatal("p99 not positive")
+	}
+	// Distinct seeds: at least two clients walked different paths.
+	a, _ := StandardScript(src.p, 10, 100)
+	b, _ := StandardScript(src.p, 10, 101)
+	if a.Moves[0] == b.Moves[0] && a.Moves[5] == b.Moves[5] && a.Moves[9] == b.Moves[9] {
+		t.Fatal("per-client seeds produced identical scripts")
+	}
+}
+
+func TestRunFleetCountsBusySheds(t *testing.T) {
+	src := newGenSource(t, 3) // every 3rd access shed
+	res, err := RunFleet(context.Background(), FleetOptions{
+		Params:   src.p,
+		Clients:  2,
+		Accesses: 9,
+		Seed:     7,
+		NewViewer: func(i int) (*agent.Viewer, error) {
+			return agent.NewViewer(src.p, src)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed() == 0 {
+		t.Fatal("no sheds counted")
+	}
+	for _, r := range res.Runs {
+		if r.Errors != 0 {
+			t.Fatalf("client %d: BUSY miscounted as error (%d)", r.Client, r.Errors)
+		}
+		if len(r.Records)+r.Busy != 9 {
+			t.Fatalf("client %d: %d records + %d busy != 9", r.Client, len(r.Records), r.Busy)
+		}
+	}
+}
+
+func TestRunFleetMoveTimeout(t *testing.T) {
+	src := newGenSource(t, 0)
+	slow := &slowSource{inner: src, delay: 50 * time.Millisecond}
+	res, err := RunFleet(context.Background(), FleetOptions{
+		Params:      src.p,
+		Clients:     1,
+		Accesses:    3,
+		MoveTimeout: 5 * time.Millisecond,
+		NewViewer: func(i int) (*agent.Viewer, error) {
+			return agent.NewViewer(src.p, slow)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Runs[0]
+	if r.Expired != 3 {
+		t.Fatalf("expired = %d (records=%d busy=%d errors=%d), want 3", r.Expired, len(r.Records), r.Busy, r.Errors)
+	}
+}
+
+type slowSource struct {
+	inner *genSource
+	delay time.Duration
+}
+
+func (s *slowSource) GetViewSet(ctx context.Context, id lightfield.ViewSetID) ([]byte, agent.AccessReport, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return nil, agent.AccessReport{}, ctx.Err()
+	}
+	return s.inner.GetViewSet(ctx, id)
+}
+
+func (s *slowSource) OnUserMove(sp geom.Spherical) {}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(vals, 0.5); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(vals, 0.99); got != 5 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	// The input must not be reordered.
+	if vals[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestRunFleetValidation(t *testing.T) {
+	if _, err := RunFleet(context.Background(), FleetOptions{Params: scriptParams()}); err == nil {
+		t.Error("missing factory accepted")
+	}
+	bad := scriptParams()
+	bad.Res = 0
+	if _, err := RunFleet(context.Background(), FleetOptions{
+		Params:    bad,
+		NewViewer: func(int) (*agent.Viewer, error) { return nil, nil },
+	}); err == nil {
+		t.Error("bad params accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Package singleflight coalesces concurrent identical fetches: when N
+// callers ask for the same key at once, one flight does the work and all
+// N share the result. The stack uses it so a burst of clients browsing
+// to the same view set costs one depot fetch, not N (the shared-cache
+// coalescing argument of the network-data-cache literature).
+//
+// Unlike a bare duplicate-suppression map, the flight runs under a
+// context DETACHED from any single caller: values (trace context) are
+// inherited from the first caller, but its cancellation is not. A caller
+// that gives up stops waiting immediately and gets its own ctx.Err();
+// the flight keeps running for the remaining waiters and is cancelled
+// only when the last waiter leaves. One impatient client can therefore
+// never kill the fetch everyone else is riding on.
+package singleflight
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress call shared by its waiters.
+type flight[V any] struct {
+	done    chan struct{} // closed when val/err are set
+	cancel  context.CancelFunc
+	waiters int
+	val     V
+	err     error
+}
+
+// Group coalesces calls by key. The zero value is ready to use.
+type Group[K comparable, V any] struct {
+	mu      sync.Mutex
+	flights map[K]*flight[V]
+}
+
+// Do returns fn's result for key. Concurrent calls with the same key
+// share one execution of fn; shared reports whether this caller joined
+// a flight another caller started. fn runs under a context that
+// inherits the leader's values but detaches from every caller's
+// cancellation; it is cancelled when the last waiter abandons the
+// flight. A caller whose own ctx ends while waiting returns its
+// ctx.Err() immediately without disturbing the flight.
+func (g *Group[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[K]*flight[V])
+	}
+	f := g.flights[key]
+	shared = f != nil
+	if f == nil {
+		fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		f = &flight[V]{done: make(chan struct{}), cancel: cancel}
+		g.flights[key] = f
+		go g.run(key, f, fctx, fn)
+	}
+	f.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		g.leave(key, f)
+		return f.val, shared, f.err
+	case <-ctx.Done():
+		g.leave(key, f)
+		var zero V
+		return zero, shared, ctx.Err()
+	}
+}
+
+// run executes the flight and publishes its result.
+func (g *Group[K, V]) run(key K, f *flight[V], fctx context.Context, fn func(context.Context) (V, error)) {
+	v, err := fn(fctx)
+	g.mu.Lock()
+	f.val, f.err = v, err
+	// Later callers start a fresh flight: results are not cached here
+	// (the agent's LRU is the cache); only concurrency is coalesced.
+	if g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+	close(f.done)
+	f.cancel() // release the detached context's resources
+}
+
+// leave unregisters one waiter; the last waiter to abandon a still-
+// running flight cancels it (nobody wants the result anymore) and
+// unlinks it so the next caller starts fresh.
+func (g *Group[K, V]) leave(key K, f *flight[V]) {
+	g.mu.Lock()
+	f.waiters--
+	finished := false
+	select {
+	case <-f.done:
+		finished = true
+	default:
+	}
+	abandon := f.waiters == 0 && !finished
+	if abandon && g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+	if abandon {
+		f.cancel()
+	}
+}
+
+// InFlight reports the number of distinct keys currently being fetched
+// (load gauges).
+func (g *Group[K, V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}
+
+// Pending reports whether a flight for key is currently running.
+func (g *Group[K, V]) Pending(key K) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.flights[key]
+	return ok
+}

@@ -49,10 +49,22 @@ for key in p50 p95 p99 cache_hit_rate frames_per_second; do
 	fi
 done
 
+echo "== lfbench fleet smoke (10 clients)"
+go run ./cmd/lfbench -clients 10 -accesses 12 -bench-name fleetsmoke -json "$benchdir"
+fleet="$benchdir/BENCH_fleetsmoke.json"
+[ -s "$fleet" ] || { echo "lfbench -clients did not write $fleet" >&2; exit 1; }
+for key in aggregate_fps worst_p99_ms fairness_spread coalesced; do
+	if ! grep -q "\"$key\"" "$fleet"; then
+		echo "BENCH_fleetsmoke.json missing \"$key\"" >&2
+		exit 1
+	fi
+done
+
 echo "== lftop smoke"
 go build -o "$benchdir/depotd" ./cmd/depotd
 go build -o "$benchdir/lftop" ./cmd/lftop
-"$benchdir/depotd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 -tsdb-interval 100ms >"$benchdir/depotd.log" 2>&1 &
+"$benchdir/depotd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 -tsdb-interval 100ms \
+	-max-inflight 4 -max-queue 8 -max-queue-wait 200ms >"$benchdir/depotd.log" 2>&1 &
 depot_pid=$!
 teardown() {
 	kill "$depot_pid" 2>/dev/null || true
@@ -89,6 +101,12 @@ npoints=$(curl -s "http://$maddr/debug/tsdb?name=$series&since=30s&agg=raw" | gr
 [ "$npoints" -ge 2 ] || smoke_fail "/debug/tsdb range query for $series returned $npoints samples, want >= 2"
 alerts=$(curl -s "http://$maddr/debug/alerts")
 printf '%s' "$alerts" | grep -q '"firing"' || smoke_fail "/debug/alerts did not serve an alert summary: $alerts"
+# The overload families are registered eagerly, so an idle depot with
+# admission control configured must already expose them at zero.
+metrics=$(curl -s "http://$maddr/metrics")
+for name in ibp.shed ibp.server.inflight ibp.server.queue_depth; do
+	printf '%s' "$metrics" | grep -q "\"$name" || smoke_fail "/metrics missing overload family $name"
+done
 teardown
 
 echo "all checks passed"
