@@ -49,6 +49,8 @@ func main() {
 	jsonDir := flag.String("json", ".", "directory to write BENCH_*.json reports into")
 	quick := flag.Bool("quick", false, "run a short smoke benchmark, write BENCH_quick.json, verify it parses, and exit")
 	clients := flag.Int("clients", 0, "also run a multi-client fleet benchmark with this many concurrent viewers (implies -quick)")
+	edgeOn := flag.Bool("edge", false, "also run the edge-fleet benchmark: shared edge cache vs isolated per-client caches, side by side (implies -quick)")
+	edgeAddr := flag.String("edge-addr", "", "address of an external lfedged for the -edge shared leg (empty starts an in-process edge)")
 	benchName := flag.String("bench-name", "quick", "name for the emitted BENCH_<name>.json in quick/fleet mode")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to diff the -quick run against; warns on >20% regressions")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the benchmark runs (empty disables)")
@@ -96,8 +98,8 @@ func main() {
 
 	ctx := context.Background()
 
-	if *quick || *clients > 1 {
-		if err := runQuick(ctx, cfg, *jsonDir, *compare, *benchName, *clients); err != nil {
+	if *quick || *clients > 1 || *edgeOn {
+		if err := runQuick(ctx, cfg, *jsonDir, *compare, *benchName, *clients, *edgeOn, *edgeAddr); err != nil {
 			fatal(err)
 		}
 		return
@@ -210,12 +212,58 @@ type benchFleet struct {
 	BudgetExhausted int64   `json:"budget_exhausted"`
 }
 
+// benchEdge is the edge-fleet section of a bench report: the same fleet
+// of clients run twice over identical cursor scripts, once with isolated
+// per-client caches and once sharing an edge cache tier.
+type benchEdge struct {
+	Clients           int `json:"clients"`
+	AccessesPerClient int `json:"accesses_per_client"`
+	// SharedHitRate counts local hits plus edge hits over all shared-leg
+	// accesses (the fleet-aggregate LAN-or-better rate); IsolatedHitRate
+	// is the baseline leg's local-cache hit rate.
+	SharedHitRate      float64 `json:"shared_hit_rate"`
+	IsolatedHitRate    float64 `json:"isolated_hit_rate"`
+	SharedWorstP99Ms   float64 `json:"shared_worst_p99_ms"`
+	IsolatedWorstP99Ms float64 `json:"isolated_worst_p99_ms"`
+	EdgeHits           int64   `json:"edge_hits"`
+	EdgeFills          int64   `json:"edge_fills"`
+	// WANFetches counts shared-leg accesses the agents still had to serve
+	// from the WAN depots directly (edge down or failed over).
+	WANFetches int64 `json:"wan_fetches"`
+	// Classes is the shared leg's access-class breakdown.
+	Classes map[string]int `json:"classes"`
+	// External records a run against an external lfedged (edge hit/fill
+	// counters are not visible in-process then and read 0 here).
+	External bool `json:"external,omitempty"`
+}
+
 // benchReport is the machine-readable BENCH_<name>.json document.
 type benchReport struct {
 	Name        string      `json:"name"`
 	GeneratedAt string      `json:"generated_at"`
 	Cases       []benchCase `json:"cases"`
 	Fleet       *benchFleet `json:"fleet,omitempty"`
+	Edge        *benchEdge  `json:"edge,omitempty"`
+}
+
+func summarizeEdge(er *experiments.EdgeFleetRun) *benchEdge {
+	classes := make(map[string]int)
+	for class, n := range er.Shared.ClassCounts() {
+		classes[class.String()] = n
+	}
+	return &benchEdge{
+		Clients:            er.Clients,
+		AccessesPerClient:  er.Accesses,
+		SharedHitRate:      er.SharedHitRate(),
+		IsolatedHitRate:    er.IsolatedHitRate(),
+		SharedWorstP99Ms:   er.Shared.WorstP99Ms(),
+		IsolatedWorstP99Ms: er.Isolated.WorstP99Ms(),
+		EdgeHits:           er.EdgeStats.Hits,
+		EdgeFills:          er.EdgeStats.Fills,
+		WANFetches:         er.SharedAgents.WANFetches,
+		Classes:            classes,
+		External:           er.External,
+	}
 }
 
 func summarizeFleet(fr *experiments.FleetRun) *benchFleet {
@@ -305,12 +353,13 @@ func summarizeCase(r experiments.CaseRun) benchCase {
 }
 
 // writeBenchJSON renders runs into BENCH_<name>.json under dir and returns
-// the file path. fleet is optional.
-func writeBenchJSON(dir, name string, runs []experiments.CaseRun, fleet *benchFleet) (string, error) {
+// the file path. fleet and edge are optional.
+func writeBenchJSON(dir, name string, runs []experiments.CaseRun, fleet *benchFleet, edge *benchEdge) (string, error) {
 	report := benchReport{
 		Name:        name,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Fleet:       fleet,
+		Edge:        edge,
 	}
 	for _, r := range runs {
 		report.Cases = append(report.Cases, summarizeCase(r))
@@ -335,7 +384,7 @@ func writeBenchJSON(dir, name string, runs []experiments.CaseRun, fleet *benchFl
 // baseline it also diffs the fresh report against it (warn-only). With
 // clients > 1 it additionally runs the multi-client fleet benchmark and
 // records the fleet section alongside the standard single-client cases.
-func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline, name string, clients int) error {
+func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline, name string, clients int, edgeOn bool, edgeAddr string) error {
 	if jsonDir == "" {
 		jsonDir = "."
 	}
@@ -371,7 +420,35 @@ func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline, na
 			fleet.Clients, fleet.AccessesPerClient, fleet.AggregateFPS, fleet.WorstP99Ms,
 			fleet.FairnessSpread, fleet.Busy, fleet.Expired, fleet.Errors, fleet.Coalesced)
 	}
-	path, err := writeBenchJSON(jsonDir, name, runs, fleet)
+	// The edge comparison also runs when the baseline carries one, so a
+	// plain -compare run keeps diffing the edge section it was given.
+	var edge *benchEdge
+	var baseEdge *benchEdge
+	if bl, err := readBenchReport(baseline); err == nil {
+		baseEdge = bl.Edge
+	}
+	if edgeOn || baseEdge != nil {
+		edgeClients := clients
+		if baseEdge != nil && baseEdge.Clients > 0 {
+			edgeClients = baseEdge.Clients
+		}
+		if edgeClients <= 1 {
+			edgeClients = 10
+		}
+		er, err := experiments.EdgeFleetExperiment(ctx, cfg, 200, experiments.EdgeFleetOptions{
+			Clients:    edgeClients,
+			EdgeAddr:   edgeAddr,
+			Trajectory: true,
+		})
+		if err != nil {
+			return err
+		}
+		edge = summarizeEdge(er)
+		fmt.Printf("lfbench: edge fleet %d clients x %d accesses: hit rate shared=%.2f isolated=%.2f, worst p99 shared=%.1fms isolated=%.1fms, edge hits=%d fills=%d, wan fetches=%d\n",
+			edge.Clients, edge.AccessesPerClient, edge.SharedHitRate, edge.IsolatedHitRate,
+			edge.SharedWorstP99Ms, edge.IsolatedWorstP99Ms, edge.EdgeHits, edge.EdgeFills, edge.WANFetches)
+	}
+	path, err := writeBenchJSON(jsonDir, name, runs, fleet, edge)
 	if err != nil {
 		return err
 	}
@@ -395,6 +472,9 @@ func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline, na
 	}
 	if clients > 1 && (back.Fleet == nil || back.Fleet.Successes == 0) {
 		return fmt.Errorf("%s fleet section is empty", path)
+	}
+	if edge != nil && (back.Edge == nil || back.Edge.SharedHitRate <= 0) {
+		return fmt.Errorf("%s edge section is empty", path)
 	}
 	fmt.Printf("lfbench: quick run ok: %d cases, %d accesses each, %.1fs total\n",
 		len(back.Cases), back.Cases[0].Accesses, time.Since(start).Seconds())
@@ -479,6 +559,11 @@ func compareReports(baselinePath string, current benchReport) error {
 			warnSlower("fleet", "fairness_spread", base.Fleet.FairnessSpread, current.Fleet.FairnessSpread)
 		}
 	}
+	// Edge sections likewise diff only like-for-like fleets.
+	if base.Edge != nil && current.Edge != nil && base.Edge.Clients == current.Edge.Clients {
+		warnFaster("edge", "shared_hit_rate", base.Edge.SharedHitRate, current.Edge.SharedHitRate)
+		warnSlower("edge", "shared_worst_p99_ms", base.Edge.SharedWorstP99Ms, current.Edge.SharedWorstP99Ms)
+	}
 	if regressions == 0 {
 		fmt.Printf("lfbench: compare vs %s ok (%d cases within 20%%)\n", baselinePath, compared)
 	} else {
@@ -543,7 +628,7 @@ func figLatency(ctx context.Context, cfg experiments.Config, figName string, pap
 	printCaseSeries(headers, series)
 	summarizeCases(headers, runs)
 	if jsonDir != "" {
-		if _, err := writeBenchJSON(jsonDir, "fig"+figName, runs, nil); err != nil {
+		if _, err := writeBenchJSON(jsonDir, "fig"+figName, runs, nil, nil); err != nil {
 			return err
 		}
 	}

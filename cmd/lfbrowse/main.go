@@ -31,6 +31,8 @@ func main() {
 	step := flag.Float64("step", 10, "lattice step in degrees (must match)")
 	l := flag.Int("l", 3, "view set side length (must match)")
 	lanDepots := flag.String("lan-depots", "", "comma-separated LAN depot addresses for prestaging")
+	edgeAddr := flag.String("edge-addr", "", "shared edge cache (lfedged) address; misses route through it instead of the WAN depots")
+	trajectory := flag.Bool("trajectory", false, "trajectory-predictive prefetch (extrapolated cursor motion) instead of the quadrant policy")
 	accesses := flag.Int("accesses", session.PaperAccessCount, "orchestrated accesses")
 	think := flag.Duration("think", 100*time.Millisecond, "cursor think time")
 	seed := flag.Int64("seed", 1, "cursor script seed")
@@ -81,11 +83,13 @@ func main() {
 	}
 	stack.SetStatus("starting client agent")
 	ca, err := agent.NewClientAgent(agent.ClientAgentConfig{
-		Dataset:   *dataset,
-		Params:    p,
-		DVS:       &dvs.Client{Addr: *dvsAddr},
-		LANDepots: lan,
-		Prefetch:  *prefetch,
+		Dataset:            *dataset,
+		Params:             p,
+		DVS:                &dvs.Client{Addr: *dvsAddr},
+		LANDepots:          lan,
+		Prefetch:           *prefetch,
+		EdgeAddr:           *edgeAddr,
+		TrajectoryPrefetch: *trajectory,
 		// Bias replica selection toward depots with good recent latency
 		// history; nil (metrics off) keeps the pure shuffled order.
 		ReplicaBias: stack.ReplicaBias(5 * time.Minute),

@@ -1,0 +1,97 @@
+// Command lfedged runs the cooperative edge cache daemon: a shared,
+// multi-tenant read-through cache speaking the IBP LOAD/STATUS subset,
+// deployed between a site's client agents and the WAN depot pool. Client
+// agents pointed at it (via -edge-addr / ClientAgentConfig.EdgeAddr)
+// rewrite their exNodes so the edge is the preferred replica; the first
+// agent to miss pulls each view set across the WAN once and every later
+// access — from any tenant — is served at LAN cost. The hot set is
+// exported at /metrics as edge.hot.* for lftop and the steward's
+// replicator.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lonviz/internal/edge"
+	"lonviz/internal/obs"
+	"lonviz/internal/obs/slo"
+	"lonviz/internal/overload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6730", "listen address")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "cache capacity in bytes")
+	shards := flag.Int("shards", 0, "LRU shard count (0 = default 16, clamped to keep shards usefully sized)")
+	fillTimeout := flag.Duration("fill-timeout", 30*time.Second, "max duration of one origin-depot fill")
+	popHalfLife := flag.Duration("pop-half-life", 30*time.Second, "popularity tracker decay half-life")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently executing requests (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: max requests waiting for a slot before shedding with BUSY")
+	maxQueueWait := flag.Duration("max-queue-wait", 100*time.Millisecond, "admission control: max time a request may queue before shedding with BUSY")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
+	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
+	flag.Parse()
+
+	if err := obs.ConfigureDefaultLogger(*logLevel, *logFormat); err != nil {
+		log.Fatalf("lfedged: %v", err)
+	}
+	cache, err := edge.NewCache(edge.CacheConfig{
+		CapacityBytes: *cacheBytes,
+		Shards:        *shards,
+		FillTimeout:   *fillTimeout,
+		HalfLife:      *popHalfLife,
+	})
+	if err != nil {
+		log.Fatalf("lfedged: %v", err)
+	}
+	cache.RegisterMetrics(nil)
+	srv := edge.NewServer(cache)
+	srv.Logf = log.Printf
+	if *maxInflight > 0 {
+		srv.Admission = overload.NewGate(*maxInflight, *maxQueue, *maxQueueWait)
+		fmt.Printf("lfedged: admission control: %d in-flight, %d queued, %v max wait\n",
+			*maxInflight, *maxQueue, *maxQueueWait)
+	}
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatalf("lfedged: listen: %v", err)
+	}
+	fmt.Printf("lfedged: serving IBP edge cache on %s (capacity %d bytes)\n", bound, *cacheBytes)
+
+	stack, err := slo.Start(slo.Options{
+		Addr:           *metricsAddr,
+		RulesPath:      *sloConfig,
+		SampleInterval: *tsdbInterval,
+	})
+	if err != nil {
+		log.Fatalf("lfedged: metrics listen: %v", err)
+	}
+	if stack.Enabled() {
+		fmt.Printf("lfedged: metrics on http://%s/metrics\n", stack.Addr())
+	}
+	stack.MarkReady()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	_ = stack.Close(closeCtx)
+	cancel()
+	st := cache.Stats()
+	hitRate := 0.0
+	if total := st.Hits + st.Misses; total > 0 {
+		hitRate = float64(st.Hits) / float64(total)
+	}
+	fmt.Printf("lfedged: shutting down; %d entries, %d/%d bytes, hit rate %.2f, %d fills (%d failed), %d evictions\n",
+		st.Entries, st.Used, st.Capacity, hitRate, st.Fills, st.FillErrors, st.Evictions)
+}

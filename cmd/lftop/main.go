@@ -174,6 +174,28 @@ type loadStat struct {
 	RetryBudgetExhausted float64 `json:"retry_budget_exhausted"`
 }
 
+// hotSetLine is one view set from the edge cache's popularity tracker
+// (the edge.hot.* snapshot keys), with its decayed access count.
+type hotSetLine struct {
+	ViewSet string  `json:"view_set"`
+	Count   float64 `json:"count"`
+}
+
+// edgeStat is the edge-cache pane, present when the target exports the
+// edge.* families (an lfedged, or anything embedding edge.Cache).
+type edgeStat struct {
+	CapacityBytes float64      `json:"capacity_bytes"`
+	UsedBytes     float64      `json:"used_bytes"`
+	Entries       float64      `json:"entries"`
+	Evictions     float64      `json:"evictions"`
+	HitRate       float64      `json:"hit_rate"`
+	Hits          float64      `json:"hits"`
+	Misses        float64      `json:"misses"`
+	Fills         float64      `json:"fills"`
+	FillErrors    float64      `json:"fill_errors"`
+	HotSet        []hotSetLine `json:"hot_set,omitempty"`
+}
+
 // traceLine is one root span from /debug/traces, slowest-first.
 type traceLine struct {
 	TraceID string  `json:"trace_id"`
@@ -198,6 +220,7 @@ type targetSummary struct {
 	FrameMeanMs     float64            `json:"frame_mean_ms"`
 	FramesPerSecond float64            `json:"frames_per_second"`
 	Load            loadStat           `json:"load"`
+	Edge            *edgeStat          `json:"edge,omitempty"`
 	SlowTraces      []traceLine        `json:"slow_traces,omitempty"`
 	AlertsFiring    int                `json:"alerts_firing"`
 	Alerts          []alertLine        `json:"alerts,omitempty"`
@@ -545,6 +568,33 @@ func summarizeMetrics(snap map[string]json.RawMessage, sum *targetSummary) {
 	if sum.Frames > 0 {
 		sum.FrameMeanMs /= float64(sum.Frames)
 	}
+	// Edge pane: present only when the target embeds an edge cache (the
+	// edge.cache.* snapshot keys are registered by edge.Cache).
+	if _, ok := snap["edge.cache.capacity"]; ok {
+		es := &edgeStat{
+			CapacityBytes: num("edge.cache.capacity"),
+			UsedBytes:     num("edge.cache.used"),
+			Entries:       num("edge.cache.entries"),
+			Evictions:     num("edge.cache.evictions"),
+			HitRate:       num("edge.cache.hit_rate"),
+			Hits:          num(obs.MEdgeHits),
+			Misses:        num(obs.MEdgeMisses),
+			Fills:         num(obs.MEdgeFills),
+			FillErrors:    num(obs.MEdgeFillErrors),
+		}
+		for name := range snap {
+			if vs, ok := strings.CutPrefix(name, "edge.hot."); ok {
+				es.HotSet = append(es.HotSet, hotSetLine{ViewSet: vs, Count: num(name)})
+			}
+		}
+		sort.Slice(es.HotSet, func(i, j int) bool {
+			if es.HotSet[i].Count != es.HotSet[j].Count {
+				return es.HotSet[i].Count > es.HotSet[j].Count
+			}
+			return es.HotSet[i].ViewSet < es.HotSet[j].ViewSet
+		})
+		sum.Edge = es
+	}
 	sort.Slice(sum.Depots, func(i, j int) bool { return sum.Depots[i].Depot < sum.Depots[j].Depot })
 	sum.FailedAttempts = num(obs.MLorsFailedAttempts)
 	sum.RetryPasses = num(obs.MLorsRetryPasses)
@@ -624,6 +674,22 @@ func render(w io.Writer, sums []targetSummary, live bool) {
 		fmt.Fprintf(w, "  load:     in_flight=%.0f queue=%.0f shed=%.0f (%.1f/s) coalesce_hit=%.0f%% busy_rejections=%.0f budget_exhausted=%.0f\n",
 			s.Load.InFlight, s.Load.QueueDepth, s.Load.Shed, s.Load.ShedPerSecond,
 			100*s.Load.CoalesceHitRate, s.Load.BusyRejections, s.Load.RetryBudgetExhausted)
+		if s.Edge != nil {
+			fmt.Fprintf(w, "  edge:     hit_rate=%.0f%% entries=%.0f used=%.1f/%.1fMB hits=%.0f misses=%.0f fills=%.0f (%.0f failed) evictions=%.0f\n",
+				100*s.Edge.HitRate, s.Edge.Entries,
+				s.Edge.UsedBytes/(1<<20), s.Edge.CapacityBytes/(1<<20),
+				s.Edge.Hits, s.Edge.Misses, s.Edge.Fills, s.Edge.FillErrors, s.Edge.Evictions)
+			if len(s.Edge.HotSet) > 0 {
+				fmt.Fprint(w, "  hot set: ")
+				for i, h := range s.Edge.HotSet {
+					if i > 0 {
+						fmt.Fprint(w, "  ")
+					}
+					fmt.Fprintf(w, "%s=%.1f", h.ViewSet, h.Count)
+				}
+				fmt.Fprintln(w)
+			}
+		}
 		if len(s.History) > 0 {
 			fmt.Fprintln(w, "  history (p99 ms):")
 			for _, h := range s.History {

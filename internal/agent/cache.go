@@ -27,6 +27,9 @@ type LRU struct {
 	used     int64
 	ll       *list.List // front = most recent
 	items    map[string]*list.Element
+	// onEvict, when set, is called with each key the cache drops (budget
+	// evictions and explicit Removes), outside the cache lock.
+	onEvict func(key string)
 
 	hits, misses, evictions int64
 }
@@ -72,6 +75,33 @@ func (c *LRU) Contains(key string) bool {
 	return ok
 }
 
+// SetOnEvict registers fn to be called with each key the cache drops,
+// whether by budget eviction or explicit Remove. The callback runs after
+// the cache lock is released, so it may take other locks (the client
+// agent uses it to clear prefetch-provenance marks for frames that left
+// the cache unconsumed).
+func (c *LRU) SetOnEvict(fn func(key string)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
+}
+
+// notifyEvicted runs the eviction callback outside the lock.
+func (c *LRU) notifyEvicted(keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	c.mu.Lock()
+	fn := c.onEvict
+	c.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, k := range keys {
+		fn(k)
+	}
+}
+
 // Put inserts or replaces a value, evicting least-recently-used unpinned
 // entries as needed. Values larger than the whole capacity are rejected.
 func (c *LRU) Put(key string, val []byte) error {
@@ -79,7 +109,6 @@ func (c *LRU) Put(key string, val []byte) error {
 		return fmt.Errorf("agent: value of %d bytes exceeds cache capacity %d", len(val), c.capacity)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*lruEntry)
 		c.used += int64(len(val)) - int64(len(e.val))
@@ -90,12 +119,16 @@ func (c *LRU) Put(key string, val []byte) error {
 		c.items[key] = el
 		c.used += int64(len(val))
 	}
-	c.evictLocked()
+	evicted := c.evictLocked()
+	c.mu.Unlock()
+	c.notifyEvicted(evicted)
 	return nil
 }
 
-// evictLocked removes unpinned LRU entries until within budget.
-func (c *LRU) evictLocked() {
+// evictLocked removes unpinned LRU entries until within budget, returning
+// the evicted keys for the post-unlock callback.
+func (c *LRU) evictLocked() []string {
+	var evicted []string
 	el := c.ll.Back()
 	for c.used > c.capacity && el != nil {
 		prev := el.Prev()
@@ -105,9 +138,11 @@ func (c *LRU) evictLocked() {
 			delete(c.items, e.key)
 			c.used -= int64(len(e.val))
 			c.evictions++
+			evicted = append(evicted, e.key)
 		}
 		el = prev
 	}
+	return evicted
 }
 
 // Pin marks a key as non-evictable. Pinning an absent key is a no-op and
@@ -126,22 +161,29 @@ func (c *LRU) Pin(key string) bool {
 // Unpin clears the pin and re-applies the budget.
 func (c *LRU) Unpin(key string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var evicted []string
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry).pinned = false
-		c.evictLocked()
+		evicted = c.evictLocked()
 	}
+	c.mu.Unlock()
+	c.notifyEvicted(evicted)
 }
 
 // Remove deletes a key if present.
 func (c *LRU) Remove(key string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	removed := false
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*lruEntry)
 		c.ll.Remove(el)
 		delete(c.items, key)
 		c.used -= int64(len(e.val))
+		removed = true
+	}
+	c.mu.Unlock()
+	if removed {
+		c.notifyEvicted([]string{key})
 	}
 }
 

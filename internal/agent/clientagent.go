@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lonviz/internal/dvs"
+	"lonviz/internal/edge"
 	"lonviz/internal/exnode"
 	"lonviz/internal/geom"
 	"lonviz/internal/ibp"
@@ -31,6 +32,10 @@ const (
 	AccessLANDepot
 	// AccessWAN: fetched from the server depots across the WAN (~1 s).
 	AccessWAN
+	// AccessEdge: every extent served by the shared edge cache tier (LAN
+	// cost, but a different machine than the agent — its own class so the
+	// paper's access breakdown stays honest about where bytes came from).
+	AccessEdge
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +47,8 @@ func (c AccessClass) String() string {
 		return "lan-depot"
 	case AccessWAN:
 		return "wan"
+	case AccessEdge:
+		return "edge"
 	default:
 		return fmt.Sprintf("AccessClass(%d)", int(c))
 	}
@@ -106,6 +113,21 @@ type ClientAgentConfig struct {
 	// the quadrant prediction (ablation baseline for Figure 4's policy:
 	// more coverage, ~2.7x the extraneous transfer).
 	PrefetchAllNeighbors bool
+	// TrajectoryPrefetch extrapolates cursor velocity on the view sphere
+	// and prefetches along the predicted path instead of the static
+	// quadrant (which remains the fallback while the cursor is still and
+	// the ablation baseline when this is off). Requires Prefetch.
+	TrajectoryPrefetch bool
+	// TrajectoryLookahead is how many velocity steps ahead the predictor
+	// extrapolates (default 3).
+	TrajectoryLookahead int
+	// EdgeAddr, when set, routes misses through the shared edge cache tier
+	// at this host:port (an lfedged instance): resolved exNodes gain a
+	// preferred edge replica whose composite capability lets the edge fill
+	// from the origin depot, so the first tenant's miss warms every later
+	// tenant's access down to LAN cost. Origin replicas remain for
+	// failover when the edge is down or sheds.
+	EdgeAddr string
 	// Parallelism bounds concurrent depot streams per download (default 4).
 	Parallelism int
 	// StageParallelism is the number of concurrent staging transfers
@@ -162,9 +184,12 @@ type ClientAgentConfig struct {
 // made on behalf of prefetching.
 type ClientAgentStats struct {
 	Hits, LANFetches, WANFetches int64
-	Prefetches                   int64
-	Staged                       int64
-	StageErrors                  int64
+	// EdgeFetches counts misses served entirely by the edge cache tier
+	// (no WAN crossing by this agent; the edge may have filled once).
+	EdgeFetches int64
+	Prefetches  int64
+	Staged      int64
+	StageErrors int64
 	// ReplicaTries/FailedAttempts/ChecksumErrors aggregate the transfer
 	// accounting of every lors download the agent performed, so failovers
 	// and detected corruption are visible at the agent level.
@@ -204,7 +229,13 @@ type ClientAgent struct {
 	// prefetched marks frames a prefetch loaded into the cache but no user
 	// request has consumed yet; a later hit on one counts as prefetch-useful
 	// (and clears the mark, so each prefetch is credited at most once).
+	// Marks are also cleared when the frame is evicted before any hit —
+	// otherwise entries for evicted-unconsumed frames leak forever and
+	// inflate the usefulness metric's future numerator.
 	prefetched map[string]bool
+	// predictor extrapolates cursor motion for trajectory prefetch (nil
+	// unless TrajectoryPrefetch).
+	predictor *lightfield.TrajectoryPredictor
 
 	stageWake chan struct{}
 	stopOnce  sync.Once
@@ -259,7 +290,7 @@ func NewClientAgent(cfg ClientAgentConfig) (*ClientAgent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ClientAgent{
+	ca := &ClientAgent{
 		cfg:        cfg,
 		cache:      cache,
 		excach:     excach,
@@ -268,7 +299,19 @@ func NewClientAgent(cfg ClientAgentConfig) (*ClientAgent, error) {
 		prefetched: make(map[string]bool),
 		stageWake:  make(chan struct{}, 1),
 		stopCh:     make(chan struct{}),
-	}, nil
+	}
+	if cfg.TrajectoryPrefetch {
+		ca.predictor = lightfield.NewTrajectoryPredictor(cfg.Params, cfg.TrajectoryLookahead)
+	}
+	// A frame evicted before any hit consumed it must drop its prefetch
+	// mark, or the map entry leaks and a much later re-fetch+hit would be
+	// credited to a prefetch that no longer exists.
+	cache.SetOnEvict(func(key string) {
+		ca.mu.Lock()
+		delete(ca.prefetched, key)
+		ca.mu.Unlock()
+	})
+	return ca, nil
 }
 
 // registry resolves the metrics destination.
@@ -306,6 +349,7 @@ func (ca *ClientAgent) RegisterMetrics(reg *obs.Registry) {
 			"hits":             float64(st.Hits),
 			"lan_fetches":      float64(st.LANFetches),
 			"wan_fetches":      float64(st.WANFetches),
+			"edge_fetches":     float64(st.EdgeFetches),
 			"prefetches":       float64(st.Prefetches),
 			"staged":           float64(st.Staged),
 			"stage_errors":     float64(st.StageErrors),
@@ -543,7 +587,7 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 		Health:      ca.cfg.Health,
 		Budget:      ca.cfg.Budget,
 		Rand:        ca.cfg.Rand,
-		Prefer:      ca.cfg.ReplicaBias,
+		Prefer:      ca.replicaPrefer(),
 		Obs:         ca.cfg.Obs,
 		Tracer:      ca.cfg.Tracer,
 	}
@@ -600,6 +644,9 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 
 	var lastErr error
 	for _, ex := range exs {
+		if ca.cfg.EdgeAddr != "" {
+			ex = edge.RewriteExNode(ex, ca.cfg.EdgeAddr, id.String())
+		}
 		frame, st, err := ca.download(ctx, ex, dl)
 		ca.addTransferStats(st)
 		if err != nil {
@@ -607,12 +654,44 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 			continue
 		}
 		_ = ca.cache.Put(id.String(), frame)
+		// Classify by who actually served the bytes: only a download whose
+		// every extent came off the edge tier avoided the WAN from this
+		// agent's seat; any origin-replica failover keeps the wan class.
+		class := AccessWAN
+		if ea := ca.cfg.EdgeAddr; ea != "" && st.ExtentFetches > 0 &&
+			st.ServedBy[ea] == st.ExtentFetches {
+			class = AccessEdge
+		}
 		ca.mu.Lock()
-		ca.stats.WANFetches++
+		if class == AccessEdge {
+			ca.stats.EdgeFetches++
+		} else {
+			ca.stats.WANFetches++
+		}
 		ca.mu.Unlock()
-		return frame, AccessWAN, nil
+		return frame, class, nil
 	}
 	return nil, AccessWAN, fmt.Errorf("agent: all exNode replicas failed for %v: %w", id, lastErr)
+}
+
+// replicaPrefer composes the replica-ordering bias: the edge tier (when
+// configured) always sorts first, the configured ReplicaBias breaks ties
+// among everything else.
+func (ca *ClientAgent) replicaPrefer() func(depot string) float64 {
+	bias := ca.cfg.ReplicaBias
+	eaddr := ca.cfg.EdgeAddr
+	if eaddr == "" {
+		return bias
+	}
+	return func(depot string) float64 {
+		if depot == eaddr {
+			return math.Inf(-1)
+		}
+		if bias != nil {
+			return bias(depot)
+		}
+		return 0
+	}
 }
 
 // OnUserMove tells the agent where the cursor is. It reorders the staging
@@ -634,6 +713,14 @@ func (ca *ClientAgent) OnUserMove(sp geom.Spherical) {
 	if ca.cfg.PrefetchAllNeighbors {
 		i, j := ca.cfg.Params.NearestCamera(sp)
 		targets = ca.cfg.Params.Neighbors(ca.cfg.Params.ViewSetOf(i, j))
+	}
+	if ca.predictor != nil {
+		// Trajectory prediction replaces the static quadrant while the
+		// cursor is moving; a still cursor (no velocity yet, or stopped)
+		// keeps the quadrant targets so coverage never drops to zero.
+		if predicted := ca.predictor.Advance(sp); len(predicted) > 0 {
+			targets = predicted
+		}
 	}
 	for _, id := range targets {
 		if ca.cache.Contains(id.String()) {

@@ -195,6 +195,8 @@ func (r *RemoteSource) GetViewSet(ctx context.Context, id lightfield.ViewSetID) 
 		rep.Class = AccessLANDepot
 	case AccessWAN.String():
 		rep.Class = AccessWAN
+	case AccessEdge.String():
+		rep.Class = AccessEdge
 	default:
 		return nil, rep, fmt.Errorf("agent: unknown access class %q", f[1])
 	}

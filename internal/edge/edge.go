@@ -1,0 +1,330 @@
+// Package edge implements the cooperative edge cache tier: a shared,
+// multi-tenant read-through cache that sits between client agents and the
+// depot pool, close to the consumers (Bethel et al.'s "network data cache"
+// argument applied to the paper's view-set streaming). It speaks the IBP
+// line protocol's LOAD/STATUS subset, so a rewritten exNode replica makes
+// it a drop-in preferred replica for the existing lors download path: the
+// first client to miss pulls the view set through the edge across the WAN,
+// and every later client — any tenant, any agent — hits it at LAN cost.
+//
+// The cache core is a sharded, byte-capacity-bounded LRU with single-flight
+// fills: concurrent misses on the same extent coalesce into one origin
+// fetch. A popularity tracker (windowed access counts with exponential
+// decay) rides every request and is exported through obs, so lftop, the
+// TSDB, and the steward's hot-set replicator all see the same hot set.
+package edge
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lonviz/internal/ibp"
+	"lonviz/internal/obs"
+	"lonviz/internal/singleflight"
+)
+
+// CacheConfig sizes and wires one edge cache.
+type CacheConfig struct {
+	// CapacityBytes bounds the total cached payload (required).
+	CapacityBytes int64
+	// Shards is the number of independent LRU shards (default 16, clamped
+	// so every shard holds at least one typical extent).
+	Shards int
+	// Dialer shapes connections to origin depots on fills; nil means plain
+	// TCP.
+	Dialer ibp.Dialer
+	// FillTimeout bounds one origin fill (default 30s). Fills run detached
+	// from any single waiter's cancellation — the extent someone else is
+	// waiting on must not die with the first impatient client — so this,
+	// not the caller's deadline, stops a wedged fill.
+	FillTimeout time.Duration
+	// HalfLife is the popularity tracker's decay half-life (default 30s).
+	HalfLife time.Duration
+	// Obs receives the edge.* metric families; nil records into
+	// obs.Default().
+	Obs *obs.Registry
+}
+
+// CacheStats is a point-in-time view of edge cache accounting.
+type CacheStats struct {
+	Capacity, Used int64
+	Entries        int
+	// Hits/Misses classify LOADs against the cached set; Fills counts
+	// origin fetches actually performed (single-flight: concurrent misses
+	// on one extent fill once), Coalesced the misses that piggybacked on
+	// an in-flight fill, FillErrors the fills that failed.
+	Hits, Misses, Fills, FillErrors, Coalesced int64
+	Evictions                                  int64
+	// BytesServed is payload bytes answered to clients (hits and fills).
+	BytesServed int64
+	// FilledSets is the number of distinct view sets that crossed the WAN
+	// at least once (distinct fill hints) — the denominator-free form of
+	// the "each view set fetched from the depot at most once" claim.
+	FilledSets int
+	// Refills counts fills of an extent the cache had already filled
+	// before (possible only after an eviction); zero means every extent
+	// crossed the WAN exactly once.
+	Refills int64
+}
+
+// Cache is the sharded single-flight read-through cache core.
+type Cache struct {
+	cfg    CacheConfig
+	shards []*cacheShard
+	// flights coalesces concurrent fills of the same extent.
+	flights singleflight.Group[string, []byte]
+	pop     *Popularity
+
+	hits, misses, fills, fillErrors, coalesced, bytesServed atomic.Int64
+
+	// fillMu guards the fill-history sets behind FilledSets/Refills.
+	fillMu      sync.Mutex
+	filledKeys  map[string]struct{}
+	filledHints map[string]struct{}
+	refills     int64
+}
+
+// cacheShard is one independently locked LRU over extent payloads.
+type cacheShard struct {
+	mu        sync.Mutex
+	capacity  int64
+	used      int64
+	order     []string // front = least recent
+	items     map[string][]byte
+	evictions int64
+}
+
+// NewCache builds an edge cache.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.CapacityBytes <= 0 {
+		return nil, fmt.Errorf("edge: non-positive cache capacity %d", cfg.CapacityBytes)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	// Every shard must be able to hold at least one typical extent; with a
+	// tiny total budget, fewer shards beat shards that can cache nothing.
+	for cfg.Shards > 1 && cfg.CapacityBytes/int64(cfg.Shards) < 256<<10 {
+		cfg.Shards /= 2
+	}
+	if cfg.FillTimeout <= 0 {
+		cfg.FillTimeout = 30 * time.Second
+	}
+	if cfg.HalfLife <= 0 {
+		cfg.HalfLife = 30 * time.Second
+	}
+	c := &Cache{
+		cfg:         cfg,
+		pop:         NewPopularity(cfg.HalfLife),
+		filledKeys:  make(map[string]struct{}),
+		filledHints: make(map[string]struct{}),
+	}
+	per := cfg.CapacityBytes / int64(cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		c.shards = append(c.shards, &cacheShard{
+			capacity: per,
+			items:    make(map[string][]byte),
+		})
+	}
+	return c, nil
+}
+
+// registry resolves the metrics destination.
+func (c *Cache) registry() *obs.Registry {
+	if c.cfg.Obs != nil {
+		return c.cfg.Obs
+	}
+	return obs.Default()
+}
+
+// Popularity exposes the cache's hot-set tracker (the steward's
+// replication feed and lftop's hot-set pane read it).
+func (c *Cache) Popularity() *Popularity { return c.pop }
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[int(h.Sum32())%len(c.shards)]
+}
+
+// cacheKey names one cached extent: the origin allocation plus the exact
+// byte range. Every client resolves the same exNode from the DVS, so the
+// key is identical across tenants and the first fill serves them all.
+func cacheKey(cap Cap, off, length int64) string {
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%d", cap.OriginDepot, cap.OriginCap, off, length)
+}
+
+// Load serves one extent read through the cache: a hit returns cached
+// bytes, a miss fills from the origin depot (single-flight per extent) and
+// caches the result. hit reports the cache outcome for access-class
+// accounting.
+func (c *Cache) Load(ctx context.Context, cp Cap, off, length int64) (data []byte, hit bool, err error) {
+	reg := c.registry()
+	c.pop.Record(cp.Hint)
+	key := cacheKey(cp, off, length)
+	sh := c.shard(key)
+	if data, ok := sh.get(key); ok {
+		c.hits.Add(1)
+		c.bytesServed.Add(int64(len(data)))
+		reg.Counter(obs.MEdgeHits).Inc()
+		reg.Counter(obs.MEdgeBytesServed).Add(int64(len(data)))
+		return data, true, nil
+	}
+	c.misses.Add(1)
+	reg.Counter(obs.MEdgeMisses).Inc()
+	data, shared, err := c.flights.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
+		fctx, cancel := context.WithTimeout(fctx, c.cfg.FillTimeout)
+		defer cancel()
+		return c.fill(fctx, cp, off, length)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if shared {
+		c.coalesced.Add(1)
+		reg.Counter(obs.MEdgeCoalesced).Inc()
+	}
+	c.bytesServed.Add(int64(len(data)))
+	reg.Counter(obs.MEdgeBytesServed).Add(int64(len(data)))
+	return data, false, nil
+}
+
+// fill fetches one extent from its origin depot and caches it.
+func (c *Cache) fill(ctx context.Context, cp Cap, off, length int64) ([]byte, error) {
+	reg := c.registry()
+	_, span := obs.DefaultTracer().StartSpan(ctx, obs.SpanEdgeFill)
+	span.SetAttr("origin", cp.OriginDepot)
+	defer span.Finish()
+	start := time.Now()
+	cl := &ibp.Client{Addr: cp.OriginDepot, Dialer: c.cfg.Dialer, Timeout: c.cfg.FillTimeout, Obs: c.cfg.Obs}
+	data, err := cl.Load(ctx, cp.OriginCap, off, length)
+	reg.Histogram(obs.MEdgeFillMs, obs.LatencyBucketsMs...).Observe(float64(time.Since(start)) / 1e6)
+	if err != nil {
+		c.fillErrors.Add(1)
+		reg.Counter(obs.MEdgeFillErrors).Inc()
+		span.SetAttr("err", err.Error())
+		obs.DefaultLogger().Warn(ctx, obs.EvEdgeFillErr,
+			"origin", cp.OriginDepot, "hint", cp.Hint, "err", err.Error())
+		return nil, err
+	}
+	c.fills.Add(1)
+	reg.Counter(obs.MEdgeFills).Inc()
+	key := cacheKey(cp, off, length)
+	c.fillMu.Lock()
+	if _, again := c.filledKeys[key]; again {
+		c.refills++
+	} else {
+		c.filledKeys[key] = struct{}{}
+	}
+	if cp.Hint != "" {
+		c.filledHints[cp.Hint] = struct{}{}
+	}
+	c.fillMu.Unlock()
+	c.shard(key).put(key, data)
+	return data, nil
+}
+
+// Stats returns current accounting.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Capacity:    c.cfg.CapacityBytes,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Fills:       c.fills.Load(),
+		FillErrors:  c.fillErrors.Load(),
+		Coalesced:   c.coalesced.Load(),
+		BytesServed: c.bytesServed.Load(),
+	}
+	c.fillMu.Lock()
+	st.FilledSets = len(c.filledHints)
+	st.Refills = c.refills
+	c.fillMu.Unlock()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Used += sh.used
+		st.Entries += len(sh.items)
+		st.Evictions += sh.evictions
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// RegisterMetrics bridges the cache accounting and the hot set onto reg
+// (scraped as edge.* at /metrics); passing nil bridges into obs.Default().
+// Hot-set entries appear as edge.hot.<viewset> with their decayed counts.
+func (c *Cache) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.RegisterSnapshot("edge", func() map[string]float64 {
+		st := c.Stats()
+		hitRate := 0.0
+		if total := st.Hits + st.Misses; total > 0 {
+			hitRate = float64(st.Hits) / float64(total)
+		}
+		out := map[string]float64{
+			"cache.capacity":  float64(st.Capacity),
+			"cache.used":      float64(st.Used),
+			"cache.entries":   float64(st.Entries),
+			"cache.evictions": float64(st.Evictions),
+			"cache.hit_rate":  hitRate,
+		}
+		for _, it := range c.pop.Top(16) {
+			out["hot."+it.Hint] = it.Count
+		}
+		return out
+	})
+}
+
+// get returns the cached payload and refreshes recency.
+func (s *cacheShard) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.touch(key)
+	return data, true
+}
+
+// touch moves key to the most-recent end of the order list.
+func (s *cacheShard) touch(key string) {
+	for i, k := range s.order {
+		if k == key {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = key
+			return
+		}
+	}
+}
+
+// put inserts a payload, evicting least-recently-used entries past the
+// shard budget. Payloads larger than the whole shard are served but not
+// cached.
+func (s *cacheShard) put(key string, data []byte) {
+	if int64(len(data)) > s.capacity {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.items[key]; ok {
+		s.used -= int64(len(old))
+		s.touch(key)
+	} else {
+		s.order = append(s.order, key)
+	}
+	s.items[key] = data
+	s.used += int64(len(data))
+	for s.used > s.capacity && len(s.order) > 0 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		s.used -= int64(len(s.items[victim]))
+		delete(s.items, victim)
+		s.evictions++
+	}
+}

@@ -1,0 +1,104 @@
+package edge
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// HotItem is one entry of the decayed popularity ranking.
+type HotItem struct {
+	// Hint is the view-set identifier recorded at access time.
+	Hint string
+	// Count is the exponentially decayed access count: an entry accessed
+	// once per half-life settles near 2, a cold entry decays toward zero.
+	Count float64
+}
+
+// Popularity tracks windowed view-set access counts with exponential
+// decay: recent demand dominates, stale hot spots fade with the
+// configured half-life. It is the edge's demand signal — lftop's hot-set
+// pane reads it through the edge.hot.* snapshot keys and the steward's
+// hot-set replicator uses it to decide what to push toward the edge ahead
+// of demand.
+type Popularity struct {
+	halfLife time.Duration
+	now      func() time.Time // injectable for tests
+
+	mu     sync.Mutex
+	counts map[string]float64
+	stamp  time.Time // decay applied up to here
+}
+
+// NewPopularity builds a tracker with the given decay half-life.
+func NewPopularity(halfLife time.Duration) *Popularity {
+	if halfLife <= 0 {
+		halfLife = 30 * time.Second
+	}
+	return &Popularity{halfLife: halfLife, now: time.Now, counts: make(map[string]float64)}
+}
+
+// decayLocked folds elapsed time into the counts. Entries that have
+// decayed below noise are dropped so the map stays bounded by the set of
+// recently active view sets.
+func (p *Popularity) decayLocked(now time.Time) {
+	if p.stamp.IsZero() {
+		p.stamp = now
+		return
+	}
+	dt := now.Sub(p.stamp)
+	if dt <= 0 {
+		return
+	}
+	p.stamp = now
+	// 2^(-dt/halfLife) without math.Pow in the hot path: halve per whole
+	// half-life, then linear-interpolate the remainder (accurate enough
+	// for a ranking signal).
+	factor := 1.0
+	for dt >= p.halfLife {
+		factor /= 2
+		dt -= p.halfLife
+	}
+	factor *= 1 - 0.5*float64(dt)/float64(p.halfLife)
+	for k, v := range p.counts {
+		v *= factor
+		if v < 0.01 {
+			delete(p.counts, k)
+			continue
+		}
+		p.counts[k] = v
+	}
+}
+
+// Record counts one access of hint (empty hints are ignored).
+func (p *Popularity) Record(hint string) {
+	if hint == "" {
+		return
+	}
+	p.mu.Lock()
+	p.decayLocked(p.now())
+	p.counts[hint]++
+	p.mu.Unlock()
+}
+
+// Top returns the n hottest view sets, hottest first (ties broken by hint
+// for determinism).
+func (p *Popularity) Top(n int) []HotItem {
+	p.mu.Lock()
+	p.decayLocked(p.now())
+	out := make([]HotItem, 0, len(p.counts))
+	for k, v := range p.counts {
+		out = append(out, HotItem{Hint: k, Count: v})
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Hint < out[j].Hint
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package lightfield
+
+import (
+	"math"
+	"sync"
+
+	"lonviz/internal/geom"
+)
+
+// TrajectoryPredictor extrapolates the cursor's motion on the view sphere
+// and names the view sets the cursor is about to enter, so the client
+// agent can prefetch along the predicted path instead of the static
+// quadrant (BigDataViewer's demand-shaped fetching applied to the paper's
+// view-sphere browsing). Velocity is the per-sample angle delta — no wall
+// clock is consulted, so a given cursor path always yields the same
+// prediction sequence (determinism the tests pin down).
+type TrajectoryPredictor struct {
+	p         Params
+	lookahead int
+
+	mu           sync.Mutex
+	prev         geom.Spherical
+	havePrev     bool
+	dTheta, dPhi float64
+	haveVel      bool
+}
+
+// NewTrajectoryPredictor builds a predictor extrapolating lookahead
+// velocity steps ahead (default 3 when non-positive).
+func NewTrajectoryPredictor(p Params, lookahead int) *TrajectoryPredictor {
+	if lookahead <= 0 {
+		lookahead = 3
+	}
+	return &TrajectoryPredictor{p: p, lookahead: lookahead}
+}
+
+// Advance records one cursor sample and returns the predicted view sets
+// along the extrapolated path, nearest first, deduplicated, excluding the
+// set the cursor is currently in. A cursor with no velocity yet (first
+// sample, or two identical samples) predicts nothing — callers keep their
+// static fallback policy for that case.
+func (t *TrajectoryPredictor) Advance(sp geom.Spherical) []ViewSetID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.havePrev {
+		t.dTheta = sp.Theta - t.prev.Theta
+		t.dPhi = wrapDeltaPhi(sp.Phi - t.prev.Phi)
+		t.haveVel = true
+	}
+	t.prev = sp
+	t.havePrev = true
+	if !t.haveVel || (t.dTheta == 0 && t.dPhi == 0) {
+		return nil
+	}
+	ci, cj := t.p.NearestCamera(sp)
+	cur := t.p.ViewSetOf(ci, cj)
+	theta, phi := sp.Theta, sp.Phi
+	var out []ViewSetID
+	for k := 0; k < t.lookahead; k++ {
+		theta += t.dTheta
+		phi += t.dPhi
+		rt, rp := reflectSphere(theta, phi)
+		i, j := t.p.NearestCamera(geom.Spherical{Theta: rt, Phi: rp})
+		id := t.p.ViewSetOf(i, j)
+		if id != cur && t.p.ValidID(id) {
+			out = append(out, id)
+		}
+	}
+	return dedupIDs(out)
+}
+
+// wrapDeltaPhi maps an azimuth delta into (-π, π] so a cursor crossing
+// the φ=0 seam reads as a small step, not a near-full revolution.
+func wrapDeltaPhi(d float64) float64 {
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// reflectSphere folds an extrapolated (θ, φ) back onto the sphere: a path
+// crossing a pole continues down the far side (θ reflects, φ gains π),
+// and φ wraps into [0, 2π).
+func reflectSphere(theta, phi float64) (float64, float64) {
+	for theta < 0 || theta > math.Pi {
+		if theta < 0 {
+			theta = -theta
+		} else {
+			theta = 2*math.Pi - theta
+		}
+		phi += math.Pi
+	}
+	phi = math.Mod(phi, 2*math.Pi)
+	if phi < 0 {
+		phi += 2 * math.Pi
+	}
+	return theta, phi
+}

@@ -1,0 +1,138 @@
+package lightfield
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"lonviz/internal/geom"
+)
+
+// trajParams is a small lattice (18x36 cameras, 6x12 view sets) used by
+// the predictor tests.
+func trajParams(t *testing.T) Params {
+	t.Helper()
+	p := ScaledParams(10, 3, 16)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTrajectoryZeroVelocity(t *testing.T) {
+	p := trajParams(t)
+	tp := NewTrajectoryPredictor(p, 3)
+	sp := geom.Spherical{Theta: math.Pi / 2, Phi: 1.0}
+	if got := tp.Advance(sp); got != nil {
+		t.Fatalf("first sample (no velocity yet) predicted %v, want nil", got)
+	}
+	if got := tp.Advance(sp); got != nil {
+		t.Fatalf("still cursor predicted %v, want nil", got)
+	}
+	// Movement resumes prediction; stopping again silences it.
+	moved := geom.Spherical{Theta: math.Pi / 2, Phi: 1.4}
+	if got := tp.Advance(moved); len(got) == 0 {
+		t.Fatal("moving cursor predicted nothing")
+	}
+	if got := tp.Advance(moved); got != nil {
+		t.Fatalf("re-stopped cursor predicted %v, want nil", got)
+	}
+}
+
+func TestTrajectoryFollowsMotion(t *testing.T) {
+	p := trajParams(t)
+	tp := NewTrajectoryPredictor(p, 3)
+	// Eastward along the equator: predictions must sit east of the cursor's
+	// current view set, not behind it.
+	tp.Advance(geom.Spherical{Theta: math.Pi / 2, Phi: 0.3})
+	preds := tp.Advance(geom.Spherical{Theta: math.Pi / 2, Phi: 0.5})
+	if len(preds) == 0 {
+		t.Fatal("eastward motion predicted nothing")
+	}
+	ci, cj := p.NearestCamera(geom.Spherical{Theta: math.Pi / 2, Phi: 0.5})
+	cur := p.ViewSetOf(ci, cj)
+	for _, id := range preds {
+		if !p.ValidID(id) {
+			t.Fatalf("prediction %v outside database", id)
+		}
+		if id == cur {
+			t.Fatalf("prediction %v is the current set", id)
+		}
+		if id.C <= cur.C {
+			t.Fatalf("eastward motion predicted westward/current set %v (current %v)", id, cur)
+		}
+	}
+}
+
+func TestTrajectoryDirectionReversal(t *testing.T) {
+	p := trajParams(t)
+	tp := NewTrajectoryPredictor(p, 3)
+	// East first...
+	tp.Advance(geom.Spherical{Theta: math.Pi / 2, Phi: 1.0})
+	east := tp.Advance(geom.Spherical{Theta: math.Pi / 2, Phi: 1.2})
+	// ...then reverse west. The prediction set must flip sides.
+	west := tp.Advance(geom.Spherical{Theta: math.Pi / 2, Phi: 1.0})
+	if len(east) == 0 || len(west) == 0 {
+		t.Fatalf("expected predictions both ways, got east=%v west=%v", east, west)
+	}
+	ci, cj := p.NearestCamera(geom.Spherical{Theta: math.Pi / 2, Phi: 1.0})
+	cur := p.ViewSetOf(ci, cj)
+	for _, id := range west {
+		if id.C >= cur.C && id.C < cur.C+p.SetCols()/2 {
+			t.Fatalf("westward motion predicted eastward set %v (current %v)", id, cur)
+		}
+	}
+	for _, e := range east {
+		for _, w := range west {
+			if e == w {
+				t.Fatalf("prediction %v survived a direction reversal", e)
+			}
+		}
+	}
+}
+
+func TestTrajectoryPoleWraparound(t *testing.T) {
+	p := trajParams(t)
+	tp := NewTrajectoryPredictor(p, 3)
+	// Straight over the north pole: the extrapolated path crosses θ=0 and
+	// must continue down the far side (φ shifted by π), never producing an
+	// out-of-range view set.
+	tp.Advance(geom.Spherical{Theta: 0.35, Phi: 0.5})
+	preds := tp.Advance(geom.Spherical{Theta: 0.15, Phi: 0.5})
+	if len(preds) == 0 {
+		t.Fatal("pole-crossing motion predicted nothing")
+	}
+	farSide := false
+	ci, cj := p.NearestCamera(geom.Spherical{Theta: 0.15, Phi: 0.5})
+	cur := p.ViewSetOf(ci, cj)
+	for _, id := range preds {
+		if !p.ValidID(id) {
+			t.Fatalf("pole crossing predicted out-of-range set %v", id)
+		}
+		if id.C == (cur.C+p.SetCols()/2)%p.SetCols() {
+			farSide = true
+		}
+	}
+	if !farSide {
+		t.Fatalf("pole crossing never reached the far side of the sphere: %v (current %v)", preds, cur)
+	}
+}
+
+func TestTrajectoryDeterminism(t *testing.T) {
+	p := trajParams(t)
+	path := []geom.Spherical{
+		{Theta: 1.2, Phi: 0.1},
+		{Theta: 1.25, Phi: 0.5},
+		{Theta: 1.3, Phi: 0.9},
+		{Theta: 1.2, Phi: 1.4},
+		{Theta: 0.9, Phi: 1.4},
+		{Theta: 0.4, Phi: 2.0},
+	}
+	a, b := NewTrajectoryPredictor(p, 3), NewTrajectoryPredictor(p, 3)
+	for i, sp := range path {
+		pa, pb := a.Advance(sp), b.Advance(sp)
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("step %d: same path diverged: %v vs %v", i, pa, pb)
+		}
+	}
+}

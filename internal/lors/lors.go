@@ -381,6 +381,19 @@ type DownloadStats struct {
 	Skipped         int   // replicas skipped because their depot's circuit was open
 	BusyRejections  int   // attempts shed by depot admission control (BUSY)
 	BudgetExhausted int   // retry passes refused by the retry budget
+	// ServedBy counts successful extent serves per depot address, so
+	// callers can tell which tier actually delivered the bytes (every
+	// extent served by the edge tier vs. any WAN depot crossing). nil
+	// until the first success.
+	ServedBy map[string]int
+}
+
+// served records one successful extent serve from depot.
+func (s *DownloadStats) served(depot string) {
+	if s.ServedBy == nil {
+		s.ServedBy = make(map[string]int)
+	}
+	s.ServedBy[depot]++
 }
 
 // add accumulates per-extent stats into a download-wide total.
@@ -391,6 +404,12 @@ func (s *DownloadStats) add(o DownloadStats) {
 	s.Skipped += o.Skipped
 	s.BusyRejections += o.BusyRejections
 	s.BudgetExhausted += o.BudgetExhausted
+	for depot, n := range o.ServedBy {
+		if s.ServedBy == nil {
+			s.ServedBy = make(map[string]int)
+		}
+		s.ServedBy[depot] += n
+	}
 }
 
 // Download reassembles an exNode's payload from the network.
@@ -561,6 +580,7 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 			}
 			aspan.Finish()
 			opts.Health.ReportSuccess(rep.Depot)
+			stats.served(rep.Depot)
 			copy(dst, data)
 			return stats, nil
 		}
@@ -581,8 +601,9 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 		return nil, stats, fmt.Errorf("lors: extent at %d: %w", ext.Offset, errAllCircuitsOpen)
 	}
 	type result struct {
-		data []byte
-		err  error
+		depot string
+		data  []byte
+		err   error
 	}
 	ch := make(chan result, len(candidates))
 	cctx, cancel := context.WithCancel(ctx)
@@ -610,7 +631,7 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 			}
 			aspan.Finish()
 			select {
-			case ch <- result{data, err}:
+			case ch <- result{rep.Depot, data, err}:
 			case <-cctx.Done():
 			}
 		}(rep)
@@ -622,6 +643,7 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 			return nil, stats, ctx.Err()
 		case r := <-ch:
 			if r.err == nil {
+				stats.served(r.depot)
 				return r.data, stats, nil
 			}
 			if errors.Is(r.err, ibp.ErrBusy) {

@@ -94,7 +94,7 @@ const (
 
 	// --- client agent (also mirrored per-instance by agent.Stats) ---
 
-	// MAgentFetchMs: histogram, ms end-to-end GetViewSet: {class=hit|lan-depot|wan}.
+	// MAgentFetchMs: histogram, ms end-to-end GetViewSet: {class=hit|lan-depot|wan|edge}.
 	MAgentFetchMs = "agent.fetch.ms"
 	// MAgentHits: counter. View set requests served from the agent cache.
 	MAgentHits = "agent.cache.hits"
@@ -147,6 +147,36 @@ const (
 	// MStewardAlertAudits: counter. Targeted audits run because an SLO
 	// alert fired, ahead of the periodic cycle.
 	MStewardAlertAudits = "steward.alert_audits"
+	// MStewardHotsetWarms: counter. View sets replicated toward the edge
+	// tier by the hot-set replicator ahead of demand.
+	MStewardHotsetWarms = "steward.hotset.warms"
+	// MStewardHotsetWarmErrors: counter. Hot-set warm attempts that failed.
+	MStewardHotsetWarmErrors = "steward.hotset.warm_errors"
+
+	// --- edge cache tier (internal/edge, served by cmd/lfedged) ---
+
+	// MEdgeHits: counter. Edge LOADs served from the cached set (LAN cost).
+	MEdgeHits = "edge.hits"
+	// MEdgeMisses: counter. Edge LOADs that missed and went to a fill.
+	MEdgeMisses = "edge.misses"
+	// MEdgeFills: counter. Origin-depot fetches actually performed
+	// (single-flight: concurrent misses on one extent fill once).
+	MEdgeFills = "edge.fills"
+	// MEdgeFillErrors: counter. Fills that failed (clients fail over to
+	// the origin replicas).
+	MEdgeFillErrors = "edge.fill_errors"
+	// MEdgeCoalesced: counter. Misses that piggybacked on an in-flight
+	// fill instead of fetching the origin again.
+	MEdgeCoalesced = "edge.coalesced"
+	// MEdgeFillMs: histogram, ms per origin fill.
+	MEdgeFillMs = "edge.fill.ms"
+	// MEdgeServeMs: histogram, ms per served request: {op=LOAD|STATUS}.
+	MEdgeServeMs = "edge.serve.ms"
+	// MEdgeBytesServed: counter. Payload bytes answered to clients.
+	MEdgeBytesServed = "edge.bytes_served"
+	// MEdgeShed: counter. Edge requests rejected with BUSY,
+	// {reason=queue_full|queue_wait|deadline}.
+	MEdgeShed = "edge.shed"
 
 	// --- SLO engine (internal/obs/slo) ---
 
@@ -196,6 +226,11 @@ const (
 	// transition events stamp its trace ID, joining /debug/alerts state
 	// changes against /debug/events.
 	SpanSLOEvaluate = "slo.evaluate"
+	// SpanEdgeServe is the edge tier's server-side span for one served
+	// verb, parented under the calling client's span: {op=LOAD|STATUS}.
+	SpanEdgeServe = "edge.serve"
+	// SpanEdgeFill covers one origin-depot fill inside an edge miss.
+	SpanEdgeFill = "edge.fill"
 )
 
 // Event names used by the structured log at /debug/events. Events are
@@ -227,4 +262,10 @@ const (
 	// EvStewardAlertTrigger: info. The steward received a firing alert
 	// and queued a targeted audit; fields: rule, depot.
 	EvStewardAlertTrigger = "steward.alert_trigger"
+	// EvEdgeFillErr: warn. An edge origin fill failed (clients fall back
+	// to origin replicas); fields: origin, hint, err.
+	EvEdgeFillErr = "edge.fill_err"
+	// EvStewardHotsetWarm: info. The hot-set replicator warmed one view
+	// set into the edge tier; fields: hint, ok.
+	EvStewardHotsetWarm = "steward.hotset_warm"
 )

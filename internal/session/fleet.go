@@ -141,6 +141,40 @@ func (f *FleetResult) FairnessSpread() float64 {
 	return maxFPS / minFPS
 }
 
+// ClassCounts tallies the fleet's successful accesses by access class.
+func (f *FleetResult) ClassCounts() map[agent.AccessClass]int {
+	counts := make(map[agent.AccessClass]int)
+	for _, r := range f.Runs {
+		for _, rec := range r.Records {
+			counts[rec.Class]++
+		}
+	}
+	return counts
+}
+
+// HitRate is the share of fleet accesses served from each client's own
+// local cache.
+func (f *FleetResult) HitRate() float64 {
+	total := f.Accesses()
+	if total == 0 {
+		return 0
+	}
+	return float64(f.ClassCounts()[agent.AccessHit]) / float64(total)
+}
+
+// CooperativeHitRate is the share of fleet accesses that never left the
+// LAN: local-cache hits plus edge-tier hits. This is the fleet-aggregate
+// figure the shared edge cache is judged on — an access one client
+// missed but a neighbor already pulled through the edge counts.
+func (f *FleetResult) CooperativeHitRate() float64 {
+	total := f.Accesses()
+	if total == 0 {
+		return 0
+	}
+	counts := f.ClassCounts()
+	return float64(counts[agent.AccessHit]+counts[agent.AccessEdge]) / float64(total)
+}
+
 // Percentile returns the p-quantile (0..1) of values by nearest-rank on
 // a sorted copy.
 func Percentile(values []float64, p float64) float64 {

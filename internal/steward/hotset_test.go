@@ -1,0 +1,165 @@
+package steward
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lonviz/internal/edge"
+)
+
+func TestHotSetReplicatorValidation(t *testing.T) {
+	feed := func(n int) []edge.HotItem { return nil }
+	warm := func(ctx context.Context, hint string) error { return nil }
+	if _, err := NewHotSetReplicator(HotSetConfig{Warm: warm}); err == nil {
+		t.Fatal("missing feed accepted")
+	}
+	if _, err := NewHotSetReplicator(HotSetConfig{Feed: feed}); err == nil {
+		t.Fatal("missing warm accepted")
+	}
+	if _, err := NewHotSetReplicator(HotSetConfig{Feed: feed, Warm: warm}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestHotSetReplicatorWarmsAboveThreshold(t *testing.T) {
+	var mu sync.Mutex
+	warmed := map[string]int{}
+	h, err := NewHotSetReplicator(HotSetConfig{
+		Feed: func(n int) []edge.HotItem {
+			return []edge.HotItem{
+				{Hint: "r00c01", Count: 9},
+				{Hint: "r01c02", Count: 5},
+				{Hint: "r02c03", Count: 0.5}, // below MinCount: skipped
+			}
+		},
+		Warm: func(ctx context.Context, hint string) error {
+			mu.Lock()
+			warmed[hint]++
+			mu.Unlock()
+			return nil
+		},
+		MinCount: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.RunOnce(context.Background()); got != 2 {
+		t.Fatalf("RunOnce warmed %d sets, want 2", got)
+	}
+	if warmed["r00c01"] != 1 || warmed["r01c02"] != 1 || warmed["r02c03"] != 0 {
+		t.Fatalf("warmed = %v, want the two hot sets only", warmed)
+	}
+	// A second pass inside the cooldown warms nothing.
+	if got := h.RunOnce(context.Background()); got != 0 {
+		t.Fatalf("cooldown pass warmed %d sets, want 0", got)
+	}
+	if warms, errs := h.Stats(); warms != 2 || errs != 0 {
+		t.Fatalf("stats = (%d, %d), want (2, 0)", warms, errs)
+	}
+}
+
+func TestHotSetReplicatorCooldownExpiry(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	h, err := NewHotSetReplicator(HotSetConfig{
+		Feed: func(n int) []edge.HotItem {
+			return []edge.HotItem{{Hint: "r00c00", Count: 10}}
+		},
+		Warm: func(ctx context.Context, hint string) error {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			return nil
+		},
+		Cooldown: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.RunOnce(context.Background())
+	h.RunOnce(context.Background()) // inside cooldown
+	time.Sleep(50 * time.Millisecond)
+	h.RunOnce(context.Background()) // cooldown expired
+	if count != 2 {
+		t.Fatalf("warm count = %d, want 2 (cooldown gates the middle pass)", count)
+	}
+}
+
+func TestHotSetReplicatorRetriesFailedWarms(t *testing.T) {
+	fail := true
+	h, err := NewHotSetReplicator(HotSetConfig{
+		Feed: func(n int) []edge.HotItem {
+			return []edge.HotItem{{Hint: "r03c04", Count: 10}}
+		},
+		Warm: func(ctx context.Context, hint string) error {
+			if fail {
+				return errors.New("origin down")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.RunOnce(context.Background()); got != 0 {
+		t.Fatalf("failing warm counted as success: %d", got)
+	}
+	// A failed warm must not sit out the cooldown: the very next pass retries.
+	fail = false
+	if got := h.RunOnce(context.Background()); got != 1 {
+		t.Fatalf("retry pass warmed %d sets, want 1", got)
+	}
+	if warms, errs := h.Stats(); warms != 1 || errs != 1 {
+		t.Fatalf("stats = (%d, %d), want (1, 1)", warms, errs)
+	}
+}
+
+func TestHotSetReplicatorRunLoopAndTrigger(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	h, err := NewHotSetReplicator(HotSetConfig{
+		Feed: func(n int) []edge.HotItem {
+			return []edge.HotItem{{Hint: "r04c05", Count: 10}}
+		},
+		Warm: func(ctx context.Context, hint string) error {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			return nil
+		},
+		Interval: time.Hour, // only the trigger fires within the test
+		Cooldown: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { h.Run(ctx); close(done) }()
+	h.Trigger()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := count
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trigger never drove a pass")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Trigger never blocks even when the loop is busy or the chan is full.
+	h.Trigger()
+	h.Trigger()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}

@@ -109,4 +109,49 @@ for name in ibp.shed ibp.server.inflight ibp.server.queue_depth; do
 done
 teardown
 
+echo "== lfedged edge smoke (shared-edge fleet through a real daemon)"
+go build -o "$benchdir/lfedged" ./cmd/lfedged
+"$benchdir/lfedged" -addr 127.0.0.1:0 -cache-bytes 33554432 -metrics-addr 127.0.0.1:0 \
+	>"$benchdir/lfedged.log" 2>&1 &
+edge_pid=$!
+edge_teardown() {
+	kill "$edge_pid" 2>/dev/null || true
+	wait "$edge_pid" 2>/dev/null || true
+}
+edge_fail() {
+	echo "$1" >&2
+	echo "--- lfedged.log ---" >&2
+	cat "$benchdir/lfedged.log" >&2
+	edge_teardown
+	exit 1
+}
+eaddr=""
+emaddr=""
+i=0
+while [ "$i" -lt 50 ]; do
+	eaddr=$(sed -n 's|.*serving IBP edge cache on \([^ ]*\).*|\1|p' "$benchdir/lfedged.log")
+	emaddr=$(sed -n 's|.*metrics on http://\([^/]*\)/metrics.*|\1|p' "$benchdir/lfedged.log")
+	[ -n "$eaddr" ] && [ -n "$emaddr" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+[ -n "$eaddr" ] || edge_fail "lfedged did not report a serving address within 5s"
+[ -n "$emaddr" ] || edge_fail "lfedged did not report a metrics address within 5s"
+go run ./cmd/lfbench -edge -edge-addr "$eaddr" -accesses 12 -bench-name edgesmoke -json "$benchdir" \
+	|| edge_fail "lfbench -edge against $eaddr failed"
+edgereport="$benchdir/BENCH_edgesmoke.json"
+[ -s "$edgereport" ] || edge_fail "lfbench -edge did not write $edgereport"
+for key in shared_hit_rate isolated_hit_rate shared_worst_p99_ms edge_hits; do
+	if ! grep -q "\"$key\"" "$edgereport"; then
+		edge_fail "BENCH_edgesmoke.json missing \"$key\""
+	fi
+done
+# The fleet's later clients must have actually hit the shared cache.
+edge_hits=$(curl -s "http://$emaddr/metrics" | grep '"edge.hits"' | sed 's/[^0-9]//g')
+[ -n "$edge_hits" ] || edge_fail "/metrics on lfedged has no edge.hits counter"
+[ "$edge_hits" -gt 0 ] || edge_fail "edge.hits is $edge_hits after the fleet run, want > 0"
+kill -TERM "$edge_pid"
+wait "$edge_pid" 2>/dev/null || true
+grep -q "shutting down" "$benchdir/lfedged.log" || edge_fail "lfedged did not shut down cleanly on SIGTERM"
+
 echo "all checks passed"
