@@ -163,7 +163,14 @@ func TestChaosBrowseUnderFaults(t *testing.T) {
 			LANDepots:  lan,
 			Health:     health,
 			Retries:    4,
-			Rand:       rand.New(rand.NewSource(99)),
+			// The fault injector poisons the first byte after the first
+			// newline of each connection — the payload on a serial
+			// connection, but the tagged response framing on a pipelined
+			// one (where corruption surfaces as a broken pipe, covered by
+			// the ibp pipe tests). Pin serial transport so this test keeps
+			// proving the CHECKSUM layer catches silent payload rot.
+			PipelineWindow: -1,
+			Rand:           rand.New(rand.NewSource(99)),
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -26,6 +26,7 @@ func main() {
 	capacity := flag.Int64("capacity", 1<<30, "storage capacity in bytes")
 	dir := flag.String("dir", "", "back allocations with files in this directory (default: memory)")
 	maxLease := flag.Duration("max-lease", time.Hour, "maximum allocation lease")
+	pipelineWindow := flag.Int("pipeline-window", ibp.DefaultPipelineWindow, "in-flight window granted to clients that negotiate pipelined mode, per connection (0 disables PIPELINE; clients fall back to serial)")
 	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently executing requests (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "admission control: max requests waiting for a slot before shedding with BUSY")
 	maxQueueWait := flag.Duration("max-queue-wait", 100*time.Millisecond, "admission control: max time a request may queue before shedding with BUSY")
@@ -49,6 +50,12 @@ func main() {
 	}
 	srv := ibp.NewServer(depot)
 	srv.Logf = log.Printf
+	// Flag 0 means "off" on the command line; the library spells that as a
+	// negative window (its own 0 means "default").
+	srv.PipelineWindow = *pipelineWindow
+	if *pipelineWindow == 0 {
+		srv.PipelineWindow = -1
+	}
 	if *maxInflight > 0 {
 		srv.Admission = overload.NewGate(*maxInflight, *maxQueue, *maxQueueWait)
 		fmt.Printf("depotd: admission control: %d in-flight, %d queued, %v max wait\n",

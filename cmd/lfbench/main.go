@@ -502,10 +502,13 @@ func readBenchReport(path string) (benchReport, error) {
 	return r, nil
 }
 
-// compareReports diffs a fresh bench report against a committed baseline and
-// prints WARN lines for >20% regressions. It never fails the run: micro
-// benchmarks on shared CI machines are too noisy to gate on, but a persistent
-// warning in every run is hard to ignore.
+// compareReports diffs a fresh bench report against a committed baseline.
+// Most metrics print WARN lines past a 20% regression and never fail the
+// run — micro benchmarks on shared CI machines are too noisy to gate on,
+// but a persistent warning in every run is hard to ignore. One exception
+// gates hard: the LAN case's frames_per_second runs with no simulated WAN
+// in the path, so it is the stable throughput signature of the zero-copy
+// data plane, and a >10% drop fails the run (and check.sh with it).
 func compareReports(baselinePath string, current benchReport) error {
 	base, err := readBenchReport(baselinePath)
 	if err != nil {
@@ -548,6 +551,17 @@ func compareReports(baselinePath string, current benchReport) error {
 	}
 	if compared == 0 {
 		return fmt.Errorf("compare: no cases in common with baseline %s", baselinePath)
+	}
+	// Hard gate (see the function comment): >10% LAN throughput regression
+	// is an error, not a warning.
+	const lanGate = 1.10
+	if b, ok := baseCases["case1_lan"]; ok && b.FramesPerSecond > 0 {
+		for _, c := range current.Cases {
+			if c.Case == "case1_lan" && c.FramesPerSecond < b.FramesPerSecond/lanGate {
+				return fmt.Errorf("compare: case1_lan frames_per_second regressed %.1f%% (%.2f -> %.2f), past the 10%% hard gate",
+					100*(1-c.FramesPerSecond/b.FramesPerSecond), b.FramesPerSecond, c.FramesPerSecond)
+			}
+		}
 	}
 	// Fleet sections only diff like-for-like: same client count, both runs
 	// actually produced one (a plain -quick run against a fleet baseline

@@ -32,6 +32,7 @@ func main() {
 	l := flag.Int("l", 3, "view set side length (must match)")
 	lanDepots := flag.String("lan-depots", "", "comma-separated LAN depot addresses for prestaging")
 	edgeAddr := flag.String("edge-addr", "", "shared edge cache (lfedged) address; misses route through it instead of the WAN depots")
+	pipelineWindow := flag.Int("pipeline-window", 0, "in-flight window per pipelined depot connection (0 = library default, negative forces serial one-connection-per-operation transfers)")
 	trajectory := flag.Bool("trajectory", false, "trajectory-predictive prefetch (extrapolated cursor motion) instead of the quadrant policy")
 	accesses := flag.Int("accesses", session.PaperAccessCount, "orchestrated accesses")
 	think := flag.Duration("think", 100*time.Millisecond, "cursor think time")
@@ -89,6 +90,7 @@ func main() {
 		LANDepots:          lan,
 		Prefetch:           *prefetch,
 		EdgeAddr:           *edgeAddr,
+		PipelineWindow:     *pipelineWindow,
 		TrajectoryPrefetch: *trajectory,
 		// Bias replica selection toward depots with good recent latency
 		// history; nil (metrics off) keeps the pure shuffled order.

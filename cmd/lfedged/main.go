@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"lonviz/internal/edge"
+	"lonviz/internal/ibp"
 	"lonviz/internal/obs"
 	"lonviz/internal/obs/slo"
 	"lonviz/internal/overload"
@@ -30,6 +31,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "cache capacity in bytes")
 	shards := flag.Int("shards", 0, "LRU shard count (0 = default 16, clamped to keep shards usefully sized)")
 	fillTimeout := flag.Duration("fill-timeout", 30*time.Second, "max duration of one origin-depot fill")
+	pipelineWindow := flag.Int("pipeline-window", ibp.DefaultPipelineWindow, "in-flight window for pipelined mode, both granted to clients and used on origin-depot fill connections (0 disables; everything falls back to serial)")
 	popHalfLife := flag.Duration("pop-half-life", 30*time.Second, "popularity tracker decay half-life")
 	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently executing requests (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "admission control: max requests waiting for a slot before shedding with BUSY")
@@ -44,11 +46,18 @@ func main() {
 	if err := obs.ConfigureDefaultLogger(*logLevel, *logFormat); err != nil {
 		log.Fatalf("lfedged: %v", err)
 	}
+	// Flag 0 means "off" on the command line; the library spells that as a
+	// negative window (its own 0 means "default").
+	window := *pipelineWindow
+	if window == 0 {
+		window = -1
+	}
 	cache, err := edge.NewCache(edge.CacheConfig{
-		CapacityBytes: *cacheBytes,
-		Shards:        *shards,
-		FillTimeout:   *fillTimeout,
-		HalfLife:      *popHalfLife,
+		CapacityBytes:  *cacheBytes,
+		Shards:         *shards,
+		FillTimeout:    *fillTimeout,
+		HalfLife:       *popHalfLife,
+		PipelineWindow: window,
 	})
 	if err != nil {
 		log.Fatalf("lfedged: %v", err)
@@ -56,6 +65,7 @@ func main() {
 	cache.RegisterMetrics(nil)
 	srv := edge.NewServer(cache)
 	srv.Logf = log.Printf
+	srv.PipelineWindow = window
 	if *maxInflight > 0 {
 		srv.Admission = overload.NewGate(*maxInflight, *maxQueue, *maxQueueWait)
 		fmt.Printf("lfedged: admission control: %d in-flight, %d queued, %v max wait\n",

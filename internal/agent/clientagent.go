@@ -130,6 +130,13 @@ type ClientAgentConfig struct {
 	EdgeAddr string
 	// Parallelism bounds concurrent depot streams per download (default 4).
 	Parallelism int
+	// PipelineWindow caps in-flight requests per pipelined depot
+	// connection. The agent keeps one persistent multiplexed connection
+	// per depot (serial fallback for depots that don't speak PIPELINE),
+	// so every stripe of a view set rides one already-open socket. 0
+	// means ibp.DefaultPipelineWindow; negative forces the serial
+	// one-connection-per-operation path (ablation baseline).
+	PipelineWindow int
 	// StageParallelism is the number of concurrent staging transfers
 	// (default 4) — the aggressiveness of the prestager, which "exploits
 	// every bit of available network bandwidth" while the network is
@@ -226,6 +233,11 @@ type ClientAgent struct {
 	// browsing to the same view set cost one depot fetch. Flights detach
 	// from individual callers' cancellation (see singleflight).
 	flights singleflight.Group[lightfield.ViewSetID, fetchResult]
+	// streams is the streaming counterpart of flights: one entry per
+	// in-flight GetViewSetStream download, which later identical streaming
+	// requests attach to with their own readers instead of starting a
+	// duplicate transfer. Guarded by mu.
+	streams map[lightfield.ViewSetID]*streamFlight
 	// prefetched marks frames a prefetch loaded into the cache but no user
 	// request has consumed yet; a later hit on one counts as prefetch-useful
 	// (and clears the mark, so each prefetch is credited at most once).
@@ -236,6 +248,11 @@ type ClientAgent struct {
 	// predictor extrapolates cursor motion for trajectory prefetch (nil
 	// unless TrajectoryPrefetch).
 	predictor *lightfield.TrajectoryPredictor
+
+	// pipes holds one persistent pipelined connection per depot (and per
+	// edge server, which speaks the same PIPELINE protocol), shared by
+	// every download this agent performs.
+	pipes *ibp.PipePool
 
 	stageWake chan struct{}
 	stopOnce  sync.Once
@@ -297,8 +314,14 @@ func NewClientAgent(cfg ClientAgentConfig) (*ClientAgent, error) {
 		staged:     make(map[lightfield.ViewSetID]*exnode.ExNode),
 		staging:    make(map[lightfield.ViewSetID]bool),
 		prefetched: make(map[string]bool),
-		stageWake:  make(chan struct{}, 1),
-		stopCh:     make(chan struct{}),
+		streams:    make(map[lightfield.ViewSetID]*streamFlight),
+		pipes: &ibp.PipePool{
+			Dialer: cfg.Dialer,
+			Window: cfg.PipelineWindow,
+			Obs:    cfg.Obs,
+		},
+		stageWake: make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
 	}
 	if cfg.TrajectoryPrefetch {
 		ca.predictor = lightfield.NewTrajectoryPredictor(cfg.Params, cfg.TrajectoryLookahead)
@@ -367,9 +390,12 @@ func (ca *ClientAgent) RegisterMetrics(reg *obs.Registry) {
 	})
 }
 
-// Close stops background work.
+// Close stops background work and tears down pipelined depot connections.
 func (ca *ClientAgent) Close() {
-	ca.stopOnce.Do(func() { close(ca.stopCh) })
+	ca.stopOnce.Do(func() {
+		close(ca.stopCh)
+		ca.pipes.Close()
+	})
 }
 
 // Stats returns a snapshot of agent counters.
@@ -575,12 +601,10 @@ func (ca *ClientAgent) recordHit(reg *obs.Registry, id lightfield.ViewSetID, via
 	ca.mu.Unlock()
 }
 
-// fetch performs the actual transfer: LAN depot first, then WAN.
-func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]byte, AccessClass, error) {
-	ca.mu.Lock()
-	stagedEx := ca.staged[id]
-	ca.mu.Unlock()
-	dl := lors.DownloadOptions{
+// downloadOpts builds the transfer options every agent download shares,
+// including the persistent pipelined connection pool.
+func (ca *ClientAgent) downloadOpts() lors.DownloadOptions {
+	return lors.DownloadOptions{
 		Dialer:      ca.cfg.Dialer,
 		Parallelism: ca.cfg.Parallelism,
 		Retries:     ca.cfg.Retries,
@@ -588,9 +612,18 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 		Budget:      ca.cfg.Budget,
 		Rand:        ca.cfg.Rand,
 		Prefer:      ca.replicaPrefer(),
+		Pipes:       ca.pipes,
 		Obs:         ca.cfg.Obs,
 		Tracer:      ca.cfg.Tracer,
 	}
+}
+
+// fetch performs the actual transfer: LAN depot first, then WAN.
+func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]byte, AccessClass, error) {
+	ca.mu.Lock()
+	stagedEx := ca.staged[id]
+	ca.mu.Unlock()
+	dl := ca.downloadOpts()
 	if stagedEx != nil {
 		frame, st, err := ca.download(ctx, stagedEx, dl)
 		ca.addTransferStats(st)
@@ -726,7 +759,7 @@ func (ca *ClientAgent) OnUserMove(sp geom.Spherical) {
 		if ca.cache.Contains(id.String()) {
 			continue
 		}
-		if ca.flights.Pending(id) {
+		if ca.flights.Pending(id) || ca.streamPending(id) {
 			continue
 		}
 		ca.registry().Counter(obs.MAgentPrefetches).Inc()

@@ -1,0 +1,244 @@
+package agent
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"lonviz/internal/edge"
+	"lonviz/internal/lightfield"
+	"lonviz/internal/lors"
+	"lonviz/internal/obs"
+)
+
+// ViewSetStream is one view set fetch exposed as a stream: Reader yields
+// the compressed frame in order as each extent's checksum is verified,
+// while later extents are still in flight. The viewer feeds it straight
+// into codec inflation, overlapping decompression with communication
+// instead of serializing them behind the last stripe.
+type ViewSetStream struct {
+	// Reader yields the compressed frame bytes in order; reads block
+	// until verified bytes are available and return io.EOF at the end.
+	Reader io.Reader
+
+	done chan struct{}
+	rep  AccessReport
+	err  error
+}
+
+// Report blocks until the underlying transfer finishes and returns its
+// access report. After a successful decode from Reader it returns
+// immediately — inflation cannot outrun the last verified byte.
+func (s *ViewSetStream) Report() (AccessReport, error) {
+	<-s.done
+	return s.rep, s.err
+}
+
+// ViewSetStreamer is implemented by sources that can hand out view set
+// bytes before the whole transfer completes. The Viewer type-asserts its
+// source against this to enable the decompress-while-downloading path.
+type ViewSetStreamer interface {
+	GetViewSetStream(ctx context.Context, id lightfield.ViewSetID) (*ViewSetStream, error)
+}
+
+// immediateStream wraps an already-complete frame (cache hits, coalesced
+// fetches) in the stream interface.
+func immediateStream(frame []byte, rep AccessReport) *ViewSetStream {
+	s := &ViewSetStream{Reader: bytes.NewReader(frame), done: make(chan struct{}), rep: rep}
+	close(s.done)
+	return s
+}
+
+// GetViewSetStream is GetViewSet with incremental delivery: the returned
+// stream's Reader serves the compressed frame as extents verify. Cache
+// hits and requests that can piggyback on an in-flight coalesced fetch
+// return a complete frame immediately; misses start a download whose
+// destination buffer the stream shares (the frame crosses process memory
+// once: socket → frame buffer → inflater).
+func (ca *ClientAgent) GetViewSetStream(ctx context.Context, id lightfield.ViewSetID) (*ViewSetStream, error) {
+	if !ca.cfg.Params.ValidID(id) {
+		return nil, fmt.Errorf("agent: view set %v outside database", id)
+	}
+	start := time.Now()
+	reg := ca.registry()
+	if frame, ok := ca.cache.Get(id.String()); ok {
+		ca.recordHit(reg, id, false)
+		return immediateStream(frame, AccessReport{
+			ID: id, Class: AccessHit, Comm: time.Since(start), Bytes: len(frame),
+		}), nil
+	}
+	// An identical buffered fetch is already in flight (piggyback on it),
+	// or the config routes misses through a staging copy (a two-step
+	// transfer with no streamable single download): the buffered path
+	// handles both.
+	if ca.flights.Pending(id) || ca.cfg.RouteMissesThroughDepot {
+		frame, rep, err := ca.GetViewSet(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return immediateStream(frame, rep), nil
+	}
+
+	// Coalesce onto an identical in-flight streaming fetch, or claim
+	// leadership of a new one. N viewers browsing to the same view set
+	// cost one depot transfer on this path too — the overload story
+	// depends on streaming moves coalescing exactly like buffered ones.
+	ca.mu.Lock()
+	if fl := ca.streams[id]; fl != nil {
+		ca.mu.Unlock()
+		return ca.attachStream(ctx, reg, id, fl, start)
+	}
+	fl := &streamFlight{ready: make(chan struct{}), done: make(chan struct{})}
+	ca.streams[id] = fl
+	ca.mu.Unlock()
+
+	reg.Counter(obs.MAgentMisses).Inc()
+	ca.mu.Lock()
+	ex := ca.staged[id]
+	ca.mu.Unlock()
+	staged := ex != nil
+	if !staged {
+		exs, err := ca.resolveExNodes(ctx, id)
+		if err != nil {
+			ca.abortStream(id, fl, err)
+			return nil, err
+		}
+		ex = exs[0]
+		if ca.cfg.EdgeAddr != "" {
+			ex = edge.RewriteExNode(ex, ca.cfg.EdgeAddr, id.String())
+		}
+	}
+
+	buf := make([]byte, ex.Length)
+	sb := lors.NewStreamBuffer(buf)
+	fl.sb = sb
+	fl.bytes = len(buf)
+	close(fl.ready)
+	dl := ca.downloadOpts()
+	dl.OnPrefix = sb.Advance
+	s := &ViewSetStream{Reader: sb.Reader(), done: make(chan struct{})}
+	// The flight is shared, so it detaches from the leader's cancellation
+	// (FetchTimeout bounds it instead): one impatient caller must not kill
+	// the download its followers are reading.
+	fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), ca.cfg.FetchTimeout)
+	go func() {
+		defer func() {
+			ca.mu.Lock()
+			delete(ca.streams, id)
+			ca.mu.Unlock()
+			close(fl.done)
+		}()
+		defer close(s.done)
+		defer cancel()
+		if !staged {
+			ca.mu.Lock()
+			ca.wanBusy++
+			ca.mu.Unlock()
+			defer func() {
+				ca.mu.Lock()
+				ca.wanBusy--
+				ca.mu.Unlock()
+			}()
+		}
+		st, err := lors.DownloadInto(fctx, ex, buf, dl)
+		ca.addTransferStats(st)
+		if err != nil {
+			if staged {
+				// Staged copy gone (lease expiry/revocation): forget it so
+				// the next access resolves fresh instead of failing again.
+				ca.mu.Lock()
+				delete(ca.staged, id)
+				ca.mu.Unlock()
+			}
+			s.err = err
+			fl.err = err
+			sb.Fail(err)
+			return
+		}
+		class := AccessWAN
+		if staged {
+			class = AccessLANDepot
+		} else if ea := ca.cfg.EdgeAddr; ea != "" && st.ExtentFetches > 0 &&
+			st.ServedBy[ea] == st.ExtentFetches {
+			class = AccessEdge
+		}
+		_ = ca.cache.Put(id.String(), buf)
+		ca.mu.Lock()
+		switch class {
+		case AccessLANDepot:
+			ca.stats.LANFetches++
+		case AccessEdge:
+			ca.stats.EdgeFetches++
+		default:
+			ca.stats.WANFetches++
+		}
+		ca.mu.Unlock()
+		comm := time.Since(start)
+		s.rep = AccessReport{ID: id, Class: class, Comm: comm, Bytes: len(buf)}
+		reg.Histogram(obs.Label(obs.MAgentFetchMs, "class", class.String()), obs.LatencyBucketsMs...).
+			Observe(float64(comm) / 1e6)
+	}()
+	return s, nil
+}
+
+// streamFlight is one in-flight streaming fetch that later identical
+// requests attach to: the leader downloads into the shared buffer while
+// every follower reads the same bytes through its own cursor.
+type streamFlight struct {
+	ready chan struct{}      // closed once sb exists (or setup failed)
+	sb    *lors.StreamBuffer // nil after ready means setup failed
+	bytes int
+	done  chan struct{} // closed after err is final
+	err   error
+}
+
+// streamPending reports whether a streaming fetch of id is in flight.
+func (ca *ClientAgent) streamPending(id lightfield.ViewSetID) bool {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.streams[id] != nil
+}
+
+// abortStream fails a stream flight that never produced a buffer
+// (exNode resolution failed), releasing any followers blocked on ready.
+func (ca *ClientAgent) abortStream(id lightfield.ViewSetID, fl *streamFlight, err error) {
+	fl.err = err
+	ca.mu.Lock()
+	delete(ca.streams, id)
+	ca.mu.Unlock()
+	close(fl.ready)
+	close(fl.done)
+}
+
+// attachStream coalesces a streaming request onto an identical in-flight
+// fetch. The follower pays no depot work, so on success it gets the same
+// accounting as a buffered coalesced flight: a hit, plus the coalesce
+// counters overload dashboards watch.
+func (ca *ClientAgent) attachStream(ctx context.Context, reg *obs.Registry, id lightfield.ViewSetID, fl *streamFlight, start time.Time) (*ViewSetStream, error) {
+	select {
+	case <-fl.ready:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if fl.sb == nil {
+		return nil, fl.err
+	}
+	s := &ViewSetStream{Reader: fl.sb.Reader(), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		<-fl.done
+		if fl.err != nil {
+			s.err = fl.err
+			return
+		}
+		reg.Counter(obs.MAgentCoalesced).Inc()
+		ca.mu.Lock()
+		ca.stats.Coalesced++
+		ca.mu.Unlock()
+		ca.recordHit(reg, id, false)
+		s.rep = AccessReport{ID: id, Class: AccessHit, Comm: time.Since(start), Bytes: fl.bytes}
+	}()
+	return s, nil
+}

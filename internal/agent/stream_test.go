@@ -1,0 +1,96 @@
+package agent
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"lonviz/internal/lightfield"
+)
+
+// TestGetViewSetStreamMatchesBuffered proves the streaming path delivers
+// byte-identical frames to GetViewSet across miss and hit, with sane
+// access classes.
+func TestGetViewSetStreamMatchesBuffered(t *testing.T) {
+	r := newRig(t)
+	id := lightfield.ViewSetID{R: 0, C: 1}
+	if _, err := r.sa.Request(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	ca := r.newClientAgent(t, nil)
+
+	// Miss: streamed decode must see the exact frame the buffered path
+	// would return.
+	stream, err := ca.GetViewSetStream(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	if _, err := streamed.ReadFrom(stream.Reader); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := stream.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Class != AccessWAN {
+		t.Fatalf("miss class = %v, want wan", rep.Class)
+	}
+	if rep.Bytes != streamed.Len() {
+		t.Fatalf("report bytes = %d, streamed %d", rep.Bytes, streamed.Len())
+	}
+	frame, _, err := ca.GetViewSet(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), frame) {
+		t.Fatal("streamed frame differs from buffered frame")
+	}
+
+	// Hit: served from cache, complete immediately.
+	stream, err = ca.GetViewSetStream(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = stream.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Class != AccessHit {
+		t.Fatalf("hit class = %v, want hit", rep.Class)
+	}
+
+	// The frame must decode to a valid view set either way.
+	if _, err := lightfield.DecodeViewSet(frame, r.params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewerUsesStreamingPath checks the viewer's fast path produces a
+// decodable move with coherent latency accounting over a real agent.
+func TestViewerUsesStreamingPath(t *testing.T) {
+	r := newRig(t)
+	id := lightfield.ViewSetID{R: 1, C: 0}
+	if _, err := r.sa.Request(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	ca := r.newClientAgent(t, nil)
+	v, err := NewViewer(r.params, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := r.params.SetCenterAngles(id)
+	rec, err := v.MoveTo(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Class != AccessWAN && rec.Class != AccessHit {
+		t.Fatalf("unexpected class %v", rec.Class)
+	}
+	if rec.Total < rec.Comm {
+		t.Fatalf("total %v < comm %v", rec.Total, rec.Comm)
+	}
+	if _, ok := v.ViewSet(id); !ok {
+		t.Fatal("view set not decoded after streaming move")
+	}
+}

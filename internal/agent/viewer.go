@@ -84,6 +84,16 @@ func (v *Viewer) MoveTo(ctx context.Context, sp geom.Spherical) (AccessRecord, e
 	}
 
 	start := time.Now()
+	// Streaming fast path: when the source can deliver bytes as extents
+	// verify, inflate while the download is still in flight. Decompress is
+	// then the residual tail after the last byte arrived (Total − Comm),
+	// not a serialized phase. A stream failure falls back to the buffered
+	// path below rather than failing the move.
+	if src, ok := v.Source.(ViewSetStreamer); ok {
+		if rec, ok := v.moveToStreaming(ctx, src, id, start); ok {
+			return rec, nil
+		}
+	}
 	frame, rep, err := v.Source.GetViewSet(ctx, id)
 	if err != nil {
 		return AccessRecord{}, err
@@ -108,6 +118,39 @@ func (v *Viewer) MoveTo(ctx context.Context, sp geom.Spherical) (AccessRecord, e
 	v.records = append(v.records, rec)
 	v.mu.Unlock()
 	return rec, nil
+}
+
+// moveToStreaming attempts the decompress-while-downloading path; false
+// means the caller should retry via the buffered path.
+func (v *Viewer) moveToStreaming(ctx context.Context, src ViewSetStreamer, id lightfield.ViewSetID, start time.Time) (AccessRecord, bool) {
+	stream, err := src.GetViewSetStream(ctx, id)
+	if err != nil {
+		return AccessRecord{}, false
+	}
+	vs, derr := lightfield.DecodeViewSetFrom(stream.Reader, v.P)
+	rep, rerr := stream.Report()
+	if derr != nil || rerr != nil {
+		return AccessRecord{}, false
+	}
+	total := time.Since(start)
+	dec := total - rep.Comm
+	if dec < 0 {
+		dec = 0
+	}
+	rec := AccessRecord{
+		ID:         id,
+		Class:      rep.Class,
+		Comm:       rep.Comm,
+		Decompress: dec,
+		Total:      total,
+		Bytes:      rep.Bytes,
+	}
+	v.mu.Lock()
+	v.insertDecoded(id, vs)
+	v.current = id
+	v.records = append(v.records, rec)
+	v.mu.Unlock()
+	return rec, true
 }
 
 // insertDecoded adds to the decoded cache with FIFO eviction; caller holds

@@ -94,6 +94,42 @@ func Decompress(frame []byte) ([]byte, error) {
 	return data, nil
 }
 
+// DecompressFrom validates and decodes a frame read incrementally from r
+// — the streaming counterpart of Decompress. Because zlib inflates as
+// input arrives, handing it a reader that tracks a download in progress
+// (lors.StreamBuffer) overlaps decompression with communication instead
+// of serializing them. The output buffer is sized exactly from the frame
+// header before inflation starts.
+func DecompressFrom(r io.Reader) ([]byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:4], frameMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	origLen := binary.LittleEndian.Uint32(hdr[5:9])
+	wantCRC := binary.LittleEndian.Uint32(hdr[9:13])
+	zr, err := zlib.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	defer zr.Close()
+	out := make([]byte, origLen)
+	if _, err := io.ReadFull(zr, out); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	// A lying header must not pass: the stream has to end exactly here.
+	var one [1]byte
+	if n, _ := zr.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("%w: payload longer than header says", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(out) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return out, nil
+}
+
 // Ratio returns the compression ratio (uncompressed/compressed) of a frame
 // without decompressing it. Returns an error for malformed frames.
 func Ratio(frame []byte) (float64, error) {

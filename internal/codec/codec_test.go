@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+	"testing/iotest"
 	"testing/quick"
 )
 
@@ -138,5 +139,32 @@ func TestDecompressNoiseQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestDecompressFromMatchesBuffered(t *testing.T) {
+	data := bytes.Repeat([]byte("streaming payload "), 4096)
+	frame, err := Compress(data, DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the frame through a reader that trickles small chunks, like a
+	// download in progress.
+	got, err := DecompressFrom(iotest.OneByteReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("streamed decompress mismatch")
+	}
+	// Corruption in the body must still surface.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)/2] ^= 0xff
+	if _, err := DecompressFrom(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt stream accepted")
+	}
+	// Truncation surfaces as ErrCorrupt, not a hang.
+	if _, err := DecompressFrom(bytes.NewReader(frame[:len(frame)/2])); err == nil {
+		t.Fatal("truncated stream accepted")
 	}
 }

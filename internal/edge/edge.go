@@ -44,6 +44,12 @@ type CacheConfig struct {
 	FillTimeout time.Duration
 	// HalfLife is the popularity tracker's decay half-life (default 30s).
 	HalfLife time.Duration
+	// PipelineWindow caps in-flight requests on the cache's pipelined
+	// origin connections: fills ride one persistent multiplexed
+	// connection per depot instead of dialing per extent (serial
+	// fallback for depots that don't speak PIPELINE). 0 means
+	// ibp.DefaultPipelineWindow; negative forces serial dials.
+	PipelineWindow int
 	// Obs receives the edge.* metric families; nil records into
 	// obs.Default().
 	Obs *obs.Registry
@@ -78,6 +84,9 @@ type Cache struct {
 	// flights coalesces concurrent fills of the same extent.
 	flights singleflight.Group[string, []byte]
 	pop     *Popularity
+	// pipes holds one persistent pipelined connection per origin depot;
+	// fills load straight into the cache entry's buffer over it.
+	pipes *ibp.PipePool
 
 	hits, misses, fills, fillErrors, coalesced, bytesServed atomic.Int64
 
@@ -122,6 +131,12 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 		pop:         NewPopularity(cfg.HalfLife),
 		filledKeys:  make(map[string]struct{}),
 		filledHints: make(map[string]struct{}),
+		pipes: &ibp.PipePool{
+			Dialer:  cfg.Dialer,
+			Window:  cfg.PipelineWindow,
+			Timeout: cfg.FillTimeout,
+			Obs:     cfg.Obs,
+		},
 	}
 	per := cfg.CapacityBytes / int64(cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
@@ -144,6 +159,9 @@ func (c *Cache) registry() *obs.Registry {
 // Popularity exposes the cache's hot-set tracker (the steward's
 // replication feed and lftop's hot-set pane read it).
 func (c *Cache) Popularity() *Popularity { return c.pop }
+
+// Close tears down the cache's pipelined origin connections.
+func (c *Cache) Close() { c.pipes.Close() }
 
 func (c *Cache) shard(key string) *cacheShard {
 	h := fnv.New32a()
@@ -200,8 +218,11 @@ func (c *Cache) fill(ctx context.Context, cp Cap, off, length int64) ([]byte, er
 	span.SetAttr("origin", cp.OriginDepot)
 	defer span.Finish()
 	start := time.Now()
-	cl := &ibp.Client{Addr: cp.OriginDepot, Dialer: c.cfg.Dialer, Timeout: c.cfg.FillTimeout, Obs: c.cfg.Obs}
-	data, err := cl.Load(ctx, cp.OriginCap, off, length)
+	// The cache entry is allocated once at its final size and filled off
+	// the wire in place — no staging buffer, and a persistent pipelined
+	// connection to the origin when the depot speaks PIPELINE.
+	data := make([]byte, length)
+	err := c.pipes.LoadInto(ctx, cp.OriginDepot, cp.OriginCap, off, data)
 	reg.Histogram(obs.MEdgeFillMs, obs.LatencyBucketsMs...).Observe(float64(time.Since(start)) / 1e6)
 	if err != nil {
 		c.fillErrors.Add(1)

@@ -40,6 +40,12 @@ const (
 // the origin replicas.
 type Server struct {
 	Cache *Cache
+	// PipelineWindow caps the in-flight window granted to clients that
+	// negotiate the IBP PIPELINE verb (the edge speaks the same tagged
+	// multiplexed mode as depots, so one agent connection can stream a
+	// whole view set of stripes without per-stripe round trips). 0 means
+	// ibp.DefaultPipelineWindow; negative disables pipelining.
+	PipelineWindow int
 	// Admission bounds concurrent request execution like the depot's gate:
 	// past the limit, requests shed with ERR BUSY and lors retries the
 	// origin replica. nil admits everything but still sheds requests whose
@@ -197,6 +203,24 @@ func (s *Server) handle(c net.Conn) {
 			sctx, span = s.tracer().StartSpan(obs.ContextWithRemote(sctx, tc), obs.SpanEdgeServe)
 			span.SetAttr("op", verb)
 			span.SetAttr("peer", c.RemoteAddr().String())
+		}
+		// PIPELINE upgrades the connection to tagged multiplexed mode,
+		// mirroring the depot handshake (see docs/PROTOCOL.md).
+		if verb == "PIPELINE" {
+			granted, grantErr := s.pipelineGrant(f)
+			if grantErr != "" {
+				writeErrCode(bw, codeProto, grantErr)
+				span.Finish()
+				bw.Flush()
+				return
+			}
+			fmt.Fprintf(bw, "OK %d\n", granted)
+			span.Finish()
+			if bw.Flush() != nil {
+				return
+			}
+			s.servePipelined(c, br, granted)
+			return
 		}
 		rctx, cancel := obs.DeadlineContext(sctx, budget, hasBudget)
 		ew.reset()

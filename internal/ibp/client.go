@@ -108,6 +108,14 @@ func (c *Client) dial(ctx context.Context) (net.Conn, error) {
 // connection deadline into the past, which unblocks any in-flight read or
 // write; the operation then reports ctx.Err().
 func (c *Client) roundTrip(ctx context.Context, req string, payload []byte) (fields []string, body []byte, err error) {
+	return c.roundTripInto(ctx, req, payload, nil)
+}
+
+// roundTripInto is roundTrip with an optional caller-provided LOAD
+// destination: with dst non-nil the response body is read directly into
+// it (and must be exactly len(dst) bytes), eliminating the per-load
+// allocation and copy.
+func (c *Client) roundTripInto(ctx context.Context, req string, payload, dst []byte) (fields []string, body []byte, err error) {
 	verb := req
 	if i := strings.IndexAny(req, " \n"); i >= 0 {
 		verb = req[:i]
@@ -141,7 +149,7 @@ func (c *Client) roundTrip(ctx context.Context, req string, payload []byte) (fie
 		case <-opDone:
 		}
 	}()
-	fields, body, err = c.exchange(conn, req, payload)
+	fields, body, err = c.exchange(conn, req, payload, dst)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, nil, ctxErr
@@ -152,7 +160,7 @@ func (c *Client) roundTrip(ctx context.Context, req string, payload []byte) (fie
 }
 
 // exchange performs the wire conversation on an established connection.
-func (c *Client) exchange(conn net.Conn, req string, payload []byte) ([]string, []byte, error) {
+func (c *Client) exchange(conn net.Conn, req string, payload, dst []byte) ([]string, []byte, error) {
 	bw := bufio.NewWriterSize(conn, 64*1024)
 	if _, err := bw.WriteString(req); err != nil {
 		return nil, nil, err
@@ -179,7 +187,7 @@ func (c *Client) exchange(conn net.Conn, req string, payload []byte) ([]string, 
 		// Responses with a body declare its length as the first OK field
 		// only for LOAD; the caller decides whether to read a body.
 		var body []byte
-		if err := c.maybeReadBody(br, req, f[1:], &body); err != nil {
+		if err := c.maybeReadBody(br, req, f[1:], dst, &body); err != nil {
 			return nil, nil, err
 		}
 		return f[1:], body, nil
@@ -203,7 +211,9 @@ func (c *Client) exchange(conn net.Conn, req string, payload []byte) ([]string, 
 }
 
 // maybeReadBody reads the binary body for verbs that have one (LOAD).
-func (c *Client) maybeReadBody(br *bufio.Reader, req string, okFields []string, out *[]byte) error {
+// With dst non-nil the body lands directly in the caller's buffer (and
+// its length must match exactly) instead of a fresh allocation.
+func (c *Client) maybeReadBody(br *bufio.Reader, req string, okFields []string, dst []byte, out *[]byte) error {
 	if len(req) < 4 || req[:4] != "LOAD" {
 		return nil
 	}
@@ -214,7 +224,12 @@ func (c *Client) maybeReadBody(br *bufio.Reader, req string, okFields []string, 
 	if err != nil || n < 0 || n > maxTransfer {
 		return fmt.Errorf("%w: bad LOAD length", ErrProto)
 	}
-	buf := make([]byte, n)
+	buf := dst
+	if buf == nil {
+		buf = make([]byte, n)
+	} else if n != int64(len(dst)) {
+		return fmt.Errorf("%w: LOAD returned %d of %d bytes", ErrProto, n, len(dst))
+	}
 	if _, err := io.ReadFull(br, buf); err != nil {
 		return fmt.Errorf("%w: reading LOAD body: %v", ErrProto, err)
 	}
@@ -250,6 +265,14 @@ func (c *Client) Load(ctx context.Context, readCap string, offset, length int64)
 		return nil, fmt.Errorf("%w: LOAD returned %d of %d bytes", ErrProto, len(body), length)
 	}
 	return body, nil
+}
+
+// LoadInto reads exactly len(dst) bytes at offset through a read
+// capability, directly into dst — the zero-copy serial load (the
+// pipelined equivalent lives on Pipe/PipePool).
+func (c *Client) LoadInto(ctx context.Context, readCap string, offset int64, dst []byte) error {
+	_, _, err := c.roundTripInto(ctx, fmt.Sprintf("LOAD %s %d %d\n", readCap, offset, len(dst)), nil, dst)
+	return err
 }
 
 // Probe returns allocation metadata through a manage capability.

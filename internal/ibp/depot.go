@@ -269,6 +269,24 @@ func (d *Depot) Load(readCap string, offset, length int64) ([]byte, error) {
 	return out, nil
 }
 
+// LoadInto reads len(dst) bytes at offset into a caller-provided buffer
+// using a read capability. It is Load without the allocation: the wire
+// server passes pooled buffers here so a served LOAD touches no
+// per-request heap.
+func (d *Depot) LoadInto(readCap string, offset int64, dst []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, err := d.lookup(d.byRead, readCap)
+	if err != nil {
+		return err
+	}
+	length := int64(len(dst))
+	if offset < 0 || offset+length > a.size {
+		return fmt.Errorf("%w: load [%d,%d) in %d", ErrRange, offset, offset+length, a.size)
+	}
+	return a.store.readAt(dst, offset)
+}
+
 // Probe returns allocation metadata using a manage capability.
 func (d *Depot) Probe(manageCap string) (AllocInfo, error) {
 	d.mu.Lock()

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"lonviz/internal/bufpool"
 	"lonviz/internal/obs"
 	"lonviz/internal/overload"
 )
@@ -19,6 +20,12 @@ import (
 // Server exposes a Depot over the wire protocol.
 type Server struct {
 	Depot *Depot
+	// PipelineWindow caps the in-flight window granted to clients that
+	// negotiate pipelined mode with the PIPELINE verb. 0 means
+	// DefaultPipelineWindow; negative disables pipelining entirely
+	// (PIPELINE answers ERR PROTO and clients fall back to serial
+	// one-request-per-connection mode).
+	PipelineWindow int
 	// Admission bounds concurrent request execution: beyond MaxInFlight
 	// running plus MaxQueue waiting, requests are rejected with ERR BUSY
 	// so clients fail over to another replica instead of queueing behind
@@ -210,6 +217,27 @@ func (s *Server) handle(c net.Conn) {
 			span.SetAttr("op", verb)
 			span.SetAttr("peer", c.RemoteAddr().String())
 		}
+		// PIPELINE is the mode switch, not a data-plane verb: grant a
+		// window, answer OK, and hand the connection to the tagged
+		// multiplexed loop. A refusal (disabled or malformed) is
+		// protocol-fatal, exactly like an unknown verb on a pre-PIPELINE
+		// depot, so clients read any ERR as "speak serial here".
+		if verb == "PIPELINE" {
+			granted, grantErr := s.pipelineGrant(f)
+			if grantErr != "" {
+				writeErr(bw, ErrProto, grantErr)
+				span.Finish()
+				bw.Flush()
+				return
+			}
+			fmt.Fprintf(bw, "OK %d\n", granted)
+			span.Finish()
+			if bw.Flush() != nil {
+				return
+			}
+			s.servePipelined(c, br, granted)
+			return
+		}
 		rctx, cancel := obs.DeadlineContext(sctx, budget, hasBudget)
 		ew.reset()
 		start := time.Now()
@@ -378,16 +406,26 @@ func (s *Server) doStore(br *bufio.Reader, bw *bufio.Writer, f []string) bool {
 		return false
 	}
 	// The payload must be consumed even if the store will fail, to keep
-	// the connection synchronized.
-	data := make([]byte, length)
+	// the connection synchronized. The wire buffer is pooled: the depot
+	// copies into its backing store, so the buffer is free again as soon
+	// as the store returns.
+	data := bufpool.Get(int(length))
+	defer bufpool.Put(data)
 	if _, err := io.ReadFull(br, data); err != nil {
 		return false
 	}
+	return s.doStoreData(bw, f, offset, data)
+}
+
+// doStoreData performs a STORE whose payload has already been consumed
+// (serial path above, or the pipelined reader loop). The caller owns
+// data and may recycle it once this returns.
+func (s *Server) doStoreData(bw *bufio.Writer, f []string, offset int64, data []byte) bool {
 	if err := s.Depot.Store(f[1], offset, data); err != nil {
 		writeErr(bw, err, "")
 		return true
 	}
-	fmt.Fprintf(bw, "OK %d\n", length)
+	fmt.Fprintf(bw, "OK %d\n", len(data))
 	return true
 }
 
@@ -402,8 +440,12 @@ func (s *Server) doLoad(bw *bufio.Writer, f []string) bool {
 		writeErr(bw, ErrProto, "bad LOAD numbers")
 		return false
 	}
-	data, err := s.Depot.Load(f[1], offset, length)
-	if err != nil {
+	// Pooled read: the depot copies from backing storage into a recycled
+	// wire buffer, which goes back to the pool as soon as it has been
+	// handed to the socket writer.
+	data := bufpool.Get(int(length))
+	defer bufpool.Put(data)
+	if err := s.Depot.LoadInto(f[1], offset, data); err != nil {
 		writeErr(bw, err, "")
 		return true
 	}
@@ -473,8 +515,9 @@ func (s *Server) doCopy(ctx context.Context, bw *bufio.Writer, f []string) bool 
 		writeErr(bw, ErrProto, "bad COPY numbers")
 		return false
 	}
-	data, err := s.Depot.Load(f[1], offset, length)
-	if err != nil {
+	data := bufpool.Get(int(length))
+	defer bufpool.Put(data)
+	if err := s.Depot.LoadInto(f[1], offset, data); err != nil {
 		writeErr(bw, err, "local read")
 		return true
 	}

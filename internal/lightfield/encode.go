@@ -1,6 +1,10 @@
 package lightfield
 
-import "lonviz/internal/codec"
+import (
+	"io"
+
+	"lonviz/internal/codec"
+)
 
 // EncodeViewSet marshals and losslessly compresses a view set for network
 // transfer or depot storage — the wire representation used throughout the
@@ -17,6 +21,17 @@ func EncodeViewSet(vs *ViewSet, p Params, level int) ([]byte, error) {
 // DecodeViewSet reverses EncodeViewSet, validating the checksum.
 func DecodeViewSet(frame []byte, p Params) (*ViewSet, error) {
 	raw, err := codec.Decompress(frame)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalViewSet(raw, p)
+}
+
+// DecodeViewSetFrom is DecodeViewSet over an incrementally arriving
+// frame: inflation proceeds as r delivers bytes, so a reader backed by an
+// in-flight download overlaps decompression with communication.
+func DecodeViewSetFrom(r io.Reader, p Params) (*ViewSet, error) {
+	raw, err := codec.DecompressFrom(r)
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"lonviz/internal/bufpool"
 	"lonviz/internal/exnode"
 	"lonviz/internal/ibp"
 	"lonviz/internal/obs"
@@ -307,6 +308,20 @@ type DownloadOptions struct {
 	// downloads away from depots whose latency has regressed before
 	// their circuit ever trips.
 	Prefer func(depot string) float64
+	// Pipes, when set, carries extent loads over persistent pipelined
+	// depot connections (ibp.PipePool): payloads land directly in the
+	// caller's destination buffer with no intermediate allocation, and
+	// depots that don't speak PIPELINE fall back to one-shot serial
+	// clients automatically. nil dials a serial connection per attempt.
+	Pipes *ibp.PipePool
+	// OnPrefix, when set, is invoked with the byte length of the
+	// verified contiguous prefix of the object each time it grows — the
+	// hook streaming consumers (codec.DecompressFrom over a
+	// lors.StreamBuffer) use to decompress while later extents are still
+	// in flight. Calls are serialized and the argument is strictly
+	// increasing, ending with the object length on success. The callback
+	// must not block: it runs on extent-fetch goroutines.
+	OnPrefix func(n int64)
 	// Obs receives download timings and transfer counters
 	// (lors.download.*); nil records into obs.Default().
 	Obs *obs.Registry
@@ -333,6 +348,16 @@ func (o *DownloadOptions) defaults() {
 
 func (o *DownloadOptions) client(addr string) *ibp.Client {
 	return &ibp.Client{Addr: addr, Dialer: o.Dialer, Timeout: o.Timeout, Obs: o.Obs}
+}
+
+// loadInto fetches one replica's payload directly into dst, over the
+// pipelined pool when one is configured and a fresh serial connection
+// otherwise. len(dst) is the requested length.
+func (o *DownloadOptions) loadInto(ctx context.Context, rep exnode.Replica, dst []byte) error {
+	if o.Pipes != nil {
+		return o.Pipes.LoadInto(ctx, rep.Depot, rep.ReadCap, rep.AllocOffset, dst)
+	}
+	return o.client(rep.Depot).LoadInto(ctx, rep.ReadCap, rep.AllocOffset, dst)
 }
 
 // span opens a child span when the download is actually being traced
@@ -414,6 +439,20 @@ func (s *DownloadStats) add(o DownloadStats) {
 
 // Download reassembles an exNode's payload from the network.
 func Download(ctx context.Context, ex *exnode.ExNode, opts DownloadOptions) ([]byte, DownloadStats, error) {
+	out := make([]byte, ex.Length)
+	stats, err := DownloadInto(ctx, ex, out, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// DownloadInto reassembles an exNode's payload directly into dst, whose
+// length must equal the exNode length. Extent payloads travel from the
+// depot socket into dst with no intermediate buffer (failover path), so
+// callers that own a long-lived frame buffer cross process memory once.
+// When OnPrefix is set, it fires as the verified contiguous prefix grows.
+func DownloadInto(ctx context.Context, ex *exnode.ExNode, dst []byte, opts DownloadOptions) (DownloadStats, error) {
 	opts.defaults()
 	var stats DownloadStats
 	reg := registryOr(opts.Obs)
@@ -428,10 +467,39 @@ func Download(ctx context.Context, ex *exnode.ExNode, opts DownloadOptions) ([]b
 		reg.Counter(obs.MLorsRetryBudgetExhausted).Add(int64(stats.BudgetExhausted))
 	}(time.Now())
 	if err := ex.Validate(); err != nil {
-		return nil, stats, err
+		return stats, err
 	}
-	out := make([]byte, ex.Length)
+	if int64(len(dst)) != ex.Length {
+		return stats, fmt.Errorf("lors: destination is %d bytes, object is %d", len(dst), ex.Length)
+	}
 	extents := ex.SortedExtents()
+	// Verified-prefix tracking for streaming consumers: extents complete
+	// out of order, so completion advances a frontier over the sorted
+	// extent list and reports the contiguous byte count covered so far.
+	var prefixMu sync.Mutex
+	completed := make([]bool, len(extents))
+	frontier := 0
+	notifyDone := func(i int) {
+		if opts.OnPrefix == nil {
+			return
+		}
+		prefixMu.Lock()
+		defer prefixMu.Unlock()
+		completed[i] = true
+		advanced := false
+		for frontier < len(extents) && completed[frontier] {
+			frontier++
+			advanced = true
+		}
+		if !advanced {
+			return
+		}
+		prefix := ex.Length
+		if frontier < len(extents) {
+			prefix = extents[frontier].Offset
+		}
+		opts.OnPrefix(prefix)
+	}
 	sem := make(chan struct{}, opts.Parallelism)
 	var wg sync.WaitGroup
 	errs := make([]error, len(extents))
@@ -447,25 +515,28 @@ func Download(ctx context.Context, ex *exnode.ExNode, opts DownloadOptions) ([]b
 		go func(i int, ext exnode.Extent) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			st, err := fetchExtent(ctx, ext, out[ext.Offset:ext.Offset+ext.Length], opts)
+			st, err := fetchExtent(ctx, ext, dst[ext.Offset:ext.Offset+ext.Length], opts)
 			statsMu.Lock()
 			stats.add(st)
 			stats.ExtentFetches++
 			statsMu.Unlock()
 			errs[i] = err
+			if err == nil {
+				notifyDone(i)
+			}
 		}(i, ext)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, stats, err
+		return stats, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, stats, err
+			return stats, err
 		}
 	}
 	stats.Bytes = ex.Length
-	return out, stats, nil
+	return stats, nil
 }
 
 // errAllCircuitsOpen reports an extent whose every replica sits behind an
@@ -502,13 +573,9 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 	}
 
 	if opts.RaceReplicas && len(replicas) > 1 {
-		data, st, err := raceReplicas(ctx, ext, replicas, opts)
+		st, err := raceReplicas(ctx, ext, dst, replicas, opts)
 		stats.add(st)
-		if err != nil {
-			return stats, err
-		}
-		copy(dst, data)
-		return stats, nil
+		return stats, err
 	}
 
 	opts.Budget.RecordAttempt()
@@ -548,9 +615,12 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 			stats.ReplicaTries++
 			actx, aspan := opts.span(ctx, obs.SpanLorsAttempt)
 			aspan.SetAttr("depot", rep.Depot)
-			data, err := opts.client(rep.Depot).Load(actx, rep.ReadCap, rep.AllocOffset, ext.Length)
+			// The payload lands straight in dst; a failed verify leaves
+			// garbage there, overwritten by the next attempt and never
+			// reported upward as success.
+			err := opts.loadInto(actx, rep, dst)
 			if err == nil {
-				if verr := ext.VerifyData(data); verr != nil {
+				if verr := ext.VerifyData(dst); verr != nil {
 					stats.ChecksumErrors++
 					err = verr
 				}
@@ -581,7 +651,6 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 			aspan.Finish()
 			opts.Health.ReportSuccess(rep.Depot)
 			stats.served(rep.Depot)
-			copy(dst, data)
 			return stats, nil
 		}
 	}
@@ -589,32 +658,50 @@ func fetchExtent(ctx context.Context, ext exnode.Extent, dst []byte, opts Downlo
 		ext.Offset, len(replicas), lastErr)
 }
 
-// raceReplicas launches all replicas concurrently and returns the first
-// success. Losers are genuinely cancelled: the shared context is cancelled
-// on the first verified success, which yanks their in-flight transfers.
-func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Replica, opts DownloadOptions) ([]byte, DownloadStats, error) {
+// raceReplicas launches all replicas concurrently and copies the first
+// verified success into dst. Losers are genuinely cancelled: the shared
+// context is cancelled on the first verified success, which yanks their
+// in-flight transfers. Each racer loads into its own pooled scratch
+// buffer — racers cannot share dst — so the race costs one tracked copy
+// (the winner's) instead of one allocation per contender.
+func raceReplicas(ctx context.Context, ext exnode.Extent, dst []byte, replicas []exnode.Replica, opts DownloadOptions) (DownloadStats, error) {
 	var stats DownloadStats
 	candidates := allowedReplicas(opts.Health, replicas,
 		func(r exnode.Replica) string { return r.Depot })
 	stats.Skipped += len(replicas) - len(candidates)
 	if len(candidates) == 0 {
-		return nil, stats, fmt.Errorf("lors: extent at %d: %w", ext.Offset, errAllCircuitsOpen)
+		return stats, fmt.Errorf("lors: extent at %d: %w", ext.Offset, errAllCircuitsOpen)
 	}
 	type result struct {
 		depot string
 		data  []byte
 		err   error
 	}
+	// Buffered to len(candidates) so every racer's unconditional send
+	// completes; whatever the receive loop doesn't consume is drained (and
+	// its buffer pooled) by drainRest.
 	ch := make(chan result, len(candidates))
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	drainRest := func(n int) {
+		if n <= 0 {
+			return
+		}
+		go func() {
+			for i := 0; i < n; i++ {
+				r := <-ch
+				bufpool.Put(r.data)
+			}
+		}()
+	}
 	for _, rep := range candidates {
 		stats.ReplicaTries++
 		go func(rep exnode.Replica) {
 			actx, aspan := opts.span(cctx, obs.SpanLorsAttempt)
 			aspan.SetAttr("depot", rep.Depot)
 			aspan.SetAttr("race", "1")
-			data, err := opts.client(rep.Depot).Load(actx, rep.ReadCap, rep.AllocOffset, ext.Length)
+			data := bufpool.Get(int(ext.Length))
+			err := opts.loadInto(actx, rep, data)
 			if err == nil {
 				if verr := ext.VerifyData(data); verr != nil {
 					err = verr
@@ -630,22 +717,24 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 				opts.Health.ReportSuccess(rep.Depot)
 			}
 			aspan.Finish()
-			select {
-			case ch <- result{rep.Depot, data, err}:
-			case <-cctx.Done():
-			}
+			ch <- result{rep.Depot, data, err}
 		}(rep)
 	}
 	var lastErr error
 	for i := 0; i < len(candidates); i++ {
 		select {
 		case <-ctx.Done():
-			return nil, stats, ctx.Err()
+			drainRest(len(candidates) - i)
+			return stats, ctx.Err()
 		case r := <-ch:
 			if r.err == nil {
 				stats.served(r.depot)
-				return r.data, stats, nil
+				bufpool.CopyTracked(dst, r.data)
+				bufpool.Put(r.data)
+				drainRest(len(candidates) - i - 1)
+				return stats, nil
 			}
+			bufpool.Put(r.data)
 			if errors.Is(r.err, ibp.ErrBusy) {
 				stats.BusyRejections++
 			} else {
@@ -657,7 +746,7 @@ func raceReplicas(ctx context.Context, ext exnode.Extent, replicas []exnode.Repl
 			lastErr = r.err
 		}
 	}
-	return nil, stats, fmt.Errorf("lors: extent at %d: race lost on all %d replicas: %w",
+	return stats, fmt.Errorf("lors: extent at %d: race lost on all %d replicas: %w",
 		ext.Offset, len(candidates), lastErr)
 }
 

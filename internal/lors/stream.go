@@ -1,0 +1,91 @@
+package lors
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// StreamBuffer couples a DownloadInto in flight with readers that want
+// the bytes as they are verified: wire OnPrefix to Advance and readers
+// see each extent the moment its checksum passes, while later extents
+// are still downloading. This is what lets the viewer start inflating a
+// compressed view set before the last stripe lands (decompress-while-
+// downloading), without the download ever copying into a pipe — readers
+// share the single destination buffer.
+//
+// The zero value is not usable; call NewStreamBuffer. One writer
+// (Advance/Fail/Abort) and any number of Reader()s may run concurrently.
+type StreamBuffer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+	n    int64 // verified contiguous prefix
+	err  error // terminal failure, sticky
+}
+
+// NewStreamBuffer wraps the destination buffer a DownloadInto is filling.
+func NewStreamBuffer(buf []byte) *StreamBuffer {
+	s := &StreamBuffer{buf: buf}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Advance publishes that buf[:n] is verified. It is shaped to be used
+// directly as DownloadOptions.OnPrefix. n never decreases.
+func (s *StreamBuffer) Advance(n int64) {
+	s.mu.Lock()
+	if n > s.n {
+		s.n = n
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Fail terminates the stream: blocked and future reads past the verified
+// prefix return err. Call it when DownloadInto returns an error so
+// readers don't wait forever.
+func (s *StreamBuffer) Fail(err error) {
+	if err == nil {
+		err = fmt.Errorf("lors: stream failed")
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Bytes returns the shared destination buffer. Only the verified prefix
+// is meaningful; callers that waited for a reader's EOF may use all of it.
+func (s *StreamBuffer) Bytes() []byte { return s.buf }
+
+// Reader returns an independent cursor over the stream. Reads block
+// until verified bytes are available, return io.EOF after the full
+// buffer is consumed, and surface the Fail error once the verified
+// prefix is exhausted.
+func (s *StreamBuffer) Reader() io.Reader { return &streamReader{s: s} }
+
+type streamReader struct {
+	s   *StreamBuffer
+	pos int64
+}
+
+func (r *streamReader) Read(p []byte) (int, error) {
+	s := r.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for r.pos >= s.n {
+		if r.pos >= int64(len(s.buf)) {
+			return 0, io.EOF
+		}
+		if s.err != nil {
+			return 0, s.err
+		}
+		s.cond.Wait()
+	}
+	n := copy(p, s.buf[r.pos:s.n])
+	r.pos += int64(n)
+	return n, nil
+}

@@ -178,6 +178,45 @@ const (
 	// {reason=queue_full|queue_wait|deadline}.
 	MEdgeShed = "edge.shed"
 
+	// --- shared buffer pool (internal/bufpool, bridged by RegisterMetrics) ---
+
+	// MBufpoolGets: counter. Buffers requested from the pool.
+	MBufpoolGets = "bufpool.gets"
+	// MBufpoolHits: counter. Gets satisfied by a recycled buffer.
+	MBufpoolHits = "bufpool.hits"
+	// MBufpoolMisses: counter. Gets that had to allocate a fresh buffer.
+	MBufpoolMisses = "bufpool.misses"
+	// MBufpoolPuts: counter. Buffers returned to the pool for reuse.
+	MBufpoolPuts = "bufpool.puts"
+	// MBufpoolOversize: counter. Gets larger than the biggest size class,
+	// allocated directly and never pooled.
+	MBufpoolOversize = "bufpool.oversize"
+	// MBufpoolBytesCopied: counter. Payload bytes that crossed a
+	// CopyTracked call — the residual memcpy budget of the zero-copy
+	// data plane. A rising rate here means a hot path regressed into
+	// copying again.
+	MBufpoolBytesCopied = "bufpool.bytes_copied"
+
+	// --- ibp pipelined transport (ibp.Pipe / ibp.PipePool) ---
+
+	// MIBPPipeDepth: gauge. Tagged requests currently in flight across
+	// all pipelined depot connections.
+	MIBPPipeDepth = "ibp.pipe.depth"
+	// MIBPPipeOps: counter. Operations issued through a PipePool,
+	// {mode=pipelined|serial}; serial counts fallbacks to one-shot
+	// connections against depots that do not speak PIPELINE.
+	MIBPPipeOps = "ibp.pipe.ops"
+	// MIBPPipeDials: counter. Pipelined connections established
+	// (includes the PIPELINE handshake round trip).
+	MIBPPipeDials = "ibp.pipe.dials"
+	// MIBPPipeBroken: counter. Pipelined connections torn down mid-use
+	// (read error, depot restart); in-flight requests fail over to lors
+	// retry passes and the next op redials.
+	MIBPPipeBroken = "ibp.pipe.broken"
+	// MIBPPipeFallbacks: counter. Depots detected as old-protocol
+	// (PIPELINE answered with ERR), pinned to serial mode.
+	MIBPPipeFallbacks = "ibp.pipe.fallbacks"
+
 	// --- SLO engine (internal/obs/slo) ---
 
 	// MSLOEvaluations: counter. Rule-evaluation passes completed.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"lonviz/internal/bufpool"
 	"lonviz/internal/obs"
 )
 
@@ -73,6 +74,10 @@ func Start(opts Options) (*Stack, error) {
 	if interval <= 0 {
 		interval = time.Second
 	}
+	// Every process with metrics on moves payload through the shared
+	// buffer pool, so the stack bridges its counters here instead of
+	// asking each command to remember to.
+	bufpool.RegisterMetrics(opts.Registry)
 
 	var engine *Engine
 	db := obs.NewTSDB(obs.TSDBConfig{

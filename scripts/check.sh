@@ -28,7 +28,18 @@ go test -race ./...
 echo "== docs audit"
 sh scripts/docscheck.sh
 
-echo "== lfbench -quick + benchdiff vs newest committed baseline (warn-only)"
+echo "== pipelined data plane race smoke"
+# The zero-copy hot path multiplexes tagged requests over shared
+# connections and hands pooled buffers across goroutines; run its most
+# concurrency-heavy tests under the race detector explicitly (and
+# -count=1, so they rerun even when the cached ./... results are fresh).
+go test -race -count=1 \
+	-run 'TestPipelined|TestPipeWindowBackpressure|TestPipeMidstreamDrop|TestPipePoolSerialFallback' \
+	./internal/ibp
+go test -race -count=1 -run 'TestDownloadPipelinedPool|TestStreamBuffer' ./internal/lors
+go test -race -count=1 -run 'TestGetViewSetStream|TestViewerUsesStreamingPath' ./internal/agent
+
+echo "== lfbench -quick + benchdiff vs newest committed baseline (warn-only except LAN fps)"
 baseline=$(ls BENCH_[0-9]*.json 2>/dev/null | sort -V | tail -1)
 if [ -z "$baseline" ]; then
 	echo "no BENCH_<n>.json baseline committed" >&2

@@ -7,6 +7,10 @@
 #     internal/obs/names.go must appear in docs/OBSERVABILITY.md.
 #  3. Every HTTP endpoint the obs mux serves (including the SLO stack's
 #     extra handlers) must appear in docs/OBSERVABILITY.md.
+#  4. Every wire verb a server dispatches, every IBP error code, and the
+#     optional request-line tokens must appear in docs/PROTOCOL.md — it
+#     claims to be the authoritative protocol reference, so it must not
+#     drift from the dispatch code.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,6 +45,36 @@ endpoints=$({ grep -hE 'mux\.Handle' internal/obs/http.go | grep -oE '"/[a-z0-9/
 for e in $endpoints; do
 	if ! grep -qF -- "$e" docs/OBSERVABILITY.md; then
 		echo "MISSING: endpoint $e not documented in docs/OBSERVABILITY.md" >&2
+		fail=1
+	fi
+done
+
+echo "== wire verbs, error codes, and tokens vs docs/PROTOCOL.md"
+# Verbs are collected from the server dispatch code itself (case "VERB"
+# switches, f[0] == "VERB" matches, and the PIPELINE mode-switch check),
+# so adding a verb without documenting it fails here.
+verbs=$(grep -hoE '(case |== )"[A-Z]+"' \
+	internal/ibp/server.go internal/ibp/server_pipe.go \
+	internal/edge/server.go internal/edge/server_pipe.go \
+	internal/dvs/dvs.go internal/agent/remote.go internal/agent/serveragent.go \
+	| grep -oE '"[A-Z]+"' | tr -d '"' | sort -u)
+for v in $verbs; do
+	if ! grep -qE "(^|[\`| ])$v(\`| |\$)" docs/PROTOCOL.md; then
+		echo "MISSING: wire verb $v not documented in docs/PROTOCOL.md" >&2
+		fail=1
+	fi
+done
+codes=$(sed -n 's/^\tcode[A-Za-z]* *= *"\([A-Z]*\)"$/\1/p' internal/ibp/proto.go | sort -u)
+[ -n "$codes" ] || { echo "docscheck: extracted no IBP error codes" >&2; exit 1; }
+for c in $codes; do
+	if ! grep -qF -- "\`$c\`" docs/PROTOCOL.md; then
+		echo "MISSING: IBP error code $c not documented in docs/PROTOCOL.md" >&2
+		fail=1
+	fi
+done
+for tok in tag= deadline= trace=; do
+	if ! grep -qF -- "$tok" docs/PROTOCOL.md; then
+		echo "MISSING: request-line token $tok not documented in docs/PROTOCOL.md" >&2
 		fail=1
 	fi
 done

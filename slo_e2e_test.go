@@ -200,8 +200,16 @@ func TestSLOAlertDrivenRepairEndToEnd(t *testing.T) {
 		CacheBytes:  1 << 10, // tiny: every browse refetches from depots
 		Retries:     4,
 		Parallelism: 1,
-		Obs:         reg,
-		Rand:        rand.New(rand.NewSource(17)),
+		// Serial transport on purpose: the injected fault is a
+		// per-connection latency spike, which a persistent pipelined
+		// connection pays exactly once at dial time — the following
+		// thousands of fast per-op samples would drown the rule's p90.
+		// Serial mode dials per operation, so every browse round trip
+		// eats the spike, which is the slow-depot signal this rule (and
+		// this test) is about.
+		PipelineWindow: -1,
+		Obs:            reg,
+		Rand:           rand.New(rand.NewSource(17)),
 		// No ReplicaBias here on purpose: the bias would steer the browse
 		// traffic off the slow depot and starve the rule's window. The
 		// bias path has its own test (TestDownloadPreferOrdersReplicas).
