@@ -36,6 +36,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 10*time.Second, "L-Bone heartbeat interval")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	profRates := flag.Bool("prof-rates", false, "enable mutex/block profiling rates (contention evidence in capture bundles)")
 	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
@@ -83,6 +84,7 @@ func main() {
 		Addr:           *metricsAddr,
 		RulesPath:      *sloConfig,
 		SampleInterval: *tsdbInterval,
+		ProfRates:      *profRates,
 	})
 	if err != nil {
 		log.Fatalf("depotd: metrics listen: %v", err)

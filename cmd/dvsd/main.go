@@ -29,6 +29,7 @@ func main() {
 	maxQueueWait := flag.Duration("max-queue-wait", 100*time.Millisecond, "admission control: max time a request may queue before shedding with BUSY")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	profRates := flag.Bool("prof-rates", false, "enable mutex/block profiling rates (contention evidence in capture bundles)")
 	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
@@ -61,6 +62,7 @@ func main() {
 		Addr:           *metricsAddr,
 		RulesPath:      *sloConfig,
 		SampleInterval: *tsdbInterval,
+		ProfRates:      *profRates,
 	})
 	if err != nil {
 		log.Fatalf("dvsd: metrics listen: %v", err)

@@ -35,6 +35,7 @@ import (
 	"lonviz/internal/agent"
 	"lonviz/internal/experiments"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/prof"
 	"lonviz/internal/obs/slo"
 	"lonviz/internal/session"
 )
@@ -55,6 +56,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline BENCH_*.json to diff the -quick run against; warns on >20% regressions")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the benchmark runs (empty disables)")
 	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	profRates := flag.Bool("prof-rates", false, "enable mutex/block profiling rates (contention evidence in capture bundles)")
 	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
@@ -82,6 +84,7 @@ func main() {
 		Addr:           *metricsAddr,
 		RulesPath:      *sloConfig,
 		SampleInterval: *tsdbInterval,
+		ProfRates:      *profRates,
 	})
 	if err != nil {
 		fatal(err)
@@ -237,13 +240,17 @@ type benchEdge struct {
 	External bool `json:"external,omitempty"`
 }
 
-// benchReport is the machine-readable BENCH_<name>.json document.
+// benchReport is the machine-readable BENCH_<name>.json document. The
+// runtime section is the process's own fingerprint over the run
+// (allocator throughput, GC pauses, goroutine peak), so a latency
+// regression in a later diff carries its likely runtime cause along.
 type benchReport struct {
-	Name        string      `json:"name"`
-	GeneratedAt string      `json:"generated_at"`
-	Cases       []benchCase `json:"cases"`
-	Fleet       *benchFleet `json:"fleet,omitempty"`
-	Edge        *benchEdge  `json:"edge,omitempty"`
+	Name        string        `json:"name"`
+	GeneratedAt string        `json:"generated_at"`
+	Cases       []benchCase   `json:"cases"`
+	Fleet       *benchFleet   `json:"fleet,omitempty"`
+	Edge        *benchEdge    `json:"edge,omitempty"`
+	Runtime     *prof.Summary `json:"runtime,omitempty"`
 }
 
 func summarizeEdge(er *experiments.EdgeFleetRun) *benchEdge {
@@ -354,12 +361,13 @@ func summarizeCase(r experiments.CaseRun) benchCase {
 
 // writeBenchJSON renders runs into BENCH_<name>.json under dir and returns
 // the file path. fleet and edge are optional.
-func writeBenchJSON(dir, name string, runs []experiments.CaseRun, fleet *benchFleet, edge *benchEdge) (string, error) {
+func writeBenchJSON(dir, name string, runs []experiments.CaseRun, fleet *benchFleet, edge *benchEdge, rt *prof.Summary) (string, error) {
 	report := benchReport{
 		Name:        name,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Fleet:       fleet,
 		Edge:        edge,
+		Runtime:     rt,
 	}
 	for _, r := range runs {
 		report.Cases = append(report.Cases, summarizeCase(r))
@@ -405,6 +413,10 @@ func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline, na
 		cfg.ThinkTime = 0
 	}
 	start := time.Now()
+	// Collect the process's runtime fingerprint across every experiment
+	// in the run, so the report's runtime section reflects the same work
+	// the case numbers describe.
+	collector := prof.StartSummary(0)
 	runs, err := experiments.LatencyExperiment(ctx, cfg, 200)
 	if err != nil {
 		return err
@@ -448,7 +460,10 @@ func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline, na
 			edge.Clients, edge.AccessesPerClient, edge.SharedHitRate, edge.IsolatedHitRate,
 			edge.SharedWorstP99Ms, edge.IsolatedWorstP99Ms, edge.EdgeHits, edge.EdgeFills, edge.WANFetches)
 	}
-	path, err := writeBenchJSON(jsonDir, name, runs, fleet, edge)
+	rt := collector.Stop()
+	fmt.Printf("lfbench: runtime: alloc=%.1fMB/s gc_pause_p99=%.3fms gc_cycles=%d peak_goroutines=%d over %.1fs\n",
+		rt.AllocRateMBs, rt.GCPauseP99Ms, rt.GCCycles, rt.PeakGoroutines, rt.DurationSec)
+	path, err := writeBenchJSON(jsonDir, name, runs, fleet, edge, &rt)
 	if err != nil {
 		return err
 	}
@@ -578,6 +593,14 @@ func compareReports(baselinePath string, current benchReport) error {
 		warnFaster("edge", "shared_hit_rate", base.Edge.SharedHitRate, current.Edge.SharedHitRate)
 		warnSlower("edge", "shared_worst_p99_ms", base.Edge.SharedWorstP99Ms, current.Edge.SharedWorstP99Ms)
 	}
+	// Runtime fingerprints diff warn-only: allocator throughput, GC pause
+	// tail, and goroutine peak are the usual suspects behind a latency
+	// warning above, so surface their drift in the same breath.
+	if base.Runtime != nil && current.Runtime != nil {
+		warnSlower("runtime", "alloc_rate_mb_s", base.Runtime.AllocRateMBs, current.Runtime.AllocRateMBs)
+		warnSlower("runtime", "gc_pause_p99_ms", base.Runtime.GCPauseP99Ms, current.Runtime.GCPauseP99Ms)
+		warnSlower("runtime", "peak_goroutines", float64(base.Runtime.PeakGoroutines), float64(current.Runtime.PeakGoroutines))
+	}
 	if regressions == 0 {
 		fmt.Printf("lfbench: compare vs %s ok (%d cases within 20%%)\n", baselinePath, compared)
 	} else {
@@ -642,7 +665,7 @@ func figLatency(ctx context.Context, cfg experiments.Config, figName string, pap
 	printCaseSeries(headers, series)
 	summarizeCases(headers, runs)
 	if jsonDir != "" {
-		if _, err := writeBenchJSON(jsonDir, "fig"+figName, runs, nil, nil); err != nil {
+		if _, err := writeBenchJSON(jsonDir, "fig"+figName, runs, nil, nil, nil); err != nil {
 			return err
 		}
 	}

@@ -43,6 +43,7 @@ func main() {
 	serve := flag.String("serve", "", "also expose the client agent to remote clients on this address")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
+	profRates := flag.Bool("prof-rates", false, "enable mutex/block profiling rates (contention evidence in capture bundles)")
 	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
 	tracePeers := flag.String("trace-peers", "", "comma-separated peer observability endpoints (host:port) to pull depot-side trace halves from; prints merged end-to-end trees for the slowest accesses (requires -metrics-addr)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
@@ -65,6 +66,7 @@ func main() {
 		Addr:           *metricsAddr,
 		RulesPath:      *sloConfig,
 		SampleInterval: *tsdbInterval,
+		ProfRates:      *profRates,
 	})
 	if err != nil {
 		log.Fatalf("lfbrowse: metrics listen: %v", err)

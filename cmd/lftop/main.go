@@ -196,6 +196,29 @@ type edgeStat struct {
 	HotSet        []hotSetLine `json:"hot_set,omitempty"`
 }
 
+// runtimeStat is the Go-runtime health pane, from the runtime.* families
+// the prof harvester samples (present on any target with -metrics-addr).
+type runtimeStat struct {
+	HeapLiveMB    float64 `json:"heap_live_mb"`
+	HeapGoalMB    float64 `json:"heap_goal_mb"`
+	Goroutines    float64 `json:"goroutines"`
+	GCPauses      int64   `json:"gc_pauses"`
+	GCPauseP99Ms  float64 `json:"gc_pause_p99_ms"`
+	SchedLatP99Ms float64 `json:"sched_latency_p99_ms"`
+	MutexWaitMs   float64 `json:"mutex_wait_ms"`
+	GCCycles      float64 `json:"gc_cycles"`
+}
+
+// captureLine is one forensic bundle from the flight recorder's
+// /debug/capture index.
+type captureLine struct {
+	ID      string `json:"id"`
+	Time    string `json:"time"`
+	Trigger string `json:"trigger"`
+	Files   int    `json:"files"`
+	Bytes   int    `json:"bytes"`
+}
+
 // traceLine is one root span from /debug/traces, slowest-first.
 type traceLine struct {
 	TraceID string  `json:"trace_id"`
@@ -220,6 +243,8 @@ type targetSummary struct {
 	FrameMeanMs     float64            `json:"frame_mean_ms"`
 	FramesPerSecond float64            `json:"frames_per_second"`
 	Load            loadStat           `json:"load"`
+	Runtime         *runtimeStat       `json:"runtime,omitempty"`
+	Captures        []captureLine      `json:"captures,omitempty"`
 	Edge            *edgeStat          `json:"edge,omitempty"`
 	SlowTraces      []traceLine        `json:"slow_traces,omitempty"`
 	AlertsFiring    int                `json:"alerts_firing"`
@@ -275,10 +300,49 @@ func (t *lftop) pollOne(ep string) targetSummary {
 		sum.AlertsFiring = firing
 		sum.Alerts = alerts
 	}
+	// Flight-recorder bundles, when the target runs one.
+	if caps, err := t.fetchCaptures(base + "/debug/capture"); err == nil {
+		sum.Captures = caps
+	}
 	if t.history {
 		sum.History = t.fetchHistory(base)
 	}
 	return sum
+}
+
+// fetchCaptures pulls the flight recorder's bundle index.
+func (t *lftop) fetchCaptures(url string) ([]captureLine, error) {
+	resp, err := t.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	var doc struct {
+		Bundles []struct {
+			ID      string         `json:"id"`
+			Time    time.Time      `json:"time"`
+			Trigger string         `json:"trigger"`
+			Files   map[string]int `json:"files"`
+		} `json:"bundles"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+		return nil, err
+	}
+	out := make([]captureLine, 0, len(doc.Bundles))
+	for _, b := range doc.Bundles {
+		cl := captureLine{
+			ID: b.ID, Time: b.Time.UTC().Format(time.RFC3339),
+			Trigger: b.Trigger, Files: len(b.Files),
+		}
+		for _, n := range b.Files {
+			cl.Bytes += n
+		}
+		out = append(out, cl)
+	}
+	return out, nil
 }
 
 // fetchAlerts pulls the SLO engine's alert list from /debug/alerts.
@@ -568,6 +632,27 @@ func summarizeMetrics(snap map[string]json.RawMessage, sum *targetSummary) {
 	if sum.Frames > 0 {
 		sum.FrameMeanMs /= float64(sum.Frames)
 	}
+	// Runtime pane: present on any target whose stack runs the prof
+	// harvester (the families register eagerly, so the gauge key exists
+	// even before the first GC).
+	if _, ok := snap[obs.MRuntimeGoroutines]; ok {
+		rs := &runtimeStat{
+			HeapLiveMB:  num(obs.MRuntimeHeapLiveBytes) / (1 << 20),
+			HeapGoalMB:  num(obs.MRuntimeHeapGoalBytes) / (1 << 20),
+			Goroutines:  num(obs.MRuntimeGoroutines),
+			MutexWaitMs: num(obs.MRuntimeMutexWaitMs),
+			GCCycles:    num(obs.MRuntimeGCCycles),
+		}
+		var gc, sched histoView
+		if raw, ok := snap[obs.MRuntimeGCPauseMs]; ok && json.Unmarshal(raw, &gc) == nil {
+			rs.GCPauses = gc.Count
+			rs.GCPauseP99Ms = gc.P99
+		}
+		if raw, ok := snap[obs.MRuntimeSchedLatencyMs]; ok && json.Unmarshal(raw, &sched) == nil {
+			rs.SchedLatP99Ms = sched.P99
+		}
+		sum.Runtime = rs
+	}
 	// Edge pane: present only when the target embeds an edge cache (the
 	// edge.cache.* snapshot keys are registered by edge.Cache).
 	if _, ok := snap["edge.cache.capacity"]; ok {
@@ -674,6 +759,19 @@ func render(w io.Writer, sums []targetSummary, live bool) {
 		fmt.Fprintf(w, "  load:     in_flight=%.0f queue=%.0f shed=%.0f (%.1f/s) coalesce_hit=%.0f%% busy_rejections=%.0f budget_exhausted=%.0f\n",
 			s.Load.InFlight, s.Load.QueueDepth, s.Load.Shed, s.Load.ShedPerSecond,
 			100*s.Load.CoalesceHitRate, s.Load.BusyRejections, s.Load.RetryBudgetExhausted)
+		if s.Runtime != nil {
+			fmt.Fprintf(w, "  runtime:  heap=%.1f/%.1fMB goroutines=%.0f gc_pause_p99=%.2fms (%d pauses, %.0f cycles) sched_p99=%.2fms mutex_wait=%.0fms\n",
+				s.Runtime.HeapLiveMB, s.Runtime.HeapGoalMB, s.Runtime.Goroutines,
+				s.Runtime.GCPauseP99Ms, s.Runtime.GCPauses, s.Runtime.GCCycles,
+				s.Runtime.SchedLatP99Ms, s.Runtime.MutexWaitMs)
+		}
+		if len(s.Captures) > 0 {
+			fmt.Fprintln(w, "  captures:")
+			for _, c := range s.Captures {
+				fmt.Fprintf(w, "    %-24s %s trigger=%s files=%d bytes=%d\n",
+					c.ID, c.Time, c.Trigger, c.Files, c.Bytes)
+			}
+		}
 		if s.Edge != nil {
 			fmt.Fprintf(w, "  edge:     hit_rate=%.0f%% entries=%.0f used=%.1f/%.1fMB hits=%.0f misses=%.0f fills=%.0f (%.0f failed) evictions=%.0f\n",
 				100*s.Edge.HitRate, s.Edge.Entries,

@@ -18,6 +18,7 @@ import (
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/prof"
 	"lonviz/internal/singleflight"
 )
 
@@ -625,7 +626,17 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 	ca.mu.Unlock()
 	dl := ca.downloadOpts()
 	if stagedEx != nil {
-		frame, st, err := ca.download(ctx, stagedEx, dl)
+		// CPU attribution: profiles slice agent downloads by access class
+		// ({class=agent_fetch, verb=lan-depot|wan|edge}), mirroring the
+		// paper's three-tier access taxonomy. The closure form is fine
+		// here — a download allocates orders of magnitude more than the
+		// wrapper.
+		var frame []byte
+		var st lors.DownloadStats
+		var err error
+		prof.Do(ctx, func(lctx context.Context) {
+			frame, st, err = ca.download(lctx, stagedEx, dl)
+		}, prof.KeyClass, "agent_fetch", prof.KeyVerb, "lan-depot")
 		ca.addTransferStats(st)
 		if err == nil {
 			_ = ca.cache.Put(id.String(), frame)
@@ -657,9 +668,17 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 	if ca.cfg.RouteMissesThroughDepot && len(ca.cfg.LANDepots) > 0 {
 		// Stage first, then read locally: the WAN crossing becomes a
 		// third-party copy whose result stays cached on the depot.
-		staged, err := ca.stage(ctx, exs[0])
+		var staged *exnode.ExNode
+		var err error
+		prof.Do(ctx, func(lctx context.Context) {
+			staged, err = ca.stage(lctx, exs[0])
+		}, prof.KeyClass, "agent_fetch", prof.KeyVerb, "wan")
 		if err == nil {
-			frame, st, err := ca.download(ctx, staged, dl)
+			var frame []byte
+			var st lors.DownloadStats
+			prof.Do(ctx, func(lctx context.Context) {
+				frame, st, err = ca.download(lctx, staged, dl)
+			}, prof.KeyClass, "agent_fetch", prof.KeyVerb, "wan")
 			ca.addTransferStats(st)
 			if err == nil {
 				ca.registry().Counter(obs.MAgentStaged).Inc()
@@ -677,10 +696,17 @@ func (ca *ClientAgent) fetch(ctx context.Context, id lightfield.ViewSetID) ([]by
 
 	var lastErr error
 	for _, ex := range exs {
+		verb := "wan"
 		if ca.cfg.EdgeAddr != "" {
 			ex = edge.RewriteExNode(ex, ca.cfg.EdgeAddr, id.String())
+			verb = "edge"
 		}
-		frame, st, err := ca.download(ctx, ex, dl)
+		var frame []byte
+		var st lors.DownloadStats
+		var err error
+		prof.Do(ctx, func(lctx context.Context) {
+			frame, st, err = ca.download(lctx, ex, dl)
+		}, prof.KeyClass, "agent_fetch", prof.KeyVerb, verb)
 		ca.addTransferStats(st)
 		if err != nil {
 			lastErr = err

@@ -18,6 +18,7 @@ import (
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/prof"
 	"lonviz/internal/overload"
 )
 
@@ -230,6 +231,12 @@ func (sa *ServerAgent) RegisterMetrics(reg *obs.Registry) {
 // renderAndPublish does the full pipeline for one view set: generate,
 // compress, upload, register. It returns the exNode XML.
 func (sa *ServerAgent) renderAndPublish(ctx context.Context, id lightfield.ViewSetID) ([]byte, error) {
+	// CPU attribution: rendering dominates server-agent profiles, so the
+	// {class=render} slice separates generation+encode+upload from the
+	// request-scheduling machinery around it.
+	lctx := prof.Begin1(ctx, prof.KeyClass, "render")
+	defer prof.End(ctx)
+	ctx = lctx
 	p := sa.cfg.Gen.Params()
 	vs, err := sa.cfg.Gen.GenerateViewSet(ctx, id)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/prof"
 	"lonviz/internal/overload"
 )
 
@@ -347,7 +348,11 @@ func (s *Server) handle(c net.Conn) {
 			s.shed(bw, verb, overload.Reason(admitErr))
 			keep = false
 		} else {
-			keep = s.dispatch(rctx, br, bw, f)
+			// CPU attribution: directory-service work profiles under
+			// {class=dvs, verb}; no-op until -metrics-addr enables labels.
+			lctx := prof.Begin2(rctx, prof.KeyClass, "dvs", prof.KeyVerb, verb)
+			keep = s.dispatch(lctx, br, bw, f)
+			prof.End(rctx)
 			release()
 		}
 		dcancel()

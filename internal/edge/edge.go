@@ -24,6 +24,7 @@ import (
 
 	"lonviz/internal/ibp"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/prof"
 	"lonviz/internal/singleflight"
 )
 
@@ -214,6 +215,12 @@ func (c *Cache) Load(ctx context.Context, cp Cap, off, length int64) (data []byt
 // fill fetches one extent from its origin depot and caches it.
 func (c *Cache) fill(ctx context.Context, cp Cap, off, length int64) ([]byte, error) {
 	reg := c.registry()
+	// CPU attribution: miss-path origin fetches profile under
+	// {class=edge_fill, depot=<origin>}, separating fill cost from the
+	// hit path and naming the depot a stuck fill is waiting on.
+	lctx := prof.Begin2(ctx, prof.KeyClass, "edge_fill", prof.KeyDepot, cp.OriginDepot)
+	defer prof.End(ctx)
+	ctx = lctx
 	_, span := obs.DefaultTracer().StartSpan(ctx, obs.SpanEdgeFill)
 	span.SetAttr("origin", cp.OriginDepot)
 	defer span.Finish()

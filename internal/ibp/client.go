@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/prof"
 )
 
 // Client performs IBP operations against one depot address. Each operation
@@ -135,6 +136,13 @@ func (c *Client) roundTripInto(ctx context.Context, req string, payload, dst []b
 	defer func() {
 		c.observeOp(verb, time.Since(start), len(payload), len(body), err)
 	}()
+	// CPU attribution: client-side depot I/O shows up in profiles sliced
+	// by {class=ibp_client, verb, depot}, so a slow depot is identifiable
+	// from the caller's own capture bundle.
+	lctx := prof.Begin3(ctx, prof.KeyClass, "ibp_client",
+		prof.KeyVerb, verb, prof.KeyDepot, c.Addr)
+	defer prof.End(ctx)
+	ctx = lctx
 	conn, err := c.dial(ctx)
 	if err != nil {
 		return nil, nil, err

@@ -14,6 +14,7 @@ import (
 
 	"lonviz/internal/bufpool"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/prof"
 	"lonviz/internal/overload"
 )
 
@@ -247,7 +248,12 @@ func (s *Server) handle(c net.Conn) {
 			s.shed(bw, verb, overload.Reason(admitErr))
 			keep = false
 		} else {
-			keep = s.dispatch(rctx, br, bw, f)
+			// CPU attribution: any profile of a loaded depot slices by
+			// {class=ibp, verb=...}. The wrapper is a no-op (and
+			// alloc-free) until -metrics-addr turns the stack on.
+			lctx := prof.Begin2(rctx, prof.KeyClass, "ibp", prof.KeyVerb, verb)
+			keep = s.dispatch(lctx, br, bw, f)
+			prof.End(rctx)
 			release()
 		}
 		cancel()

@@ -23,6 +23,7 @@ import (
 
 	"lonviz/internal/bufpool"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/prof"
 	"lonviz/internal/overload"
 )
 
@@ -173,7 +174,12 @@ func (s *Server) servePipelinedOne(tw *tagWriter, reg *obs.Registry, c net.Conn,
 			"component", "ibp", "reason", reason, "op", verb)
 		head = errRespLine(ErrBusy, reason)
 	} else {
-		head, body = s.execTagged(rctx, f, storeOffset, payload)
+		// Same CPU attribution as the serial loop; here the label also
+		// tags the worker goroutine in goroutine dumps, so a stuck
+		// pipelined request names its verb in a capture bundle.
+		lctx := prof.Begin2(rctx, prof.KeyClass, "ibp", prof.KeyVerb, verb)
+		head, body = s.execTagged(lctx, f, storeOffset, payload)
+		prof.End(rctx)
 		release()
 	}
 	cancel()

@@ -225,6 +225,39 @@ const (
 	MSLOAlertsFiring = "slo.alerts.firing"
 	// MSLOTransitions: counter. Alert state transitions: {to=firing|resolved}.
 	MSLOTransitions = "slo.transitions"
+
+	// --- Go runtime (internal/obs/prof harvester, sampled each TSDB tick) ---
+
+	// MRuntimeGCPauseMs: histogram, ms per GC stop-the-world pause (folded
+	// from /gc/pauses:seconds bucket deltas).
+	MRuntimeGCPauseMs = "runtime.go.gc.pause.ms"
+	// MRuntimeSchedLatencyMs: histogram, ms a runnable goroutine waited for
+	// a thread (folded from /sched/latencies:seconds bucket deltas). A fat
+	// tail here means the process is CPU-starved or GOMAXPROCS-saturated.
+	MRuntimeSchedLatencyMs = "runtime.go.sched.latency.ms"
+	// MRuntimeHeapLiveBytes: gauge. Live heap bytes after the last GC.
+	MRuntimeHeapLiveBytes = "runtime.go.heap.live.bytes"
+	// MRuntimeHeapGoalBytes: gauge. The pacer's current heap-size goal.
+	MRuntimeHeapGoalBytes = "runtime.go.heap.goal.bytes"
+	// MRuntimeGoroutines: gauge. Live goroutine count.
+	MRuntimeGoroutines = "runtime.go.goroutines"
+	// MRuntimeMutexWaitMs: counter. Cumulative ms goroutines spent blocked
+	// on sync.Mutex/RWMutex (from /sync/mutex/wait/total:seconds).
+	MRuntimeMutexWaitMs = "runtime.go.mutex.wait.ms"
+	// MRuntimeAllocBytes: counter. Cumulative heap bytes allocated; its
+	// TSDB rate is the process's allocation throughput.
+	MRuntimeAllocBytes = "runtime.go.alloc.bytes"
+	// MRuntimeGCCycles: counter. Completed GC cycles.
+	MRuntimeGCCycles = "runtime.go.gc.cycles"
+
+	// --- flight recorder (internal/obs/prof.Recorder) ---
+
+	// MCaptureBundles: counter. Forensic capture bundles recorded,
+	// {trigger=alert|manual}.
+	MCaptureBundles = "capture.bundles"
+	// MCaptureSuppressed: counter. Capture triggers suppressed by the
+	// cooldown or an in-flight capture (flap damping for the recorder).
+	MCaptureSuppressed = "capture.suppressed"
 )
 
 // Span names used by the request-scoped traces at /debug/traces.
@@ -307,4 +340,7 @@ const (
 	// EvStewardHotsetWarm: info. The hot-set replicator warmed one view
 	// set into the edge tier; fields: hint, ok.
 	EvStewardHotsetWarm = "steward.hotset_warm"
+	// EvCaptureBundle: info. The flight recorder finished a forensic
+	// bundle; fields: id, trigger, files, bytes.
+	EvCaptureBundle = "capture.bundle"
 )

@@ -172,6 +172,22 @@ func (h *Histogram) Observe(v float64) {
 	updateMax(&h.max, v)
 }
 
+// AddSample records n observations of value v in one call — the bulk
+// path the runtime-metrics harvester uses to fold Float64Histogram
+// bucket deltas into the registry without synthesizing n Observes. NaN
+// values and non-positive n are dropped.
+func (h *Histogram) AddSample(v float64, n int64) {
+	if h == nil || n <= 0 || math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(n)
+	h.count.Add(n)
+	addFloat(&h.sum, v*float64(n))
+	updateMin(&h.min, &h.minSet, v)
+	updateMax(&h.max, v)
+}
+
 func addFloat(a *atomic.Uint64, v float64) {
 	for {
 		old := a.Load()

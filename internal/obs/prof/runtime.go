@@ -1,0 +1,184 @@
+package prof
+
+import (
+	"math"
+	"runtime/metrics"
+
+	"lonviz/internal/obs"
+)
+
+// The runtime/metrics names the harvester samples. Histograms are
+// cumulative, so each pass folds the per-bucket increase since the
+// previous pass into the registry histogram; counters likewise add the
+// increase; gauges store the absolute value.
+const (
+	rmGCPauses   = "/gc/pauses:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+	rmHeapLive   = "/gc/heap/live:bytes"
+	rmHeapGoal   = "/gc/heap/goal:bytes"
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmMutexWait  = "/sync/mutex/wait/total:seconds"
+	rmAllocBytes = "/gc/heap/allocs:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+)
+
+// Harvester samples runtime/metrics into the registry's runtime.*
+// families. It is driven by the TSDB's PreSample hook (under the TSDB's
+// sample lock), so one Harvest runs at a time and the previous-snapshot
+// state needs no locking. Construction registers every family eagerly,
+// so the series exist (at zero) from the first sample — check.sh's smoke
+// asserts runtime.go.gc.pause.ms appears in /debug/tsdb on an idle
+// process.
+type Harvester struct {
+	reg     *obs.Registry
+	samples []metrics.Sample
+
+	gcPause   *histFold
+	schedLat  *histFold
+	mutexAcc  float64 // fractional ms carried between passes
+	prevMutex float64
+	prevAlloc uint64
+	prevGC    uint64
+	primed    bool
+}
+
+// histFold folds one cumulative runtime Float64Histogram into an
+// obs.Histogram, tracking the previous pass's counts so each pass adds
+// only the new observations.
+type histFold struct {
+	dst    *obs.Histogram
+	scale  float64 // applied to bucket edges (seconds -> ms)
+	prev   []uint64
+	primed bool
+}
+
+// fold adds cur's increase over the previous pass to dst, representing
+// each bucket by its midpoint (edges scaled by scale; infinite edges
+// clamp to the finite one).
+func (f *histFold) fold(cur *metrics.Float64Histogram) {
+	if cur == nil {
+		return
+	}
+	if len(f.prev) != len(cur.Counts) {
+		f.prev = make([]uint64, len(cur.Counts))
+		f.primed = false
+	}
+	for i, n := range cur.Counts {
+		d := int64(n - f.prev[i])
+		f.prev[i] = n
+		if !f.primed || d <= 0 {
+			continue
+		}
+		f.dst.AddSample(bucketMid(cur.Buckets, i)*f.scale, d)
+	}
+	f.primed = true
+}
+
+// bucketMid returns a representative value for bucket i of a runtime
+// Float64Histogram (Counts[i] covers [Buckets[i], Buckets[i+1])).
+func bucketMid(edges []float64, i int) float64 {
+	lo, hi := edges[i], edges[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}
+
+// NewHarvester builds a harvester recording into reg (nil means
+// obs.Default()). It starts no goroutines; wire Harvest as the TSDB's
+// PreSample hook.
+func NewHarvester(reg *obs.Registry) *Harvester {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	h := &Harvester{reg: reg}
+	for _, name := range []string{
+		rmGCPauses, rmSchedLat, rmHeapLive, rmHeapGoal,
+		rmGoroutines, rmMutexWait, rmAllocBytes, rmGCCycles,
+	} {
+		h.samples = append(h.samples, metrics.Sample{Name: name})
+	}
+	// Eager registration: the families must exist at zero before the
+	// first runtime event (an idle process may not GC for minutes).
+	h.gcPause = &histFold{dst: reg.Histogram(obs.MRuntimeGCPauseMs), scale: 1e3}
+	h.schedLat = &histFold{dst: reg.Histogram(obs.MRuntimeSchedLatencyMs), scale: 1e3}
+	reg.Gauge(obs.MRuntimeHeapLiveBytes)
+	reg.Gauge(obs.MRuntimeHeapGoalBytes)
+	reg.Gauge(obs.MRuntimeGoroutines)
+	reg.Counter(obs.MRuntimeMutexWaitMs)
+	reg.Counter(obs.MRuntimeAllocBytes)
+	reg.Counter(obs.MRuntimeGCCycles)
+	return h
+}
+
+// Harvest takes one runtime/metrics snapshot and folds it into the
+// registry. Not safe for concurrent use with itself; the TSDB's sample
+// lock serializes it. Nil-safe.
+func (h *Harvester) Harvest() {
+	if h == nil {
+		return
+	}
+	metrics.Read(h.samples)
+	for i := range h.samples {
+		s := &h.samples[i]
+		switch s.Name {
+		case rmGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h.gcPause.fold(s.Value.Float64Histogram())
+			}
+		case rmSchedLat:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h.schedLat.fold(s.Value.Float64Histogram())
+			}
+		case rmHeapLive:
+			if s.Value.Kind() == metrics.KindUint64 {
+				h.reg.Gauge(obs.MRuntimeHeapLiveBytes).Set(int64(s.Value.Uint64()))
+			}
+		case rmHeapGoal:
+			if s.Value.Kind() == metrics.KindUint64 {
+				h.reg.Gauge(obs.MRuntimeHeapGoalBytes).Set(int64(s.Value.Uint64()))
+			}
+		case rmGoroutines:
+			if s.Value.Kind() == metrics.KindUint64 {
+				h.reg.Gauge(obs.MRuntimeGoroutines).Set(int64(s.Value.Uint64()))
+			}
+		case rmMutexWait:
+			if s.Value.Kind() == metrics.KindFloat64 {
+				v := s.Value.Float64()
+				if h.primed && v > h.prevMutex {
+					// Counters are integral; carry the fractional ms so
+					// slow accumulation is not rounded away forever.
+					h.mutexAcc += (v - h.prevMutex) * 1e3
+					if add := int64(h.mutexAcc); add > 0 {
+						h.reg.Counter(obs.MRuntimeMutexWaitMs).Add(add)
+						h.mutexAcc -= float64(add)
+					}
+				}
+				h.prevMutex = v
+			}
+		case rmAllocBytes:
+			if s.Value.Kind() == metrics.KindUint64 {
+				v := s.Value.Uint64()
+				if h.primed && v > h.prevAlloc {
+					h.reg.Counter(obs.MRuntimeAllocBytes).Add(int64(v - h.prevAlloc))
+				}
+				h.prevAlloc = v
+			}
+		case rmGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				v := s.Value.Uint64()
+				if h.primed && v > h.prevGC {
+					h.reg.Counter(obs.MRuntimeGCCycles).Add(int64(v - h.prevGC))
+				}
+				h.prevGC = v
+			}
+		}
+	}
+	h.primed = true
+}

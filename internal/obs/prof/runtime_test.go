@@ -1,0 +1,119 @@
+package prof
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"lonviz/internal/obs"
+)
+
+// TestHarvesterEagerRegistration: construction alone must register every
+// runtime.* family at zero, so an idle process's TSDB index lists them
+// from the first sample (check.sh's smoke depends on this).
+func TestHarvesterEagerRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	before := runtime.NumGoroutine()
+	h := NewHarvester(reg)
+	if h == nil {
+		t.Fatal("NewHarvester returned nil")
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("NewHarvester started %d goroutines, want 0", after-before)
+	}
+	names := map[string]bool{}
+	for _, n := range reg.Names() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		obs.MRuntimeGCPauseMs, obs.MRuntimeSchedLatencyMs,
+		obs.MRuntimeHeapLiveBytes, obs.MRuntimeHeapGoalBytes,
+		obs.MRuntimeGoroutines, obs.MRuntimeMutexWaitMs,
+		obs.MRuntimeAllocBytes, obs.MRuntimeGCCycles,
+	} {
+		if !names[want] {
+			t.Errorf("family %s not registered at construction", want)
+		}
+	}
+	if c := reg.Histogram(obs.MRuntimeGCPauseMs).Count(); c != 0 {
+		t.Errorf("gc pause histogram count = %d before first harvest, want 0", c)
+	}
+}
+
+// TestHarvestFoldsRuntimeActivity: the first pass primes the cumulative
+// baselines without recording (process history must not be attributed to
+// the sampling window); GC and allocator activity between passes shows
+// up as deltas.
+func TestHarvestFoldsRuntimeActivity(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := NewHarvester(reg)
+
+	h.Harvest() // priming pass
+	if v := reg.Counter(obs.MRuntimeGCCycles).Value(); v != 0 {
+		t.Errorf("priming pass recorded %d gc cycles, want 0", v)
+	}
+	if v := reg.Counter(obs.MRuntimeAllocBytes).Value(); v != 0 {
+		t.Errorf("priming pass recorded %d alloc bytes, want 0", v)
+	}
+
+	// Generate allocator and GC activity, then harvest the deltas.
+	sink := make([][]byte, 0, 256)
+	for i := 0; i < 256; i++ {
+		sink = append(sink, make([]byte, 64*1024))
+	}
+	_ = sink
+	runtime.GC()
+	runtime.GC()
+	h.Harvest()
+
+	if v := reg.Counter(obs.MRuntimeGCCycles).Value(); v < 2 {
+		t.Errorf("gc cycles after two forced GCs = %d, want >= 2", v)
+	}
+	if v := reg.Counter(obs.MRuntimeAllocBytes).Value(); v < 256*64*1024 {
+		t.Errorf("alloc bytes delta = %d, want >= %d", v, 256*64*1024)
+	}
+	if c := reg.Histogram(obs.MRuntimeGCPauseMs).Count(); c < 1 {
+		t.Errorf("gc pause histogram count = %d after forced GCs, want >= 1", c)
+	}
+	if v := reg.Gauge(obs.MRuntimeGoroutines).Value(); v < 1 {
+		t.Errorf("goroutines gauge = %d, want >= 1", v)
+	}
+	if v := reg.Gauge(obs.MRuntimeHeapLiveBytes).Value(); v <= 0 {
+		t.Errorf("heap live gauge = %d, want > 0", v)
+	}
+	if v := reg.Gauge(obs.MRuntimeHeapGoalBytes).Value(); v <= 0 {
+		t.Errorf("heap goal gauge = %d, want > 0", v)
+	}
+
+	// Counters are monotone: an immediate re-harvest must not shrink them.
+	gc, alloc := reg.Counter(obs.MRuntimeGCCycles).Value(), reg.Counter(obs.MRuntimeAllocBytes).Value()
+	h.Harvest()
+	if v := reg.Counter(obs.MRuntimeGCCycles).Value(); v < gc {
+		t.Errorf("gc cycle counter went backwards: %d -> %d", gc, v)
+	}
+	if v := reg.Counter(obs.MRuntimeAllocBytes).Value(); v < alloc {
+		t.Errorf("alloc byte counter went backwards: %d -> %d", alloc, v)
+	}
+}
+
+// TestHarvesterNilSafe: the disabled path holds no harvester at all, and
+// nil method calls must be inert.
+func TestHarvesterNilSafe(t *testing.T) {
+	var h *Harvester
+	h.Harvest()
+}
+
+// TestBucketMid covers the infinite-edge clamping of the runtime
+// histogram representative values.
+func TestBucketMid(t *testing.T) {
+	edges := []float64{math.Inf(-1), 0.001, 0.002, math.Inf(1)}
+	if got := bucketMid(edges, 0); got != 0.001 {
+		t.Errorf("(-inf, 0.001] mid = %v, want 0.001", got)
+	}
+	if got := bucketMid(edges, 1); got != 0.0015 {
+		t.Errorf("[0.001, 0.002) mid = %v, want 0.0015", got)
+	}
+	if got := bucketMid(edges, 2); got != 0.002 {
+		t.Errorf("[0.002, +inf) mid = %v, want 0.002", got)
+	}
+}

@@ -1,0 +1,182 @@
+package prof
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Summary is the runtime fingerprint lfbench attaches to each BENCH
+// report: how hard the benchmark leaned on the allocator, the GC, and
+// the scheduler. Regressions carry their runtime cause with them.
+type Summary struct {
+	// DurationSec is the collection window.
+	DurationSec float64 `json:"duration_sec"`
+	// AllocRateMBs is heap allocation throughput over the window, MB/s.
+	AllocRateMBs float64 `json:"alloc_rate_mb_s"`
+	// GCPauseP99Ms is the p99 stop-the-world pause over the window, ms.
+	GCPauseP99Ms float64 `json:"gc_pause_p99_ms"`
+	// GCCycles is how many GC cycles completed during the window.
+	GCCycles int64 `json:"gc_cycles"`
+	// PeakGoroutines is the highest sampled goroutine count.
+	PeakGoroutines int64 `json:"peak_goroutines"`
+}
+
+// SummaryCollector samples runtime/metrics on an interval between
+// StartSummary and Stop, producing a Summary of the window.
+type SummaryCollector struct {
+	start    time.Time
+	interval time.Duration
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	mu         sync.Mutex
+	peak       int64
+	firstAlloc uint64
+	firstGC    uint64
+	pauseBase  []uint64 // cumulative pause counts at Start
+	lastPause  *metrics.Float64Histogram
+	lastAlloc  uint64
+	lastGC     uint64
+}
+
+// StartSummary begins sampling every interval (default 100ms).
+func StartSummary(interval time.Duration) *SummaryCollector {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	c := &SummaryCollector{start: time.Now(), interval: interval, stop: make(chan struct{})}
+	c.sample()
+	c.mu.Lock()
+	c.firstAlloc = c.lastAlloc
+	c.firstGC = c.lastGC
+	if c.lastPause != nil {
+		c.pauseBase = append([]uint64(nil), c.lastPause.Counts...)
+	}
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.sample()
+			}
+		}
+	}()
+	return c
+}
+
+func (c *SummaryCollector) sample() {
+	samples := []metrics.Sample{
+		{Name: rmAllocBytes},
+		{Name: rmGCCycles},
+		{Name: rmGCPauses},
+		{Name: rmGoroutines},
+	}
+	metrics.Read(samples)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range samples {
+		s := &samples[i]
+		switch s.Name {
+		case rmAllocBytes:
+			if s.Value.Kind() == metrics.KindUint64 {
+				c.lastAlloc = s.Value.Uint64()
+			}
+		case rmGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				c.lastGC = s.Value.Uint64()
+			}
+		case rmGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				c.lastPause = s.Value.Float64Histogram()
+			}
+		case rmGoroutines:
+			if s.Value.Kind() == metrics.KindUint64 {
+				if g := int64(s.Value.Uint64()); g > c.peak {
+					c.peak = g
+				}
+			}
+		}
+	}
+}
+
+// Stop takes a final sample, stops the collector, and returns the
+// window's summary.
+func (c *SummaryCollector) Stop() Summary {
+	if c == nil {
+		return Summary{}
+	}
+	close(c.stop)
+	c.wg.Wait()
+	c.sample()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Summary{
+		DurationSec:    time.Since(c.start).Seconds(),
+		GCCycles:       int64(c.lastGC - c.firstGC),
+		PeakGoroutines: c.peak,
+	}
+	if out.DurationSec > 0 {
+		out.AllocRateMBs = float64(c.lastAlloc-c.firstAlloc) / (1 << 20) / out.DurationSec
+	}
+	out.GCPauseP99Ms = pauseQuantile(c.lastPause, c.pauseBase, 0.99) * 1e3
+	return out
+}
+
+// pauseQuantile computes the q-quantile (seconds) of the pause
+// distribution accumulated since base, interpolating inside the
+// containing runtime histogram bucket.
+func pauseQuantile(cur *metrics.Float64Histogram, base []uint64, q float64) float64 {
+	if cur == nil {
+		return 0
+	}
+	delta := make([]uint64, len(cur.Counts))
+	var total uint64
+	for i, n := range cur.Counts {
+		d := n
+		if i < len(base) && base[i] <= n {
+			d = n - base[i]
+		}
+		delta[i] = d
+		total += d
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	last := 0.0
+	for i, d := range delta {
+		if d == 0 {
+			continue
+		}
+		lo, hi := cur.Buckets[i], cur.Buckets[i+1]
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		if math.IsInf(lo, -1) {
+			lo = 0
+		}
+		if float64(cum+d) >= rank {
+			frac := (rank - float64(cum)) / float64(d)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += d
+		last = hi
+	}
+	return last
+}

@@ -1,0 +1,66 @@
+package prof
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSummaryCollector: a short window with deliberate allocator and GC
+// activity yields a summary with a positive duration, a nonzero alloc
+// rate, the forced GC cycles, and a sane goroutine peak.
+func TestSummaryCollector(t *testing.T) {
+	c := StartSummary(5 * time.Millisecond)
+	sink := make([][]byte, 0, 128)
+	for i := 0; i < 128; i++ {
+		sink = append(sink, make([]byte, 64*1024))
+		if i%32 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	_ = sink
+	runtime.GC()
+	runtime.GC()
+	time.Sleep(20 * time.Millisecond)
+	s := c.Stop()
+
+	if s.DurationSec <= 0 {
+		t.Errorf("DurationSec = %v, want > 0", s.DurationSec)
+	}
+	if s.AllocRateMBs <= 0 {
+		t.Errorf("AllocRateMBs = %v, want > 0", s.AllocRateMBs)
+	}
+	if s.GCCycles < 2 {
+		t.Errorf("GCCycles = %d after two forced GCs, want >= 2", s.GCCycles)
+	}
+	if s.PeakGoroutines < 1 {
+		t.Errorf("PeakGoroutines = %d, want >= 1", s.PeakGoroutines)
+	}
+	if s.GCPauseP99Ms < 0 {
+		t.Errorf("GCPauseP99Ms = %v, want >= 0", s.GCPauseP99Ms)
+	}
+}
+
+// TestSummaryCollectorStopsGoroutine: Stop must terminate the sampling
+// goroutine.
+func TestSummaryCollectorStopsGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := StartSummary(time.Millisecond)
+	c.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("sampling goroutine leaked: %d -> %d", before, after)
+	}
+}
+
+// TestSummaryNilStop: the nil collector (benchmarks with collection off)
+// is inert.
+func TestSummaryNilStop(t *testing.T) {
+	var c *SummaryCollector
+	if s := c.Stop(); s != (Summary{}) {
+		t.Errorf("nil Stop = %+v, want zero", s)
+	}
+}

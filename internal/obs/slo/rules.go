@@ -285,6 +285,37 @@ func DefaultRules() []Rule {
 			MinCount:    20,
 		},
 		{
+			// Runtime pathology degrades /healthz like any request-path
+			// burn: a process pausing 250ms+ for GC at p99 is effectively
+			// down for latency-sensitive browsing no matter what its
+			// request metrics claim.
+			Name:        "runtime-gc-pause-p99",
+			Severity:    SeverityCritical,
+			Kind:        KindLatencyQuantile,
+			Metric:      obs.MRuntimeGCPauseMs,
+			Quantile:    0.99,
+			ThresholdMs: 250,
+			Window:      Duration(time.Minute),
+			For:         Duration(10 * time.Second),
+			ClearAfter:  Duration(30 * time.Second),
+			MinCount:    5,
+		},
+		{
+			// Runnable goroutines waiting ~1s for a thread means the
+			// process is CPU-starved; every deadline in flight is burning
+			// in the scheduler queue, not in useful work.
+			Name:        "runtime-sched-latency-p99",
+			Severity:    SeverityCritical,
+			Kind:        KindLatencyQuantile,
+			Metric:      obs.MRuntimeSchedLatencyMs,
+			Quantile:    0.99,
+			ThresholdMs: 1000,
+			Window:      Duration(time.Minute),
+			For:         Duration(10 * time.Second),
+			ClearAfter:  Duration(30 * time.Second),
+			MinCount:    100,
+		},
+		{
 			Name:        "lors-failover-burn",
 			Severity:    SeverityWarn,
 			Kind:        KindBurnRate,

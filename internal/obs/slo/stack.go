@@ -3,11 +3,13 @@ package slo
 import (
 	"context"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
 	"lonviz/internal/bufpool"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/prof"
 )
 
 // Options configures Start, the one-call observability stack every
@@ -31,6 +33,17 @@ type Options struct {
 	// Logger receives alert transition events; nil means
 	// obs.DefaultLogger().
 	Logger *obs.Logger
+	// ProfRates is the -prof-rates value: enable mutex and block
+	// profiling (SetMutexProfileFraction(100), SetBlockProfileRate(1ms))
+	// so capture bundles carry contention evidence. Off by default — the
+	// rates add a small cost to every contended lock.
+	ProfRates bool
+	// CaptureCPUProfile is how long the flight recorder's CPU profile
+	// records per bundle (default 2s).
+	CaptureCPUProfile time.Duration
+	// CaptureCooldown is the minimum spacing between automatic captures
+	// (default 2m) — a flapping alert cannot thrash the process.
+	CaptureCooldown time.Duration
 	// Clock overrides time.Now (tests).
 	Clock func() time.Time
 }
@@ -48,6 +61,9 @@ type Stack struct {
 	Engine *Engine
 	// Ready is the /readyz latch (nil when disabled).
 	Ready *obs.Readiness
+	// Recorder is the flight recorder behind /debug/capture (nil when
+	// disabled).
+	Recorder *prof.Recorder
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -79,11 +95,23 @@ func Start(opts Options) (*Stack, error) {
 	// asking each command to remember to.
 	bufpool.RegisterMetrics(opts.Registry)
 
+	// Runtime self-profiling rides the same gate: the harvester refreshes
+	// the runtime.* families at the top of every sampling pass, the label
+	// gate makes the hot-path pprof attribution live, and -prof-rates
+	// (optionally) turns on contention profiling for capture bundles.
+	harvester := prof.NewHarvester(opts.Registry)
+	prof.SetLabelsEnabled(true)
+	if opts.ProfRates {
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(int(time.Millisecond))
+	}
+
 	var engine *Engine
 	db := obs.NewTSDB(obs.TSDBConfig{
-		Registry: opts.Registry,
-		Tiers:    obs.DefaultTiers(interval),
-		Clock:    opts.Clock,
+		Registry:  opts.Registry,
+		Tiers:     obs.DefaultTiers(interval),
+		Clock:     opts.Clock,
+		PreSample: harvester.Harvest,
 		// Evaluation rides the sampling pass: no second timer goroutine,
 		// and every evaluation sees a fresh sample.
 		OnSample: func() { engine.Evaluate() },
@@ -98,20 +126,42 @@ func Start(opts Options) (*Stack, error) {
 	})
 	ready := obs.NewReadiness()
 
+	recorder := prof.NewRecorder(prof.RecorderConfig{
+		Registry:   opts.Registry,
+		Tracer:     opts.Tracer,
+		Logger:     opts.Logger,
+		TSDB:       db,
+		CPUProfile: opts.CaptureCPUProfile,
+		Cooldown:   opts.CaptureCooldown,
+		Clock:      opts.Clock,
+	})
+	// The flight recorder subscribes next to steward.AlertTrigger: a
+	// critical alert crossing into firing records a forensic bundle
+	// automatically, while the evidence is still live.
+	engine.Subscribe(func(a Alert) {
+		if a.State == StateFiring && a.Severity == SeverityCritical {
+			recorder.TriggerAsync("alert:"+a.Rule, a.Reason)
+		}
+	})
+
 	srv, err := obs.ServeWith(opts.Addr, obs.ServeOptions{
 		Registry: opts.Registry,
 		Tracer:   opts.Tracer,
 		TSDB:     db,
 		Ready:    ready,
 		Health:   engine.HealthError,
-		Extra:    map[string]http.Handler{"/debug/alerts": engine.Handler()},
+		Extra: map[string]http.Handler{
+			"/debug/alerts":   engine.Handler(),
+			"/debug/capture":  recorder.Handler(),
+			"/debug/capture/": recorder.Handler(),
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
 	stop := make(chan struct{})
 	go db.Run(stop, interval)
-	return &Stack{Server: srv, TSDB: db, Engine: engine, Ready: ready, stop: stop}, nil
+	return &Stack{Server: srv, TSDB: db, Engine: engine, Ready: ready, Recorder: recorder, stop: stop}, nil
 }
 
 // Addr returns the bound listen address ("" when disabled).
@@ -159,8 +209,9 @@ func (s *Stack) ReplicaBias(window time.Duration) func(string) float64 {
 	return obs.DepotLatencyBias(s.TSDB, window)
 }
 
-// Close stops the sampling goroutine and drains the HTTP server. Safe on
-// nil and on the inert stack, and idempotent.
+// Close stops the sampling goroutine, interrupts and waits out any
+// in-flight capture, and drains the HTTP server. Safe on nil and on the
+// inert stack, and idempotent.
 func (s *Stack) Close(ctx context.Context) error {
 	if s == nil {
 		return nil
@@ -168,5 +219,6 @@ func (s *Stack) Close(ctx context.Context) error {
 	if s.stop != nil {
 		s.stopOnce.Do(func() { close(s.stop) })
 	}
+	s.Recorder.Close()
 	return s.Server.Close(ctx)
 }

@@ -70,6 +70,11 @@ type TSDBConfig struct {
 	Registry *Registry
 	// Tiers of retention, finest first. Empty means DefaultTiers(1s).
 	Tiers []Tier
+	// PreSample, when set, runs synchronously at the top of every sampling
+	// pass, before the registry is read — the hook the runtime harvester
+	// (internal/obs/prof) refreshes the runtime.* families from, so every
+	// retained sample sees runtime state no older than the tick.
+	PreSample func()
 	// OnSample, when set, runs synchronously after every sampling pass —
 	// the hook the SLO engine evaluates from, so evaluation needs no
 	// second timer goroutine and always sees a fresh sample.
@@ -103,10 +108,11 @@ type tsdbRing struct {
 // TSDB is the fixed-memory time-series store. All methods are safe for
 // concurrent use and on a nil receiver.
 type TSDB struct {
-	reg      *Registry
-	tiers    []Tier
-	onSample func()
-	clock    func() time.Time
+	reg       *Registry
+	tiers     []Tier
+	preSample func()
+	onSample  func()
+	clock     func() time.Time
 
 	mu     sync.RWMutex
 	series map[string]*tsdbSeries
@@ -148,11 +154,12 @@ func NewTSDB(cfg TSDBConfig) *TSDB {
 		clock = time.Now
 	}
 	return &TSDB{
-		reg:      reg,
-		tiers:    tiers,
-		onSample: cfg.OnSample,
-		clock:    clock,
-		series:   make(map[string]*tsdbSeries),
+		reg:       reg,
+		tiers:     tiers,
+		preSample: cfg.PreSample,
+		onSample:  cfg.OnSample,
+		clock:     clock,
+		series:    make(map[string]*tsdbSeries),
 	}
 }
 
@@ -194,6 +201,12 @@ func (db *TSDB) Sample() {
 	now := db.clock().UnixMilli()
 	db.sampleMu.Lock()
 	defer db.sampleMu.Unlock()
+
+	// The PreSample hook runs under sampleMu so harvesters that keep
+	// previous-snapshot state need no locking of their own.
+	if db.preSample != nil {
+		db.preSample()
+	}
 
 	// Collect metric references and snapshot closures under the registry
 	// lock, then drop it: closures take component locks (agent.Stats,

@@ -37,6 +37,7 @@ import (
 	"lonviz/internal/ibp"
 	"lonviz/internal/lors"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/prof"
 )
 
 // LocateFunc finds up to n candidate depot addresses with at least
@@ -845,6 +846,12 @@ type repairResult struct {
 // reports counters via the returned result, never the shared CycleReport.
 func (s *Steward) repairExtent(ctx context.Context, name string, ext *exnode.Extent, need int, now time.Time, budget *repairBudget) repairResult {
 	var res repairResult
+	// CPU attribution: background repair traffic profiles under
+	// {class=steward_repair}, so a capture taken during a user-facing
+	// latency alert shows whether repair copies were competing for CPU.
+	lctx := prof.Begin1(ctx, prof.KeyClass, "steward_repair")
+	defer prof.End(ctx)
+	ctx = lctx
 	// Exclude every depot already holding this extent — healthy or not —
 	// so repair increases depot diversity instead of doubling up.
 	exclude := make(map[string]bool, len(ext.Replicas))

@@ -19,11 +19,14 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test ./..."
-go test ./...
+# -shuffle=on randomizes test order within each package, so hidden
+# inter-test coupling (shared registries, leaked goroutines, package
+# globals) fails here instead of in some future reordering.
+echo "== go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 echo "== docs audit"
 sh scripts/docscheck.sh
@@ -118,6 +121,14 @@ metrics=$(curl -s "http://$maddr/metrics")
 for name in ibp.shed ibp.server.inflight ibp.server.queue_depth; do
 	printf '%s' "$metrics" | grep -q "\"$name" || smoke_fail "/metrics missing overload family $name"
 done
+# The runtime harvester registers its families eagerly too: the GC-pause
+# series must show up in the TSDB index on an idle depot.
+curl -s "http://$maddr/debug/tsdb" | grep -q '"runtime.go.gc.pause.ms"' \
+	|| smoke_fail "/debug/tsdb does not list runtime.go.gc.pause.ms"
+# The flight recorder must serve a parseable (empty) bundle index.
+captures=$(curl -s "http://$maddr/debug/capture")
+printf '%s' "$captures" | grep -q '"bundles"' \
+	|| smoke_fail "/debug/capture did not serve a bundle index: $captures"
 teardown
 
 echo "== lfedged edge smoke (shared-edge fleet through a real daemon)"

@@ -11,6 +11,9 @@
 #     optional request-line tokens must appear in docs/PROTOCOL.md — it
 #     claims to be the authoritative protocol reference, so it must not
 #     drift from the dispatch code.
+#  5. Every /debug/* endpoint registered anywhere under internal/obs
+#     (including the flight recorder's /debug/capture routes) and every
+#     runtime.* family in names.go must appear in docs/OBSERVABILITY.md.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -75,6 +78,30 @@ done
 for tok in tag= deadline= trace=; do
 	if ! grep -qF -- "$tok" docs/PROTOCOL.md; then
 		echo "MISSING: request-line token $tok not documented in docs/PROTOCOL.md" >&2
+		fail=1
+	fi
+done
+
+echo "== debug endpoints and runtime families vs docs/OBSERVABILITY.md"
+# Audit #3 reads only the mux registrations; this sweep catches every
+# /debug/* path string anywhere in internal/obs (handlers that route by
+# prefix, like the flight recorder's /debug/capture, included).
+# Tests probe deliberately-bogus paths (404 cases), so only non-test
+# sources define the documented surface.
+debugeps=$(grep -rhoE --exclude='*_test.go' '"/debug/[a-z0-9/]*"' internal/obs \
+	| tr -d '"' | sed 's|^/debug/pprof/.*|/debug/pprof/|' | sed 's|/$||' | sort -u)
+[ -n "$debugeps" ] || { echo "docscheck: extracted no /debug endpoints" >&2; exit 1; }
+for e in $debugeps; do
+	if ! grep -qF -- "$e" docs/OBSERVABILITY.md; then
+		echo "MISSING: debug endpoint $e not documented in docs/OBSERVABILITY.md" >&2
+		fail=1
+	fi
+done
+runtimefams=$(grep -oE '= "runtime\.[a-z0-9._]+"' internal/obs/names.go | sed 's/= "\(.*\)"/\1/' | sort -u)
+[ -n "$runtimefams" ] || { echo "docscheck: extracted no runtime.* families from names.go" >&2; exit 1; }
+for n in $runtimefams; do
+	if ! grep -qF -- "$n" docs/OBSERVABILITY.md; then
+		echo "MISSING: runtime family $n not documented in docs/OBSERVABILITY.md" >&2
 		fail=1
 	fi
 done
