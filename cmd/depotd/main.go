@@ -99,8 +99,12 @@ func main() {
 		record := func() lbone.DepotRecord {
 			st := depot.Stat()
 			return lbone.DepotRecord{
-				Addr: bound, X: *x, Y: *y,
+				Addr: bound, Kind: lbone.KindDepot, X: *x, Y: *y,
 				Capacity: st.Capacity, Free: st.Capacity - st.Used,
+				// The metrics address rides the heartbeat so a fleet
+				// scraper can discover and scrape this depot without
+				// static configuration.
+				MetricsAddr: stack.Addr(),
 			}
 		}
 		// Register synchronously once before declaring readiness: a depot

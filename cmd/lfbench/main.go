@@ -26,10 +26,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"lonviz/internal/agent"
@@ -54,6 +57,7 @@ func main() {
 	edgeAddr := flag.String("edge-addr", "", "address of an external lfedged for the -edge shared leg (empty starts an in-process edge)")
 	benchName := flag.String("bench-name", "quick", "name for the emitted BENCH_<name>.json in quick/fleet mode")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to diff the -quick run against; warns on >20% regressions")
+	fleetDebug := flag.String("fleet-debug", "", "metrics address of a scraping steward (-fleet-scrape); its /debug/fleet view is snapshotted into the report's fleet_obs section")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the benchmark runs (empty disables)")
 	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
 	profRates := flag.Bool("prof-rates", false, "enable mutex/block profiling rates (contention evidence in capture bundles)")
@@ -102,7 +106,7 @@ func main() {
 	ctx := context.Background()
 
 	if *quick || *clients > 1 || *edgeOn {
-		if err := runQuick(ctx, cfg, *jsonDir, *compare, *benchName, *clients, *edgeOn, *edgeAddr); err != nil {
+		if err := runQuick(ctx, cfg, *jsonDir, *compare, *benchName, *clients, *edgeOn, *edgeAddr, *fleetDebug); err != nil {
 			fatal(err)
 		}
 		return
@@ -245,12 +249,78 @@ type benchEdge struct {
 // (allocator throughput, GC pauses, goroutine peak), so a latency
 // regression in a later diff carries its likely runtime cause along.
 type benchReport struct {
-	Name        string        `json:"name"`
-	GeneratedAt string        `json:"generated_at"`
-	Cases       []benchCase   `json:"cases"`
-	Fleet       *benchFleet   `json:"fleet,omitempty"`
-	Edge        *benchEdge    `json:"edge,omitempty"`
-	Runtime     *prof.Summary `json:"runtime,omitempty"`
+	Name        string         `json:"name"`
+	GeneratedAt string         `json:"generated_at"`
+	Cases       []benchCase    `json:"cases"`
+	Fleet       *benchFleet    `json:"fleet,omitempty"`
+	Edge        *benchEdge     `json:"edge,omitempty"`
+	Runtime     *prof.Summary  `json:"runtime,omitempty"`
+	FleetObs    *benchFleetObs `json:"fleet_obs,omitempty"`
+}
+
+// benchFleetObs is the cluster-observability context of a run: a
+// scraping steward's /debug/fleet view snapshotted as the benchmark
+// finishes, so a perf diff carries the fleet health it ran against (a
+// degraded depot or a firing coverage alert explains a latency shift
+// better than the numbers alone).
+type benchFleetObs struct {
+	Source          string             `json:"source"`
+	MembersUp       int                `json:"members_up"`
+	MembersDegraded int                `json:"members_degraded"`
+	MembersDown     int                `json:"members_down"`
+	Firing          int                `json:"firing"`
+	Aggregates      map[string]float64 `json:"aggregates,omitempty"`
+}
+
+// fetchFleetObs pulls and condenses one /debug/fleet document; a nil
+// return (unreachable steward, bad payload) just omits the section.
+func fetchFleetObs(addr string) *benchFleetObs {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(strings.TrimSuffix(base, "/") + "/debug/fleet")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var doc struct {
+		Members []struct {
+			State string `json:"state"`
+		} `json:"members"`
+		Aggregates map[string]float64 `json:"aggregates"`
+		Firing     int                `json:"firing"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&doc); err != nil {
+		return nil
+	}
+	out := &benchFleetObs{Source: addr, Firing: doc.Firing}
+	for _, m := range doc.Members {
+		switch m.State {
+		case "up":
+			out.MembersUp++
+		case "degraded":
+			out.MembersDegraded++
+		default:
+			out.MembersDown++
+		}
+	}
+	// Keep only the cluster-level aggregates; the per-node mirrors are
+	// matrix detail a report diff does not want.
+	for k, v := range doc.Aggregates {
+		if strings.Contains(k, "{") {
+			continue
+		}
+		if out.Aggregates == nil {
+			out.Aggregates = make(map[string]float64)
+		}
+		out.Aggregates[k] = v
+	}
+	return out
 }
 
 func summarizeEdge(er *experiments.EdgeFleetRun) *benchEdge {
@@ -361,13 +431,14 @@ func summarizeCase(r experiments.CaseRun) benchCase {
 
 // writeBenchJSON renders runs into BENCH_<name>.json under dir and returns
 // the file path. fleet and edge are optional.
-func writeBenchJSON(dir, name string, runs []experiments.CaseRun, fleet *benchFleet, edge *benchEdge, rt *prof.Summary) (string, error) {
+func writeBenchJSON(dir, name string, runs []experiments.CaseRun, fleet *benchFleet, edge *benchEdge, rt *prof.Summary, fleetObs *benchFleetObs) (string, error) {
 	report := benchReport{
 		Name:        name,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Fleet:       fleet,
 		Edge:        edge,
 		Runtime:     rt,
+		FleetObs:    fleetObs,
 	}
 	for _, r := range runs {
 		report.Cases = append(report.Cases, summarizeCase(r))
@@ -392,7 +463,7 @@ func writeBenchJSON(dir, name string, runs []experiments.CaseRun, fleet *benchFl
 // baseline it also diffs the fresh report against it (warn-only). With
 // clients > 1 it additionally runs the multi-client fleet benchmark and
 // records the fleet section alongside the standard single-client cases.
-func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline, name string, clients int, edgeOn bool, edgeAddr string) error {
+func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline, name string, clients int, edgeOn bool, edgeAddr, fleetDebug string) error {
 	if jsonDir == "" {
 		jsonDir = "."
 	}
@@ -463,7 +534,16 @@ func runQuick(ctx context.Context, cfg experiments.Config, jsonDir, baseline, na
 	rt := collector.Stop()
 	fmt.Printf("lfbench: runtime: alloc=%.1fMB/s gc_pause_p99=%.3fms gc_cycles=%d peak_goroutines=%d over %.1fs\n",
 		rt.AllocRateMBs, rt.GCPauseP99Ms, rt.GCCycles, rt.PeakGoroutines, rt.DurationSec)
-	path, err := writeBenchJSON(jsonDir, name, runs, fleet, edge, &rt)
+	var fleetObs *benchFleetObs
+	if fleetDebug != "" {
+		if fleetObs = fetchFleetObs(fleetDebug); fleetObs == nil {
+			fmt.Printf("lfbench: fleet obs: no /debug/fleet at %s (section omitted)\n", fleetDebug)
+		} else {
+			fmt.Printf("lfbench: fleet obs: %d up / %d degraded / %d down, %d alert(s) firing\n",
+				fleetObs.MembersUp, fleetObs.MembersDegraded, fleetObs.MembersDown, fleetObs.Firing)
+		}
+	}
+	path, err := writeBenchJSON(jsonDir, name, runs, fleet, edge, &rt, fleetObs)
 	if err != nil {
 		return err
 	}
@@ -665,7 +745,7 @@ func figLatency(ctx context.Context, cfg experiments.Config, figName string, pap
 	printCaseSeries(headers, series)
 	summarizeCases(headers, runs)
 	if jsonDir != "" {
-		if _, err := writeBenchJSON(jsonDir, "fig"+figName, runs, nil, nil, nil); err != nil {
+		if _, err := writeBenchJSON(jsonDir, "fig"+figName, runs, nil, nil, nil, nil); err != nil {
 			return err
 		}
 	}

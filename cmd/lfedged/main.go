@@ -21,6 +21,7 @@ import (
 
 	"lonviz/internal/edge"
 	"lonviz/internal/ibp"
+	"lonviz/internal/lbone"
 	"lonviz/internal/obs"
 	"lonviz/internal/obs/slo"
 	"lonviz/internal/overload"
@@ -36,6 +37,10 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently executing requests (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "admission control: max requests waiting for a slot before shedding with BUSY")
 	maxQueueWait := flag.Duration("max-queue-wait", 100*time.Millisecond, "admission control: max time a request may queue before shedding with BUSY")
+	lboneURL := flag.String("lbone", "", "L-Bone base URL to announce membership to (e.g. http://host:port); lets a fleet scraper discover this edge")
+	x := flag.Float64("x", 0, "network coordinate X for the L-Bone announcement")
+	y := flag.Float64("y", 0, "network coordinate Y for the L-Bone announcement")
+	heartbeat := flag.Duration("heartbeat", 10*time.Second, "L-Bone heartbeat interval")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
 	profRates := flag.Bool("prof-rates", false, "enable mutex/block profiling rates (contention evidence in capture bundles)")
@@ -90,11 +95,31 @@ func main() {
 	if stack.Enabled() {
 		fmt.Printf("lfedged: metrics on http://%s/metrics\n", stack.Addr())
 	}
+
+	// The edge is not a depot — the L-Bone never hands it out for
+	// allocation — but announcing membership (kind=edge, with the metrics
+	// address) lets the steward's fleet scraper find it and fold its hit
+	// rate and hot set into the cluster view.
+	stop := make(chan struct{})
+	if *lboneURL != "" {
+		cl := &lbone.Client{BaseURL: *lboneURL}
+		record := func() lbone.DepotRecord {
+			st := cache.Stats()
+			return lbone.DepotRecord{
+				Addr: bound, Kind: lbone.KindEdge, X: *x, Y: *y,
+				Capacity: st.Capacity, Free: st.Capacity - st.Used,
+				MetricsAddr: stack.Addr(),
+			}
+		}
+		go cl.Heartbeat(record, *heartbeat, stop)
+		fmt.Printf("lfedged: announcing to %s at (%g, %g)\n", *lboneURL, *x, *y)
+	}
 	stack.MarkReady()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(stop)
 	srv.Close()
 	closeCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	_ = stack.Close(closeCtx)

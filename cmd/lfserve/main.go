@@ -132,6 +132,22 @@ func main() {
 		fmt.Printf("lfserve: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", stack.Addr())
 	}
 
+	// Announce fleet membership: the server agent never serves IBP, so
+	// the L-Bone will not hand it out for allocation (kind=agent), but
+	// the steward's fleet scraper discovers its metrics address here and
+	// folds render/upload health into the cluster view.
+	announceStop := make(chan struct{})
+	defer close(announceStop)
+	if *lboneURL != "" && stack.Enabled() {
+		cl := &lbone.Client{BaseURL: *lboneURL}
+		record := func() lbone.DepotRecord {
+			return lbone.DepotRecord{
+				Addr: bound, Kind: lbone.KindAgent, MetricsAddr: stack.Addr(),
+			}
+		}
+		go cl.Heartbeat(record, 10*time.Second, announceStop)
+	}
+
 	// Register with the DVS so it can forward misses here.
 	stack.SetStatus("registering with DVS")
 	dvsClient := &dvs.Client{Addr: *dvsAddr}

@@ -17,18 +17,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"lonviz/internal/agent"
 	"lonviz/internal/dvs"
+	"lonviz/internal/edge"
 	"lonviz/internal/exnode"
 	"lonviz/internal/lbone"
 	"lonviz/internal/lightfield"
 	"lonviz/internal/lors"
 	"lonviz/internal/obs"
+	"lonviz/internal/obs/fleet"
 	"lonviz/internal/obs/slo"
 	"lonviz/internal/steward"
 )
@@ -53,6 +57,10 @@ func main() {
 	sloConfig := flag.String("slo-config", "", "JSON SLO rule file (empty: built-in rules; needs -metrics-addr)")
 	profRates := flag.Bool("prof-rates", false, "enable mutex/block profiling rates (contention evidence in capture bundles)")
 	tsdbInterval := flag.Duration("tsdb-interval", time.Second, "metrics history sampling interval (/debug/tsdb retention scales with it)")
+	fleetScrape := flag.Bool("fleet-scrape", false, "scrape the whole fleet's observability endpoints into a cluster TSDB served at /debug/fleet (needs -metrics-addr; discovers members via -lbone plus -fleet-peers)")
+	fleetPeers := flag.String("fleet-peers", "", "comma-separated static metrics addresses to scrape in addition to L-Bone discovery")
+	fleetInterval := flag.Duration("fleet-interval", 5*time.Second, "fleet scrape poll interval")
+	edgeAddr := flag.String("edge", "", "edge depot address for demand-driven hot-set warming (needs -fleet-scrape; empty disables)")
 	logLevel := flag.String("log-level", "info", "event log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "kv", "event log line format: kv|json")
 	flag.Parse()
@@ -104,11 +112,47 @@ func main() {
 	if *metricsAddr != "" {
 		s.RegisterMetrics(nil)
 	}
+
+	// The fleet scraper is built before the stack so its endpoints mount
+	// on the same mux and its critical alerts degrade the same /healthz.
+	var fl *fleet.Fleet
+	if *fleetScrape {
+		if *metricsAddr == "" {
+			log.Fatalf("lfsteward: -fleet-scrape needs -metrics-addr")
+		}
+		fcfg := fleet.Config{
+			Interval:    *fleetInterval,
+			Replication: *replicas,
+			Coverage:    s.ReplicaCoverage,
+			// A depot dropping out of the matrix jumps the audit queue the
+			// same way a firing latency alert does: its replicas get
+			// re-verified now, not at the next scan tick.
+			OnMemberState: func(m fleet.Member, from string) {
+				if m.Kind == lbone.KindDepot && m.State == fleet.StateDown && m.ServiceAddr != "" {
+					s.TriggerDepotAudit(m.ServiceAddr)
+				}
+			},
+		}
+		if *lboneURL != "" {
+			fcfg.LBone = &lbone.Client{BaseURL: *lboneURL}
+		}
+		for _, peer := range strings.Split(*fleetPeers, ",") {
+			if peer = strings.TrimSpace(peer); peer != "" {
+				fcfg.Peers = append(fcfg.Peers, peer)
+			}
+		}
+		fl = fleet.New(fcfg)
+	}
 	stack, err := slo.Start(slo.Options{
 		Addr:           *metricsAddr,
 		RulesPath:      *sloConfig,
 		SampleInterval: *tsdbInterval,
 		ProfRates:      *profRates,
+		Extra: map[string]http.Handler{
+			"/debug/fleet":      fl.Handler(),
+			"/debug/fleet/tsdb": fl.TSDBHandler(),
+		},
+		ExtraHealth: []func() error{fl.HealthError},
 	})
 	if err != nil {
 		log.Fatalf("lfsteward: metrics listen: %v", err)
@@ -124,6 +168,20 @@ func main() {
 	// A firing depot alert jumps the queue: audit that depot's replicas now
 	// instead of waiting out the scan interval.
 	stack.Subscribe(steward.AlertTrigger(s))
+	if fl != nil {
+		// The scraper itself is part of the fleet it watches.
+		fl.SetSelf(stack.Addr())
+		fl.AddStaticPeer(stack.Addr(), lbone.KindSteward)
+		// Fleet-scope alerts feed the same plumbing node alerts do: a
+		// critical breach captures a forensic bundle and jumps the
+		// steward's audit queue.
+		fl.Subscribe(func(a slo.Alert) {
+			if a.State == slo.StateFiring && a.Severity == slo.SeverityCritical {
+				stack.Recorder.TriggerAsync("fleet:"+a.Rule, a.Reason)
+			}
+		})
+		fl.Subscribe(steward.AlertTrigger(s))
+	}
 
 	// Adopt every view set the lattice defines; sets the DVS does not know
 	// (not yet published, or published at different parameters) are skipped
@@ -168,6 +226,7 @@ func main() {
 	}
 
 	if *once {
+		fl.ScrapeOnce(ctx)
 		rep, err := s.RunCycle(ctx)
 		if err != nil {
 			log.Fatalf("lfsteward: %v", err)
@@ -181,6 +240,45 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() { <-sig; cancel() }()
+
+	if fl != nil {
+		fleetStop := make(chan struct{})
+		defer close(fleetStop)
+		go fl.Run(fleetStop)
+
+		if *edgeAddr != "" {
+			// Demand-driven hot-set replication: the fleet scraper's
+			// aggregated edge popularity feeds the replicator, which warms
+			// the hottest view sets toward the edge ahead of client demand.
+			hs, err := steward.NewHotSetReplicator(steward.HotSetConfig{
+				Feed: func(n int) []edge.HotItem {
+					items := fl.HotItems(n)
+					out := make([]edge.HotItem, len(items))
+					for i, it := range items {
+						out[i] = edge.HotItem{Hint: it.Hint, Count: float64(it.Count)}
+					}
+					return out
+				},
+				Warm: func(ctx context.Context, hint string) error {
+					ex := s.ExNode(hint)
+					if ex == nil {
+						return fmt.Errorf("unmanaged view set %q", hint)
+					}
+					return edge.Warm(ctx, ex, *edgeAddr, hint, nil)
+				},
+			})
+			if err != nil {
+				log.Fatalf("lfsteward: %v", err)
+			}
+			fl.Subscribe(func(a slo.Alert) {
+				if a.State == slo.StateFiring {
+					hs.Trigger()
+				}
+			})
+			go hs.Run(runCtx)
+		}
+	}
+
 	if err := s.Run(runCtx); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("lfsteward: %v", err)
 	}

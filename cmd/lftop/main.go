@@ -38,6 +38,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit one JSON summary document instead of the dashboard")
 	nTraces := flag.Int("traces", 5, "slowest recent traces to show per target")
 	history := flag.Bool("history", false, "show per-depot latency sparklines from each target's /debug/tsdb history")
+	fleetMode := flag.Bool("fleet", false, "fleet mode: targets are scraping stewards; show each one's /debug/fleet health matrix with per-node sparklines from the cluster TSDB")
 	histWindow := flag.Duration("history-window", 5*time.Minute, "how far back -history looks")
 	waitReady := flag.Duration("wait-ready", 0, "poll each target's /readyz until it reports ready, up to this long, before the first sample (0 disables)")
 	flag.Parse()
@@ -62,6 +63,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lftop:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *fleetMode {
+		runFleet(top, *once, *asJSON, *interval)
+		return
 	}
 
 	if *once {
@@ -99,6 +105,35 @@ func main() {
 	}
 }
 
+// runFleet is the -fleet main loop: poll every steward's /debug/fleet,
+// render the health matrices, repeat (or once).
+func runFleet(top *lftop, once, asJSON bool, interval time.Duration) {
+	for {
+		sums := make([]fleetSummary, 0, len(top.targets))
+		for _, ep := range top.targets {
+			sums = append(sums, top.pollFleet(ep))
+		}
+		if asJSON {
+			if err := writeFleetJSON(os.Stdout, sums); err != nil {
+				fmt.Fprintln(os.Stderr, "lftop:", err)
+				os.Exit(1)
+			}
+		} else {
+			renderFleet(os.Stdout, sums, !once)
+		}
+		if once {
+			for _, s := range sums {
+				if s.Err == "" {
+					return
+				}
+			}
+			fmt.Fprintln(os.Stderr, "lftop: no steward reachable")
+			os.Exit(1)
+		}
+		time.Sleep(interval)
+	}
+}
+
 func writeJSON(w io.Writer, sums []targetSummary) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -132,6 +167,10 @@ type depotStat struct {
 	P50   float64 `json:"p50_ms"`
 	P95   float64 `json:"p95_ms"`
 	P99   float64 `json:"p99_ms"`
+	// Exemplar is the trace ID of the slowest-bucket sample the histogram
+	// retained — paste it against /debug/traces to see why the tail is
+	// the tail.
+	Exemplar string `json:"exemplar,omitempty"`
 }
 
 // alertLine is one SLO alert from /debug/alerts.
@@ -560,12 +599,13 @@ func (t *lftop) fetchTraces(url string) ([]obs.SpanRecord, error) {
 
 // histoView mirrors the fields of obs.HistogramSnapshot that lftop reads.
 type histoView struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Mean  float64 `json:"mean"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
+	Count    int64   `json:"count"`
+	Sum      float64 `json:"sum"`
+	Mean     float64 `json:"mean"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	Exemplar string  `json:"exemplar_trace"`
 }
 
 // splitLabeled breaks a folded metric name like "ibp.depot.ms{depot=x}"
@@ -595,6 +635,7 @@ func summarizeMetrics(snap map[string]json.RawMessage, sum *targetSummary) {
 			if json.Unmarshal(raw, &h) == nil && h.Count > 0 {
 				sum.Depots = append(sum.Depots, depotStat{
 					Depot: depot, Count: h.Count, P50: h.P50, P95: h.P95, P99: h.P99,
+					Exemplar: h.Exemplar,
 				})
 			}
 			continue
@@ -735,9 +776,13 @@ func render(w io.Writer, sums []targetSummary, live bool) {
 			continue
 		}
 		if len(s.Depots) > 0 {
-			fmt.Fprintf(w, "  %-24s %8s %9s %9s %9s\n", "depot", "ops", "p50(ms)", "p95(ms)", "p99(ms)")
+			fmt.Fprintf(w, "  %-24s %8s %9s %9s %9s  %s\n", "depot", "ops", "p50(ms)", "p95(ms)", "p99(ms)", "exemplar")
 			for _, d := range s.Depots {
-				fmt.Fprintf(w, "  %-24s %8d %9.2f %9.2f %9.2f\n", d.Depot, d.Count, d.P50, d.P95, d.P99)
+				ex := d.Exemplar
+				if ex == "" {
+					ex = "-"
+				}
+				fmt.Fprintf(w, "  %-24s %8d %9.2f %9.2f %9.2f  %s\n", d.Depot, d.Count, d.P50, d.P95, d.P99, ex)
 			}
 		}
 		if len(s.OpErrors) > 0 {

@@ -43,13 +43,15 @@ func (c *Client) registry() *obs.Registry {
 }
 
 // observeOp records one operation's outcome: latency into the per-verb
-// and per-depot histograms, payload bytes into the direction counters,
-// and failures into the per-verb error counter.
-func (c *Client) observeOp(verb string, elapsed time.Duration, sent, received int, err error) {
+// and per-depot histograms (with the request's trace ID as the exemplar,
+// so a slow tail links back to its merged trace), payload bytes into the
+// direction counters, and failures into the per-verb error counter.
+func (c *Client) observeOp(ctx context.Context, verb string, elapsed time.Duration, sent, received int, err error) {
 	reg := c.registry()
 	ms := float64(elapsed) / 1e6
-	reg.Histogram(obs.Label(obs.MIBPOpMs, "op", verb), obs.LatencyBucketsMs...).Observe(ms)
-	reg.Histogram(obs.Label(obs.MIBPDepotMs, "depot", c.Addr), obs.LatencyBucketsMs...).Observe(ms)
+	tid := obs.TraceIDFrom(ctx)
+	reg.Histogram(obs.Label(obs.MIBPOpMs, "op", verb), obs.LatencyBucketsMs...).ObserveTrace(ms, tid)
+	reg.Histogram(obs.Label(obs.MIBPDepotMs, "depot", c.Addr), obs.LatencyBucketsMs...).ObserveTrace(ms, tid)
 	reg.Counter(obs.MIBPBytesOut).Add(int64(sent))
 	reg.Counter(obs.MIBPBytesIn).Add(int64(received))
 	if err != nil {
@@ -134,7 +136,7 @@ func (c *Client) roundTripInto(ctx context.Context, req string, payload, dst []b
 	}
 	start := time.Now()
 	defer func() {
-		c.observeOp(verb, time.Since(start), len(payload), len(body), err)
+		c.observeOp(ctx, verb, time.Since(start), len(payload), len(body), err)
 	}()
 	// CPU attribution: client-side depot I/O shows up in profiles sliced
 	// by {class=ibp_client, verb, depot}, so a slow depot is identifiable

@@ -333,10 +333,11 @@ func (p *Pipe) parseResponse(f []string, w *pipeWaiter) (res pipeResult, bodyLen
 // per-depot histogram and must keep seeing every operation when a client
 // upgrades to pipelined mode. Latency includes time queued for a window
 // slot: that is what the caller actually experienced.
-func (p *Pipe) observeOp(verb string, elapsed time.Duration, sent, received int, err error) {
+func (p *Pipe) observeOp(ctx context.Context, verb string, elapsed time.Duration, sent, received int, err error) {
 	ms := float64(elapsed) / 1e6
-	p.reg.Histogram(obs.Label(obs.MIBPOpMs, "op", verb), obs.LatencyBucketsMs...).Observe(ms)
-	p.reg.Histogram(obs.Label(obs.MIBPDepotMs, "depot", p.addr), obs.LatencyBucketsMs...).Observe(ms)
+	tid := obs.TraceIDFrom(ctx)
+	p.reg.Histogram(obs.Label(obs.MIBPOpMs, "op", verb), obs.LatencyBucketsMs...).ObserveTrace(ms, tid)
+	p.reg.Histogram(obs.Label(obs.MIBPDepotMs, "depot", p.addr), obs.LatencyBucketsMs...).ObserveTrace(ms, tid)
 	p.reg.Counter(obs.MIBPBytesOut).Add(int64(sent))
 	p.reg.Counter(obs.MIBPBytesIn).Add(int64(received))
 	if err != nil {
@@ -356,7 +357,7 @@ func (p *Pipe) do(ctx context.Context, reqLine string, payload, dst []byte) ([]s
 	if err == nil && dst != nil {
 		received = len(dst)
 	}
-	p.observeOp(verb, time.Since(start), len(payload), received, err)
+	p.observeOp(ctx, verb, time.Since(start), len(payload), received, err)
 	return f, err
 }
 

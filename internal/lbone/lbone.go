@@ -28,19 +28,44 @@ import (
 	"lonviz/internal/obs"
 )
 
-// DepotRecord describes one registered depot.
+// Member kinds. Depot lookups only ever return depots; the other kinds
+// exist so the fleet scraper can discover every process of a deployment
+// through the one directory that already tracks liveness.
+const (
+	KindDepot   = "depot"
+	KindEdge    = "edge"
+	KindSteward = "steward"
+	KindAgent   = "agent"
+)
+
+// DepotRecord describes one registered directory member. Despite the
+// historical name it covers non-depot members too (Kind below); depots
+// remain the only kind Lookup returns.
 type DepotRecord struct {
-	// Addr is the depot's IBP endpoint (host:port).
+	// Addr is the member's service endpoint (host:port) — the IBP address
+	// for depots, the cache address for edges.
 	Addr string `json:"addr"`
+	// Kind classifies the member: "" or "depot" (storage, returned by
+	// lookups), "edge", "steward", "agent" (discovery-only).
+	Kind string `json:"kind,omitempty"`
+	// MetricsAddr is the member's observability endpoint (-metrics-addr),
+	// the address a fleet scraper pulls /metrics from. Optional.
+	MetricsAddr string `json:"metricsAddr,omitempty"`
 	// X, Y are simulated network coordinates; distance in this plane
 	// stands in for network proximity.
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
-	// Capacity and Free report storage in bytes.
+	// Capacity and Free report storage in bytes (zero for non-depots).
 	Capacity int64 `json:"capacity"`
 	Free     int64 `json:"free"`
 	// LastSeen is set by the server on registration.
 	LastSeen time.Time `json:"lastSeen,omitempty"`
+}
+
+// IsDepot reports whether the record is a storage depot (the only kind
+// lookups return).
+func (r DepotRecord) IsDepot() bool {
+	return r.Kind == "" || r.Kind == KindDepot
 }
 
 // Server is the directory. Depots re-register periodically (heartbeat);
@@ -72,10 +97,15 @@ func (s *Server) now() time.Time {
 	return time.Now()
 }
 
-// Register upserts a depot record (also the heartbeat path).
+// Register upserts a member record (also the heartbeat path).
 func (s *Server) Register(rec DepotRecord) error {
 	if rec.Addr == "" {
 		return fmt.Errorf("lbone: record missing addr")
+	}
+	switch rec.Kind {
+	case "", KindDepot, KindEdge, KindSteward, KindAgent:
+	default:
+		return fmt.Errorf("lbone: unknown member kind %q", rec.Kind)
 	}
 	if rec.Capacity < 0 || rec.Free < 0 || rec.Free > rec.Capacity {
 		return fmt.Errorf("lbone: implausible capacity %d/%d", rec.Free, rec.Capacity)
@@ -128,7 +158,7 @@ func (s *Server) LookupExcluding(x, y float64, n int, minFree int64, exclude []s
 			delete(s.records, addr)
 			continue
 		}
-		if rec.Free >= minFree && !excluded[addr] {
+		if rec.IsDepot() && rec.Free >= minFree && !excluded[addr] {
 			out = append(out, rec)
 		}
 	}
@@ -147,10 +177,29 @@ func (s *Server) LookupExcluding(x, y float64, n int, minFree int64, exclude []s
 	return out
 }
 
-// ServeHTTP implements http.Handler with two endpoints:
-// POST /register (DepotRecord JSON body) and GET /lookup. Requests
-// carrying an X-Lonviz-Trace header get a server-side span parented
-// under the calling client's span.
+// Members returns every live member record of any kind, sorted by
+// address — the fleet scraper's discovery sweep. Stale records are
+// dropped on the way through, like Lookup does.
+func (s *Server) Members() []DepotRecord {
+	cutoff := s.now().Add(-s.TTL)
+	s.mu.Lock()
+	out := make([]DepotRecord, 0, len(s.records))
+	for addr, rec := range s.records {
+		if rec.LastSeen.Before(cutoff) {
+			delete(s.records, addr)
+			continue
+		}
+		out = append(out, rec)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// ServeHTTP implements http.Handler with three endpoints:
+// POST /register (DepotRecord JSON body), GET /lookup, and GET /members
+// (every live member of any kind). Requests carrying an X-Lonviz-Trace
+// header get a server-side span parented under the calling client's span.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if tc, ok := obs.ExtractHTTP(r.Header); ok {
 		tracer := s.Tracer
@@ -186,6 +235,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(s.LookupExcluding(x, y, n, minFree, exclude)); err != nil {
 			// Too late to change the status; the client's decoder will fail.
+			return
+		}
+	case r.Method == http.MethodGet && r.URL.Path == "/members":
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.Members()); err != nil {
 			return
 		}
 	default:
@@ -298,6 +352,30 @@ func (c *Client) LookupExcluding(ctx context.Context, x, y float64, n int, minFr
 	var out []DepotRecord
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("lbone: lookup decode: %w", err)
+	}
+	return out, nil
+}
+
+// Members fetches every live directory member of any kind — the fleet
+// scraper's discovery path.
+func (c *Client) Members(ctx context.Context) (recs []DepotRecord, err error) {
+	defer func(start time.Time) { c.observeOp("members", start, err) }(time.Now())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/members", nil)
+	if err != nil {
+		return nil, err
+	}
+	obs.InjectHTTP(ctx, req.Header)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("lbone: members: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("lbone: members: status %s", resp.Status)
+	}
+	var out []DepotRecord
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("lbone: members decode: %w", err)
 	}
 	return out, nil
 }

@@ -1,0 +1,75 @@
+package lbone
+
+import (
+	"context"
+	"testing"
+)
+
+func TestMembersListsEveryKindLookupOnlyDepots(t *testing.T) {
+	s := NewServer()
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cl := &Client{BaseURL: "http://" + addr}
+	ctx := context.Background()
+
+	recs := []DepotRecord{
+		{Addr: "depot1:6714", Kind: KindDepot, Capacity: 500, Free: 400, MetricsAddr: "depot1:9001"},
+		{Addr: "depot2:6714", Capacity: 500, Free: 400}, // bare records stay depots
+		{Addr: "edge1:6730", Kind: KindEdge, MetricsAddr: "edge1:9002"},
+		{Addr: "steward1", Kind: KindSteward, MetricsAddr: "steward1:9003"},
+		{Addr: "agent1:8080", Kind: KindAgent, MetricsAddr: "agent1:9004"},
+	}
+	for _, rec := range recs {
+		if err := cl.Register(ctx, rec); err != nil {
+			t.Fatalf("register %s: %v", rec.Addr, err)
+		}
+	}
+
+	// /members returns the whole fleet, sorted, with kinds and metrics
+	// addresses intact.
+	members, err := cl.Members(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != len(recs) {
+		t.Fatalf("members = %d records, want %d", len(members), len(recs))
+	}
+	byAddr := make(map[string]DepotRecord, len(members))
+	for i, m := range members {
+		if i > 0 && members[i-1].Addr > m.Addr {
+			t.Fatalf("members not sorted: %q before %q", members[i-1].Addr, m.Addr)
+		}
+		byAddr[m.Addr] = m
+	}
+	if m := byAddr["edge1:6730"]; m.Kind != KindEdge || m.MetricsAddr != "edge1:9002" {
+		t.Fatalf("edge record = %+v", m)
+	}
+	if m := byAddr["depot2:6714"]; !m.IsDepot() {
+		t.Fatalf("bare record lost depot-ness: %+v", m)
+	}
+
+	// Lookup hands out only storage depots: an edge or steward must never
+	// be selected as an allocation target.
+	depots, err := cl.Lookup(ctx, 0, 0, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(depots) != 2 {
+		t.Fatalf("lookup = %+v, want the two depots only", depots)
+	}
+	for _, d := range depots {
+		if !d.IsDepot() {
+			t.Fatalf("lookup returned non-depot %+v", d)
+		}
+	}
+}
+
+func TestRegisterRejectsUnknownKind(t *testing.T) {
+	s := NewServer()
+	if err := s.Register(DepotRecord{Addr: "x:1", Kind: "router"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -14,7 +14,6 @@ package obs
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -22,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -33,25 +33,25 @@ type Collector struct {
 	// Peers are base endpoint addresses ("host:port" or "http://host:port")
 	// whose /debug/traces will be queried.
 	Peers []string
-	// Client is the HTTP client used for pulls (default: 5s timeout).
+	// Client is the HTTP client used for pulls.
 	Client *http.Client
+	// PeerTimeout bounds each peer fetch (default 5s). Peers are queried
+	// in parallel, so the whole collect completes within roughly one
+	// timeout even when several peers hang.
+	PeerTimeout time.Duration
 }
 
-func (c *Collector) client() *http.Client {
-	if c.Client != nil {
-		return c.Client
+func (c *Collector) peerClient() *PeerClient {
+	to := c.PeerTimeout
+	if to <= 0 {
+		to = 5 * time.Second
 	}
-	return &http.Client{Timeout: 5 * time.Second}
+	return &PeerClient{HTTP: c.Client, Timeout: to}
 }
 
 // peerURL normalizes a peer address into its /debug/traces URL.
 func peerURL(peer string, traceID uint64) string {
-	base := peer
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	base = strings.TrimSuffix(base, "/")
-	u := base + "/debug/traces"
+	u := PeerBaseURL(peer) + "/debug/traces"
 	if traceID != 0 {
 		u += "?trace=" + url.QueryEscape(strconv.FormatUint(traceID, 16))
 	}
@@ -59,10 +59,12 @@ func peerURL(peer string, traceID uint64) string {
 }
 
 // Collect gathers every span of traceID (0 = all retained spans) from
-// the local tracer and all peers. Unreachable peers are skipped and
-// reported in errs; the merge proceeds with what answered — a partial
-// tree beats none when a depot died mid-request, which is exactly when
-// you want the trace.
+// the local tracer and all peers. Peers are fetched in parallel, each
+// under its own bounded deadline, so one hung peer delays the merge by
+// at most PeerTimeout instead of stalling every fetch behind it.
+// Unreachable peers are skipped and reported in errs; the merge proceeds
+// with what answered — a partial tree beats none when a depot died
+// mid-request, which is exactly when you want the trace.
 func (c *Collector) Collect(ctx context.Context, traceID uint64) (spans []SpanRecord, errs []error) {
 	if c.Local != nil {
 		for _, rec := range c.Local.Export(traceID) {
@@ -70,13 +72,30 @@ func (c *Collector) Collect(ctx context.Context, traceID uint64) (spans []SpanRe
 			spans = append(spans, rec)
 		}
 	}
-	for _, peer := range c.Peers {
-		recs, err := c.fetch(ctx, peer, traceID)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("peer %s: %w", peer, err))
+	pc := c.peerClient()
+	type result struct {
+		recs []SpanRecord
+		err  error
+	}
+	results := make([]result, len(c.Peers))
+	var wg sync.WaitGroup
+	for i, peer := range c.Peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			recs, err := c.fetch(ctx, pc, peer, traceID)
+			results[i] = result{recs, err}
+		}(i, peer)
+	}
+	wg.Wait()
+	// Results merge in peer order, so output is deterministic regardless
+	// of which peer answered first.
+	for i, peer := range c.Peers {
+		if results[i].err != nil {
+			errs = append(errs, fmt.Errorf("peer %s: %w", peer, results[i].err))
 			continue
 		}
-		for _, rec := range recs {
+		for _, rec := range results[i].recs {
 			rec.Source = peer
 			spans = append(spans, rec)
 		}
@@ -84,26 +103,14 @@ func (c *Collector) Collect(ctx context.Context, traceID uint64) (spans []SpanRe
 	return spans, errs
 }
 
-func (c *Collector) fetch(ctx context.Context, peer string, traceID uint64) ([]SpanRecord, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerURL(peer, traceID), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.client().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %s", resp.Status)
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
-	if err != nil {
-		return nil, err
+func (c *Collector) fetch(ctx context.Context, pc *PeerClient, peer string, traceID uint64) ([]SpanRecord, error) {
+	var query url.Values
+	if traceID != 0 {
+		query = url.Values{"trace": {strconv.FormatUint(traceID, 16)}}
 	}
 	var recs []SpanRecord
-	if err := json.Unmarshal(body, &recs); err != nil {
-		return nil, fmt.Errorf("decoding trace export: %w", err)
+	if err := pc.GetJSON(ctx, peer, "/debug/traces", query, &recs); err != nil {
+		return nil, err
 	}
 	return recs, nil
 }

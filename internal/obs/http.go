@@ -11,6 +11,10 @@ import (
 	"time"
 )
 
+// processStart anchors the process.uptime_s snapshot every served
+// registry exposes.
+var processStart = time.Now()
+
 // ServeOptions configures the observability HTTP surface beyond the
 // registry and tracer: retained history, readiness, health degradation,
 // and extra endpoints (the SLO engine's /debug/alerts arrives this way —
@@ -69,6 +73,12 @@ func NewMuxWith(opts ServeOptions) *http.ServeMux {
 	if tracer == nil {
 		tracer = DefaultTracer()
 	}
+	// Every served registry carries process.uptime_s so scrapers (the
+	// fleet federation in particular) can tell a long-lived peer from one
+	// that just restarted without parsing pprof or expvar internals.
+	reg.RegisterSnapshot("process", func() map[string]float64 {
+		return map[string]float64{"uptime_s": time.Since(processStart).Seconds()}
+	})
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	// /debug/vars merges the stdlib expvar map (cmdline, memstats) with

@@ -258,6 +258,63 @@ const (
 	// MCaptureSuppressed: counter. Capture triggers suppressed by the
 	// cooldown or an in-flight capture (flap damping for the recorder).
 	MCaptureSuppressed = "capture.suppressed"
+
+	// --- obs self-accounting ---
+
+	// MObsLabelOverflow: counter. Labeled metric lookups folded into the
+	// per-family "other" instance by the registry's cardinality guard. A
+	// nonzero value means some call site is labeling with an unbounded
+	// value set (see Registry.MaxLabelInstances).
+	MObsLabelOverflow = "obs.label_overflow"
+	// MProcessUptime: gauge via snapshot, seconds since this process's
+	// observability endpoint started serving. The fleet scraper reads it
+	// for the health matrix's uptime column.
+	MProcessUptime = "process.uptime_s"
+
+	// --- fleet federation (internal/obs/fleet, hosted by lfsteward) ---
+
+	// MFleetMembers: gauge. Fleet members by state, {state=up|degraded|down}.
+	MFleetMembers = "fleet.members"
+	// MFleetScrapes: counter. Completed fleet scrape passes.
+	MFleetScrapes = "fleet.scrapes"
+	// MFleetScrapeErrors: counter. Failed member scrapes, {node=addr}.
+	MFleetScrapeErrors = "fleet.scrape.errors"
+	// MFleetScrapeMs: histogram, ms per whole scrape pass (all members,
+	// parallel fan-out included).
+	MFleetScrapeMs = "fleet.scrape.ms"
+	// MFleetFPS: gauge. Fleet-wide frames per second: summed reset-aware
+	// view-set fetch rates of every member exposing agent.fetch.ms.
+	MFleetFPS = "fleet.fps"
+	// MFleetShed: counter. Cluster-level shed volume: per-node reset-aware
+	// increases of ibp.shed, dvs.shed, edge.shed, and agent.render.shed
+	// folded into one monotonic series (the fleet shed-burn numerator).
+	MFleetShed = "fleet.shed"
+	// MFleetServed: counter. Cluster-level served volume: per-node
+	// reset-aware increases of the server-side op histograms folded into
+	// one monotonic series (the fleet shed-burn denominator).
+	MFleetServed = "fleet.served"
+	// MFleetEdgeHitRate: gauge. Cooperative edge hit rate across every
+	// edge member: sum(hits)/sum(hits+misses).
+	MFleetEdgeHitRate = "fleet.edge.hit_rate"
+	// MFleetCoverage: gauge. Live replicas of one published exNode's
+	// thinnest extent, {exnode=name}: layouts intersected with the depot
+	// members currently up, so a dying depot moves it immediately.
+	MFleetCoverage = "fleet.replica.coverage"
+	// MFleetCoverageMin: gauge. Minimum fleet.replica.coverage across all
+	// published exNodes — the series the replica-coverage fleet rule
+	// watches.
+	MFleetCoverageMin = "fleet.replica.coverage.min"
+	// MFleetDegradedRatio: gauge. Fraction of depot members not in the up
+	// state (degraded or down over total registered depots).
+	MFleetDegradedRatio = "fleet.depots.degraded_ratio"
+	// MFleetLatencySpreadMs: gauge. Per-depot latency spread: max minus
+	// min of the depot members' served-op p99 — a wide spread names a
+	// straggler dragging the whole pipeline (the weakest-node view).
+	MFleetLatencySpreadMs = "fleet.depot.latency.spread.ms"
+	// MFleetNodeP99Ms: gauge. One member's served-op p99 as scraped,
+	// {family=..., node=addr} — the per-node series behind the health
+	// matrix's latency column and lftop -fleet sparklines.
+	MFleetNodeP99Ms = "fleet.node.p99.ms"
 )
 
 // Span names used by the request-scoped traces at /debug/traces.
@@ -303,6 +360,11 @@ const (
 	SpanEdgeServe = "edge.serve"
 	// SpanEdgeFill covers one origin-depot fill inside an edge miss.
 	SpanEdgeFill = "edge.fill"
+	// SpanFleetScrape covers one fleet scrape pass, recorded only on
+	// passes where a member changed state (recording every pass would
+	// flood the ring at the poll rate); the fleet.member events stamp its
+	// trace ID.
+	SpanFleetScrape = "fleet.scrape"
 )
 
 // Event names used by the structured log at /debug/events. Events are
@@ -343,4 +405,8 @@ const (
 	// EvCaptureBundle: info. The flight recorder finished a forensic
 	// bundle; fields: id, trigger, files, bytes.
 	EvCaptureBundle = "capture.bundle"
+	// EvFleetMember: warn when a member leaves the up state, info when it
+	// returns. One fleet member's health-matrix state changed; fields:
+	// node, kind, from, to, err.
+	EvFleetMember = "fleet.member"
 )

@@ -146,6 +146,14 @@ type Histogram struct {
 	min    atomic.Uint64 // float64 bits
 	max    atomic.Uint64 // float64 bits
 	minSet atomic.Bool
+
+	// Exemplar linkage: the trace ID of the most recent sample that
+	// landed in the top (highest yet seen) bucket, so a bad tail is one
+	// /debug/traces lookup from its merged trace. Two independent atomics
+	// — a racing pair of top-bucket samples may interleave, which is fine
+	// for a diagnostic pointer.
+	exemplarIdx   atomic.Int64 // highest bucket index observed, +1 (0 = none)
+	exemplarTrace atomic.Uint64
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds.
@@ -161,6 +169,16 @@ func NewHistogram(bounds ...float64) *Histogram {
 
 // Observe records one sample. NaN is dropped.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveTrace(v, 0)
+}
+
+// ObserveTrace records one sample like Observe and, when the sample
+// lands in the top bucket — the highest bucket index this histogram has
+// seen — retains traceID as the histogram's exemplar. The exemplar is
+// exported in snapshots and shown by lftop's latency panes, so the trace
+// behind a bad p99 is one -trace lookup away. A zero traceID records the
+// sample without touching the exemplar.
+func (h *Histogram) ObserveTrace(v float64, traceID uint64) {
 	if h == nil || math.IsNaN(v) {
 		return
 	}
@@ -170,6 +188,19 @@ func (h *Histogram) Observe(v float64) {
 	addFloat(&h.sum, v)
 	updateMin(&h.min, &h.minSet, v)
 	updateMax(&h.max, v)
+	if traceID != 0 && int64(idx)+1 >= h.exemplarIdx.Load() {
+		h.exemplarIdx.Store(int64(idx) + 1)
+		h.exemplarTrace.Store(traceID)
+	}
+}
+
+// Exemplar returns the trace ID of the most recent top-bucket sample
+// (0 when no traced sample has been observed).
+func (h *Histogram) Exemplar() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.exemplarTrace.Load()
 }
 
 // AddSample records n observations of value v in one call — the bulk
@@ -245,6 +276,10 @@ type HistogramSnapshot struct {
 	// Buckets maps each upper bound (and "+Inf") to its count. Only
 	// non-empty buckets are included, to keep scrape output readable.
 	Buckets map[string]int64 `json:"buckets,omitempty"`
+	// ExemplarTrace is the hex trace ID of the most recent sample that
+	// landed in the histogram's top bucket — the trace to pull when the
+	// tail looks wrong. Omitted when no traced sample has been observed.
+	ExemplarTrace string `json:"exemplar_trace,omitempty"`
 }
 
 // Count returns the number of observations.
@@ -309,6 +344,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
+	}
+	if ex := h.exemplarTrace.Load(); ex != 0 {
+		s.ExemplarTrace = fmt.Sprintf("%016x", ex)
 	}
 	if s.Count > 0 {
 		s.Mean = s.Sum / float64(s.Count)
@@ -376,4 +414,25 @@ func BaseName(name string) string {
 		return name[:i]
 	}
 	return name
+}
+
+// WithLabel injects one more label pair into a metric name that may
+// already carry labels, keeping the canonical sorted-key rendering:
+// WithLabel("ibp.op.ms{op=load}", "node", "h1:99") is
+// "ibp.op.ms{node=h1:99,op=load}". The fleet scraper uses it to
+// namespace scraped per-node series into the cluster TSDB.
+func WithLabel(name, key, value string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return Label(name, key, value)
+	}
+	kv := []string{key, value}
+	for _, pair := range strings.Split(name[i+1:len(name)-1], ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			continue
+		}
+		kv = append(kv, k, v)
+	}
+	return Label(name[:i], kv...)
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -16,16 +17,31 @@ import (
 // for concurrent use; a nil registry is inert, so instrumented code can
 // record unconditionally.
 type Registry struct {
+	// MaxLabelInstances caps how many labeled instances one metric family
+	// may register (0 means DefaultMaxLabelInstances). Beyond the cap,
+	// new label sets fold into a per-family "other" instance and the
+	// obs.label_overflow counter increments — a misbehaving depot list
+	// cannot grow /metrics (and every TSDB series built on it) without
+	// bound. Set before first use; it is read under the registry lock.
+	MaxLabelInstances int
+
 	mu        sync.Mutex
 	metrics   map[string]any
 	snapshots map[string]func() map[string]float64
+	families  map[string]int // labeled instances registered per family
 }
+
+// DefaultMaxLabelInstances is the per-family labeled-instance cap when
+// Registry.MaxLabelInstances is unset: comfortably above any sane
+// deployment's depot count, far below what would bloat a scrape.
+const DefaultMaxLabelInstances = 64
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		metrics:   make(map[string]any),
 		snapshots: make(map[string]func() map[string]float64),
+		families:  make(map[string]int),
 	}
 }
 
@@ -52,9 +68,67 @@ func lookup[T any](r *Registry, name string, mk func() T) T {
 		}
 		return t
 	}
+	// Cardinality guard: a new labeled instance past the family cap folds
+	// into the "other" instance instead of registering. The original name
+	// never enters the map, so overflowing lookups keep landing here —
+	// the overflow counter tallies every folded recording, not just the
+	// first.
+	if base := BaseName(name); base != name {
+		maxInst := r.MaxLabelInstances
+		if maxInst <= 0 {
+			maxInst = DefaultMaxLabelInstances
+		}
+		if r.families == nil {
+			r.families = make(map[string]int)
+		}
+		if r.families[base] >= maxInst {
+			r.overflowLocked()
+			name = foldLabels(name)
+			if m, ok := r.metrics[name]; ok {
+				t, ok := m.(T)
+				if !ok {
+					panic(fmt.Sprintf("obs: metric %q re-registered as %T, was %T", name, *new(T), m))
+				}
+				return t
+			}
+		} else {
+			r.families[base]++
+		}
+	}
 	t := mk()
 	r.metrics[name] = t
 	return t
+}
+
+// overflowLocked bumps the obs.label_overflow counter without re-entering
+// lookup (the caller holds r.mu).
+func (r *Registry) overflowLocked() {
+	c, ok := r.metrics[MObsLabelOverflow].(*Counter)
+	if !ok {
+		c = NewCounter()
+		r.metrics[MObsLabelOverflow] = c
+	}
+	c.Inc()
+}
+
+// foldLabels rewrites every label value of a labeled metric name to
+// "other", preserving the keys: "ibp.depot.ms{depot=h1:99}" becomes
+// "ibp.depot.ms{depot=other}". Overflowing instances of one family all
+// collapse onto the same bounded set of names.
+func foldLabels(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name
+	}
+	var kv []string
+	for _, pair := range strings.Split(name[i+1:len(name)-1], ",") {
+		k, _, ok := strings.Cut(pair, "=")
+		if !ok {
+			continue
+		}
+		kv = append(kv, k, "other")
+	}
+	return Label(name[:i], kv...)
 }
 
 // Counter returns the counter registered under name, creating it if

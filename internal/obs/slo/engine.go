@@ -33,6 +33,9 @@ type Alert struct {
 	Rule string `json:"rule"`
 	// Severity is the rule's severity ("warn" | "critical").
 	Severity string `json:"severity"`
+	// Scope is the rule's scope ("node" | "fleet") — subscribers use it
+	// to tell a local breach from a cluster-wide one.
+	Scope string `json:"scope,omitempty"`
 	// Instance is the labeled metric name the alert tracks
 	// ("ibp.depot.ms{depot=127.0.0.1:6714}"), empty for aggregate rules.
 	Instance string `json:"instance,omitempty"`
@@ -342,6 +345,7 @@ func (st *alertState) alert(state string) Alert {
 	return Alert{
 		Rule:      st.rule.Name,
 		Severity:  st.rule.Severity,
+		Scope:     st.rule.Scope,
 		Instance:  st.instance,
 		Labels:    st.labels,
 		State:     state,
@@ -361,6 +365,13 @@ func (r *Rule) threshold() float64 {
 		return r.MaxRatio
 	case KindBurnRate:
 		return r.FastBurn
+	case KindGaugeThreshold:
+		if r.MaxValue != nil {
+			return *r.MaxValue
+		}
+		if r.MinValue != nil {
+			return *r.MinValue
+		}
 	}
 	return 0
 }
@@ -371,6 +382,8 @@ func (e *Engine) evaluateRule(r *Rule) []verdict {
 	switch r.Kind {
 	case KindLatencyQuantile:
 		return e.evalLatency(r)
+	case KindGaugeThreshold:
+		return e.evalGauge(r)
 	case KindErrorRate:
 		v, ratio, total := e.ratio(r.ErrorMetric, r.TotalMetric, r.Window.D())
 		v.breach = ratio > r.MaxRatio
@@ -417,6 +430,51 @@ func (e *Engine) evalLatency(r *Rule) []verdict {
 			value:    q,
 			reason: fmt.Sprintf("p%g %.1fms over %s (limit %.1fms, n=%d)",
 				r.Quantile*100, q, r.Window.D(), r.ThresholdMs, n),
+		})
+	}
+	return out
+}
+
+// evalGauge expands a gauge family into per-instance verdicts against
+// the rule's [min_value, max_value] band, using each series' latest
+// sample. A series with no samples yet has no opinion.
+func (e *Engine) evalGauge(r *Rule) []verdict {
+	var names []string
+	if strings.ContainsRune(r.Metric, '{') {
+		names = []string{r.Metric}
+	} else {
+		for _, name := range e.db.Names() {
+			if obs.BaseName(name) == r.Metric {
+				names = append(names, name)
+			}
+		}
+	}
+	out := make([]verdict, 0, len(names))
+	for _, name := range names {
+		pt, ok := e.db.Latest(name)
+		if !ok {
+			out = append(out, verdict{instance: name})
+			continue
+		}
+		v := pt.V
+		breach := false
+		reason := ""
+		switch {
+		case r.MinValue != nil && v < *r.MinValue:
+			breach = true
+			reason = fmt.Sprintf("%s = %.3f below floor %.3f", name, v, *r.MinValue)
+		case r.MaxValue != nil && v > *r.MaxValue:
+			breach = true
+			reason = fmt.Sprintf("%s = %.3f above ceiling %.3f", name, v, *r.MaxValue)
+		default:
+			reason = fmt.Sprintf("%s = %.3f within bounds", name, v)
+		}
+		out = append(out, verdict{
+			instance: name,
+			valid:    true,
+			breach:   breach,
+			value:    v,
+			reason:   reason,
 		})
 	}
 	return out

@@ -1,0 +1,210 @@
+package slo
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lonviz/internal/obs"
+)
+
+// gaugeHarness drives one gauge_threshold rule over snapshot-fed float
+// series, the way the fleet scraper feeds replica coverage.
+type gaugeHarness struct {
+	clock *fakeClock
+	reg   *obs.Registry
+	db    *obs.TSDB
+	eng   *Engine
+
+	mu          sync.Mutex
+	vals        map[string]float64
+	transitions []Alert
+}
+
+func newGaugeHarness(t *testing.T, rule Rule) *gaugeHarness {
+	t.Helper()
+	if err := rule.Validate(); err != nil {
+		t.Fatalf("rule: %v", err)
+	}
+	h := &gaugeHarness{clock: newFakeClock(), reg: obs.NewRegistry(), vals: map[string]float64{}}
+	h.reg.RegisterSnapshot("fleet", func() map[string]float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		out := make(map[string]float64, len(h.vals))
+		for k, v := range h.vals {
+			out[k] = v
+		}
+		return out
+	})
+	h.db = obs.NewTSDB(obs.TSDBConfig{
+		Registry: h.reg,
+		Tiers:    []obs.Tier{{Step: time.Second, Slots: 300}},
+		Clock:    h.clock.Now,
+	})
+	h.eng = NewEngine(EngineConfig{
+		DB:       h.db,
+		Rules:    []Rule{rule},
+		Registry: h.reg,
+		Clock:    h.clock.Now,
+	})
+	h.eng.Subscribe(func(a Alert) {
+		h.mu.Lock()
+		h.transitions = append(h.transitions, a)
+		h.mu.Unlock()
+	})
+	return h
+}
+
+func (h *gaugeHarness) tick(vals map[string]float64) {
+	h.mu.Lock()
+	h.vals = vals
+	h.mu.Unlock()
+	h.db.Sample()
+	h.eng.Evaluate()
+	h.clock.Advance(time.Second)
+}
+
+func (h *gaugeHarness) last() (Alert, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.transitions) == 0 {
+		return Alert{}, false
+	}
+	return h.transitions[len(h.transitions)-1], true
+}
+
+func TestGaugeThresholdFiresBelowFloorAndResolves(t *testing.T) {
+	rule := Rule{
+		Name:       "coverage",
+		Severity:   SeverityCritical,
+		Kind:       KindGaugeThreshold,
+		Scope:      ScopeFleet,
+		Metric:     "fleet.replica.coverage.min",
+		MinValue:   Float(2),
+		ClearAfter: Duration(2 * time.Second),
+	}
+	h := newGaugeHarness(t, rule)
+
+	h.tick(map[string]float64{"replica.coverage.min": 2}) // at the floor: ok
+	if a, ok := h.last(); ok {
+		t.Fatalf("unexpected transition %+v at the floor", a)
+	}
+	h.tick(map[string]float64{"replica.coverage.min": 1}) // breach
+	a, ok := h.last()
+	if !ok || a.State != StateFiring {
+		t.Fatalf("want firing after breach, got %+v (ok=%v)", a, ok)
+	}
+	if a.Scope != ScopeFleet {
+		t.Fatalf("alert scope = %q, want %q", a.Scope, ScopeFleet)
+	}
+	if err := h.eng.HealthError(); err == nil {
+		t.Fatal("HealthError nil while critical gauge alert fires")
+	}
+
+	// Recovery holds for ClearAfter before resolving.
+	h.tick(map[string]float64{"replica.coverage.min": 2})
+	h.tick(map[string]float64{"replica.coverage.min": 2})
+	h.tick(map[string]float64{"replica.coverage.min": 2})
+	if a, _ := h.last(); a.State != StateResolved {
+		t.Fatalf("want resolved after recovery, got %+v", a)
+	}
+	if err := h.eng.HealthError(); err != nil {
+		t.Fatalf("HealthError after resolve: %v", err)
+	}
+}
+
+func TestGaugeThresholdCeiling(t *testing.T) {
+	rule := Rule{
+		Name:     "degraded",
+		Severity: SeverityCritical,
+		Kind:     KindGaugeThreshold,
+		Scope:    ScopeFleet,
+		Metric:   "fleet.depots.degraded_ratio",
+		MaxValue: Float(0.25),
+	}
+	h := newGaugeHarness(t, rule)
+	h.tick(map[string]float64{"depots.degraded_ratio": 0.5})
+	a, ok := h.last()
+	if !ok || a.State != StateFiring {
+		t.Fatalf("want firing above ceiling, got %+v (ok=%v)", a, ok)
+	}
+	if a.Threshold != 0.25 {
+		t.Fatalf("threshold = %v, want 0.25", a.Threshold)
+	}
+}
+
+func TestGaugeThresholdExpandsLabeledInstances(t *testing.T) {
+	rule := Rule{
+		Name:     "per-exnode",
+		Severity: SeverityWarn,
+		Kind:     KindGaugeThreshold,
+		Metric:   "fleet.replica.coverage",
+		MinValue: Float(2),
+	}
+	h := newGaugeHarness(t, rule)
+	h.tick(map[string]float64{
+		obs.Label("replica.coverage", "exnode", "a"): 3,
+		obs.Label("replica.coverage", "exnode", "b"): 1,
+	})
+	h.tick(map[string]float64{
+		obs.Label("replica.coverage", "exnode", "a"): 3,
+		obs.Label("replica.coverage", "exnode", "b"): 1,
+	})
+	a, ok := h.last()
+	if !ok || a.State != StateFiring {
+		t.Fatalf("want firing for the under-covered instance, got %+v (ok=%v)", a, ok)
+	}
+	if !strings.Contains(a.Instance, "exnode=b") {
+		t.Fatalf("firing instance %q, want the exnode=b series", a.Instance)
+	}
+}
+
+func TestGaugeThresholdValidate(t *testing.T) {
+	bad := []Rule{
+		{Name: "x", Severity: SeverityWarn, Kind: KindGaugeThreshold},                                                       // no metric
+		{Name: "x", Severity: SeverityWarn, Kind: KindGaugeThreshold, Metric: "m"},                                          // no bound
+		{Name: "x", Severity: SeverityWarn, Kind: KindGaugeThreshold, Metric: "m", MinValue: Float(3), MaxValue: Float(1)},  // min > max
+		{Name: "x", Severity: SeverityWarn, Kind: KindGaugeThreshold, Metric: "m", MinValue: Float(1), Scope: "datacenter"}, // bad scope
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: Validate() accepted %+v", i, r)
+		}
+	}
+	good := Rule{Name: "x", Severity: SeverityWarn, Kind: KindGaugeThreshold, Metric: "m", MinValue: Float(1)}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+	if good.Scope != ScopeNode {
+		t.Fatalf("default scope = %q, want %q", good.Scope, ScopeNode)
+	}
+}
+
+func TestFleetDefaultRulesValidateAndScope(t *testing.T) {
+	rules := FleetDefaultRules(3)
+	if len(rules) == 0 {
+		t.Fatal("no fleet default rules")
+	}
+	names := make(map[string]bool)
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("rule %s: %v", r.Name, err)
+		}
+		if r.Scope != ScopeFleet {
+			t.Fatalf("rule %s scope = %q, want fleet", r.Name, r.Scope)
+		}
+		names[r.Name] = true
+	}
+	for _, want := range []string{"fleet-replica-coverage", "fleet-depots-degraded", "fleet-shed-burn"} {
+		if !names[want] {
+			t.Fatalf("missing rule %s (have %v)", want, names)
+		}
+	}
+	// The coverage floor tracks the deployment's replication factor.
+	for _, r := range rules {
+		if r.Name == "fleet-replica-coverage" && (r.MinValue == nil || *r.MinValue != 3) {
+			t.Fatalf("coverage floor = %v, want 3", r.MinValue)
+		}
+	}
+}

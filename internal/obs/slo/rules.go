@@ -17,6 +17,10 @@
 //     pattern): the alert fires only when both the fast and the slow
 //     window burn the budget faster than their limits, which pages
 //     quickly on a cliff yet ignores short blips.
+//   - gauge_threshold: the latest value of one gauge family (expanded
+//     per label instance) must stay inside a [min_value, max_value]
+//     band. The fleet tier's replica-coverage and degraded-ratio rules
+//     are gauge thresholds over cluster aggregates.
 //
 // Evaluation runs synchronously from the TSDB's sampling pass and is
 // flap-damped by hysteresis: a breach must hold for `for` before firing,
@@ -69,6 +73,21 @@ const (
 	KindLatencyQuantile = "latency_quantile"
 	KindErrorRate       = "error_rate"
 	KindBurnRate        = "burn_rate"
+	// KindGaugeThreshold watches the latest value of a gauge family: the
+	// alert breaches when the value leaves the [min_value, max_value]
+	// band (whichever bounds are set). It is the fleet tier's workhorse —
+	// replica coverage below the replication factor, degraded-depot ratio
+	// above a ceiling — but works on any node-local gauge too.
+	KindGaugeThreshold = "gauge_threshold"
+)
+
+// Rule scopes: where the rule's inputs come from and who acts on it.
+const (
+	// ScopeNode rules read one process's own TSDB (the default).
+	ScopeNode = "node"
+	// ScopeFleet rules read the cluster TSDB a fleet scraper maintains:
+	// their metrics are fleet.* aggregates folded from every member.
+	ScopeFleet = "fleet"
 )
 
 // Severities.
@@ -86,8 +105,14 @@ type Rule struct {
 	Name string `json:"name"`
 	// Severity is "warn" (default) or "critical".
 	Severity string `json:"severity,omitempty"`
-	// Kind selects the evaluation: latency_quantile | error_rate | burn_rate.
+	// Kind selects the evaluation: latency_quantile | error_rate |
+	// burn_rate | gauge_threshold.
 	Kind string `json:"kind"`
+	// Scope is "node" (default: the process's own TSDB) or "fleet" (a
+	// cluster TSDB maintained by a fleet scraper). Scope does not change
+	// evaluation — it documents provenance and is carried on alerts so
+	// subscribers can tell a local breach from a cluster-wide one.
+	Scope string `json:"scope,omitempty"`
 
 	// Metric (latency_quantile) is the histogram family to watch; every
 	// labeled instance ("ibp.depot.ms{depot=...}") gets its own alert
@@ -105,6 +130,13 @@ type Rule struct {
 	TotalMetric string `json:"total_metric,omitempty"`
 	// MaxRatio (error_rate): errors/total must stay under this.
 	MaxRatio float64 `json:"max_ratio,omitempty"`
+
+	// MinValue / MaxValue (gauge_threshold) bound the gauge's latest
+	// value: v < MinValue (when set) or v > MaxValue (when set) breaches.
+	// At least one must be set; a gauge family expands per label instance
+	// like latency_quantile does. Metric names the gauge family.
+	MinValue *float64 `json:"min_value,omitempty"`
+	MaxValue *float64 `json:"max_value,omitempty"`
 
 	// Objective (burn_rate) is the availability target, e.g. 0.99; the
 	// error budget is 1-Objective.
@@ -145,6 +177,13 @@ func (r *Rule) Validate() error {
 	default:
 		return fmt.Errorf("slo: rule %q: bad severity %q (want warn|critical)", r.Name, r.Severity)
 	}
+	switch r.Scope {
+	case "":
+		r.Scope = ScopeNode
+	case ScopeNode, ScopeFleet:
+	default:
+		return fmt.Errorf("slo: rule %q: bad scope %q (want node|fleet)", r.Name, r.Scope)
+	}
 	if r.MinCount <= 0 {
 		r.MinCount = 1
 	}
@@ -184,6 +223,16 @@ func (r *Rule) Validate() error {
 		}
 		if r.FastBurn <= 0 || r.SlowBurn <= 0 {
 			return fmt.Errorf("slo: rule %q: burn_rate needs fast_burn and slow_burn", r.Name)
+		}
+	case KindGaugeThreshold:
+		if r.Metric == "" {
+			return fmt.Errorf("slo: rule %q: gauge_threshold needs metric", r.Name)
+		}
+		if r.MinValue == nil && r.MaxValue == nil {
+			return fmt.Errorf("slo: rule %q: gauge_threshold needs min_value and/or max_value", r.Name)
+		}
+		if r.MinValue != nil && r.MaxValue != nil && *r.MinValue > *r.MaxValue {
+			return fmt.Errorf("slo: rule %q: min_value above max_value", r.Name)
 		}
 	default:
 		return fmt.Errorf("slo: rule %q: unknown kind %q", r.Name, r.Kind)
@@ -332,6 +381,69 @@ func DefaultRules() []Rule {
 	}
 	for i := range rules {
 		// Defaults are authored valid; Validate also fills derived fields.
+		if err := rules[i].Validate(); err != nil {
+			panic(err)
+		}
+	}
+	return rules
+}
+
+// Float is a convenience for authoring gauge_threshold bounds in code.
+func Float(v float64) *float64 { return &v }
+
+// FleetDefaultRules is the built-in rule set a fleet scraper evaluates
+// against its cluster TSDB. replication is the deployment's intended
+// replica count: coverage below it means some published exNode has lost
+// redundancy and a single further failure can lose data availability.
+func FleetDefaultRules(replication int) []Rule {
+	if replication <= 0 {
+		replication = 1
+	}
+	rules := []Rule{
+		{
+			// The fleet's reason to exist: replica coverage is recomputed
+			// from live membership every scrape, so a depot death moves it
+			// immediately — no For damping, the membership TTL already
+			// absorbed the flap.
+			Name:       "fleet-replica-coverage",
+			Severity:   SeverityCritical,
+			Kind:       KindGaugeThreshold,
+			Scope:      ScopeFleet,
+			Metric:     obs.MFleetCoverageMin,
+			MinValue:   Float(float64(replication)),
+			ClearAfter: Duration(2 * time.Second),
+		},
+		{
+			// More than a quarter of depots down or degraded: the cluster
+			// is losing capacity faster than replication can hide.
+			Name:       "fleet-depots-degraded",
+			Severity:   SeverityCritical,
+			Kind:       KindGaugeThreshold,
+			Scope:      ScopeFleet,
+			Metric:     obs.MFleetDegradedRatio,
+			MaxValue:   Float(0.25),
+			ClearAfter: Duration(2 * time.Second),
+		},
+		{
+			// Fleet-wide shed burn: members shedding work faster than the
+			// error budget allows, cluster-wide — the overload is systemic,
+			// not one hot depot.
+			Name:        "fleet-shed-burn",
+			Severity:    SeverityWarn,
+			Kind:        KindBurnRate,
+			Scope:       ScopeFleet,
+			ErrorMetric: obs.MFleetShed,
+			TotalMetric: obs.MFleetServed,
+			Objective:   0.95,
+			FastWindow:  Duration(time.Minute),
+			SlowWindow:  Duration(10 * time.Minute),
+			FastBurn:    6,
+			SlowBurn:    3,
+			ClearAfter:  Duration(time.Minute),
+			MinCount:    20,
+		},
+	}
+	for i := range rules {
 		if err := rules[i].Validate(); err != nil {
 			panic(err)
 		}

@@ -162,6 +162,22 @@ func SpanFromContext(ctx context.Context) *Span {
 	return s
 }
 
+// TraceIDFrom returns the trace ID the context carries — from a local
+// span first, else a remote trace context — or 0. It is the bridge from
+// request context to Histogram.ObserveTrace exemplars.
+func TraceIDFrom(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	if s := SpanFromContext(ctx); s != nil {
+		return s.TraceID
+	}
+	if tc, ok := remoteFromContext(ctx); ok {
+		return tc.TraceID
+	}
+	return 0
+}
+
 func (t *Tracer) record(s *Span) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -317,6 +317,43 @@ func (s *Steward) ExNode(name string) *exnode.ExNode {
 	return obj.ex.Clone()
 }
 
+// ReplicaCoverage reports, per adopted exNode, how many of its
+// replicas are on live depots — the minimum over the object's extents,
+// since the thinnest extent bounds the object's availability. up maps
+// depot addresses to liveness (the fleet scraper passes the depot
+// members currently in the up state); a nil map counts every replica.
+// This is the fleet.replica.coverage source: layout intersected with
+// live membership, so a dying depot moves coverage the moment the
+// matrix marks it down, without waiting for a steward audit to probe
+// capabilities.
+func (s *Steward) ReplicaCoverage(up map[string]bool) map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.objects))
+	for name, obj := range s.objects {
+		minLive := -1
+		for i := range obj.ex.Extents {
+			live := 0
+			for _, r := range obj.ex.Extents[i].Replicas {
+				if up == nil || up[r.Depot] {
+					live++
+				}
+			}
+			if minLive < 0 || live < minLive {
+				minLive = live
+			}
+		}
+		if minLive < 0 {
+			continue // no extents: nothing to cover
+		}
+		out[name] = float64(minLive)
+	}
+	return out
+}
+
 // Stats returns a snapshot of cumulative counters.
 func (s *Steward) Stats() Stats {
 	s.mu.Lock()

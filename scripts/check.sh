@@ -176,4 +176,99 @@ kill -TERM "$edge_pid"
 wait "$edge_pid" 2>/dev/null || true
 grep -q "shutting down" "$benchdir/lfedged.log" || edge_fail "lfedged did not shut down cleanly on SIGTERM"
 
+echo "== fleet federation smoke (lboned + depots + publisher + steward -fleet-scrape)"
+go build -o "$benchdir/lboned" ./cmd/lboned
+go build -o "$benchdir/dvsd" ./cmd/dvsd
+go build -o "$benchdir/lfserve" ./cmd/lfserve
+go build -o "$benchdir/lfsteward" ./cmd/lfsteward
+fleet_pids=""
+fleet_teardown() {
+	for pid in $fleet_pids; do
+		kill "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	done
+}
+fleet_fail() {
+	echo "$1" >&2
+	for f in lboned dvsd depot1 depot2 lfserve lfsteward; do
+		[ -s "$benchdir/$f.log" ] && { echo "--- $f.log ---" >&2; tail -20 "$benchdir/$f.log" >&2; }
+	done
+	fleet_teardown
+	exit 1
+}
+# parse_addr <log> <sed-pattern>: poll a daemon's startup line for a
+# :0-bound address for up to 5s.
+parse_addr() {
+	_out=""
+	_i=0
+	while [ "$_i" -lt 50 ]; do
+		_out=$(sed -n "$2" "$benchdir/$1")
+		[ -n "$_out" ] && break
+		_i=$((_i + 1))
+		sleep 0.1
+	done
+	printf '%s' "$_out"
+}
+"$benchdir/lboned" -addr 127.0.0.1:0 >"$benchdir/lboned.log" 2>&1 &
+fleet_pids="$fleet_pids $!"
+lbaddr=$(parse_addr lboned.log 's|.*serving directory on http://\([^ ]*\).*|\1|p')
+[ -n "$lbaddr" ] || fleet_fail "lboned did not report a directory address"
+"$benchdir/dvsd" -addr 127.0.0.1:0 >"$benchdir/dvsd.log" 2>&1 &
+fleet_pids="$fleet_pids $!"
+dvsaddr=$(parse_addr dvsd.log 's|.*serving DVS on \([^ ]*\).*|\1|p')
+[ -n "$dvsaddr" ] || fleet_fail "dvsd did not report a serving address"
+depotaddrs=""
+for n in 1 2; do
+	"$benchdir/depotd" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+		-lbone "http://$lbaddr" -heartbeat 1s >"$benchdir/depot$n.log" 2>&1 &
+	fleet_pids="$fleet_pids $!"
+	daddr=$(parse_addr "depot$n.log" 's|.*serving IBP on \([^ ]*\).*|\1|p')
+	[ -n "$daddr" ] || fleet_fail "depot$n did not report a serving address"
+	depotaddrs="$depotaddrs,$daddr"
+done
+depotaddrs=${depotaddrs#,}
+# A tiny published database (8 view sets) so the steward has exNodes to
+# manage and replica coverage to report.
+"$benchdir/lfserve" -addr 127.0.0.1:0 -depots "$depotaddrs" -dvs "$dvsaddr" \
+	-procedural -res 16 -step 45 -l 2 -replicas 2 \
+	-lbone "http://$lbaddr" -metrics-addr 127.0.0.1:0 >"$benchdir/lfserve.log" 2>&1 &
+fleet_pids="$fleet_pids $!"
+published=$(parse_addr lfserve.log 's|.*published \([0-9]*\) view sets.*|\1|p')
+[ -n "$published" ] || fleet_fail "lfserve did not publish the database"
+"$benchdir/lfsteward" -dvs "$dvsaddr" -res 16 -step 45 -l 2 -replicas 2 \
+	-lbone "http://$lbaddr" -interval 5s -fleet-scrape -fleet-interval 300ms \
+	-metrics-addr 127.0.0.1:0 >"$benchdir/lfsteward.log" 2>&1 &
+fleet_pids="$fleet_pids $!"
+smaddr=$(parse_addr lfsteward.log 's|.*metrics on http://\([^/]*\)/metrics.*|\1|p')
+[ -n "$smaddr" ] || fleet_fail "lfsteward did not report a metrics address"
+# The matrix converges: two depots, the publisher agent, and the steward
+# itself, all up.
+up=0
+i=0
+while [ "$i" -lt 100 ]; do
+	up=$(curl -s "http://$smaddr/debug/fleet" | grep -c '"state": *"up"' || true)
+	[ "$up" -ge 4 ] && break
+	i=$((i + 1))
+	sleep 0.2
+done
+[ "$up" -ge 4 ] || fleet_fail "/debug/fleet shows $up members up, want >= 4 (2 depots + agent + steward)"
+matrix=$(curl -s "http://$smaddr/debug/fleet")
+printf '%s' "$matrix" | grep -q '"replica.coverage.min"' \
+	|| fleet_fail "/debug/fleet aggregates missing replica.coverage.min: $matrix"
+curl -s "http://$smaddr/debug/fleet?format=text" | grep -q 'NODE' \
+	|| fleet_fail "/debug/fleet?format=text did not render the matrix header"
+# The cluster TSDB retains fleet series and answers range queries.
+curl -s "http://$smaddr/debug/fleet/tsdb" | grep -q '"fleet\.' \
+	|| fleet_fail "/debug/fleet/tsdb index lists no fleet.* series"
+sleep 0.7
+covpoints=$(curl -s "http://$smaddr/debug/fleet/tsdb?name=fleet.replica.coverage.min&since=30s&agg=raw" | grep -c '"t":' || true)
+[ "$covpoints" -ge 2 ] || fleet_fail "cluster TSDB coverage query returned $covpoints points, want >= 2"
+# lftop's fleet mode reads the same surface.
+if ! "$benchdir/lftop" -fleet -once -json "$smaddr" >"$benchdir/lftop_fleet.json"; then
+	fleet_fail "lftop -fleet -once -json failed against $smaddr"
+fi
+grep -q '"members"' "$benchdir/lftop_fleet.json" \
+	|| fleet_fail "lftop -fleet produced no member matrix"
+fleet_teardown
+
 echo "all checks passed"

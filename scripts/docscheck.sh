@@ -14,6 +14,11 @@
 #  5. Every /debug/* endpoint registered anywhere under internal/obs
 #     (including the flight recorder's /debug/capture routes) and every
 #     runtime.* family in names.go must appear in docs/OBSERVABILITY.md.
+#  6. The fleet federation surface must be documented: every fleet.*
+#     family in names.go, the /debug/fleet endpoints, and every built-in
+#     fleet SLO rule name in internal/obs/slo must appear in
+#     docs/OBSERVABILITY.md, and the rule names in the
+#     docs/OPERATIONS.md runbook too.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -104,6 +109,34 @@ for n in $runtimefams; do
 		echo "MISSING: runtime family $n not documented in docs/OBSERVABILITY.md" >&2
 		fail=1
 	fi
+done
+
+echo "== fleet federation surface vs docs"
+fleetfams=$(grep -oE '= "fleet\.[a-z0-9._]+"' internal/obs/names.go | sed 's/= "\(.*\)"/\1/' | sort -u)
+[ -n "$fleetfams" ] || { echo "docscheck: extracted no fleet.* families from names.go" >&2; exit 1; }
+for n in $fleetfams; do
+	if ! grep -qF -- "$n" docs/OBSERVABILITY.md; then
+		echo "MISSING: fleet family $n not documented in docs/OBSERVABILITY.md" >&2
+		fail=1
+	fi
+done
+for e in /debug/fleet /debug/fleet/tsdb; do
+	if ! grep -qF -- "$e" docs/OBSERVABILITY.md; then
+		echo "MISSING: fleet endpoint $e not documented in docs/OBSERVABILITY.md" >&2
+		fail=1
+	fi
+done
+# Built-in fleet rule names come from the FleetDefaultRules source, so
+# renaming a rule without updating the alert docs fails here.
+fleetrules=$(grep -hoE 'Name: *"fleet-[a-z-]+"' internal/obs/slo/*.go | grep -oE '"fleet-[a-z-]+"' | tr -d '"' | sort -u)
+[ -n "$fleetrules" ] || { echo "docscheck: extracted no fleet rule names from internal/obs/slo" >&2; exit 1; }
+for r in $fleetrules; do
+	for doc in docs/OBSERVABILITY.md docs/OPERATIONS.md; do
+		if ! grep -qF -- "$r" "$doc"; then
+			echo "MISSING: fleet rule $r not documented in $doc" >&2
+			fail=1
+		fi
+	done
 done
 
 if [ "$fail" -ne 0 ]; then
